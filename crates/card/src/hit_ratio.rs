@@ -1,0 +1,206 @@
+//! The hit-ratio estimator of Section III-B.
+//!
+//! UDF branches route different rows down different code paths, so the cost
+//! of a UDF depends on *how many rows hit each branch*. The paper's key idea:
+//! trace the conditions along every control path, rewrite them into an SQL
+//! query over the data the UDF actually sees
+//! (`SELECT * FROM tables WHERE joins ∧ pre-filters ∧ branch-conds`), and ask
+//! an off-the-shelf cardinality estimator for the result size — the path's
+//! hit frequency.
+//!
+//! Here the rewrite goes from [`BranchCondInfo`] (a `param CMP literal`
+//! condition) back to the UDF's input column via the positional
+//! param→column mapping of [`GeneratedUdf`], conjoined with the plain
+//! filters already applied to the UDF's base table. Join-induced
+//! distribution shift on the input columns is second-order for FK joins and
+//! is ignored (documented simplification). Untraceable conditions (on
+//! derived variables) contribute the 0.5 fallback.
+
+use crate::CardEstimator;
+use graceful_cfg::{BranchCondInfo, UdfDag};
+use graceful_plan::Pred;
+use graceful_storage::Value;
+use graceful_udf::GeneratedUdf;
+
+/// Hit-ratio estimator bridging UDF branch conditions and a cardinality
+/// estimator.
+pub struct HitRatioEstimator<'e> {
+    card: &'e dyn CardEstimator,
+}
+
+impl<'e> HitRatioEstimator<'e> {
+    pub fn new(card: &'e dyn CardEstimator) -> Self {
+        HitRatioEstimator { card }
+    }
+
+    /// Rewrite a traced branch condition into a predicate over the UDF's
+    /// input column. Returns `None` for parameters that do not map to a
+    /// column (should not happen for generator-produced UDFs).
+    pub fn rewrite(&self, udf: &GeneratedUdf, cond: &BranchCondInfo) -> Option<Pred> {
+        let pos = udf.def.params.iter().position(|p| *p == cond.param)?;
+        let column = udf.input_columns.get(pos)?;
+        Some(Pred {
+            col: graceful_plan::ColRef::new(&udf.table, column),
+            op: cond.op,
+            value: Value::Float(cond.literal),
+        })
+    }
+
+    /// Probability of one control path: the joint selectivity of its
+    /// (taken-adjusted) conditions, conditioned on the pre-UDF filters.
+    ///
+    /// `P(path | pre) = sel(pre ∧ conds) / sel(pre)`; untraceable conditions
+    /// multiply in 0.5.
+    pub fn path_probability(
+        &self,
+        udf: &GeneratedUdf,
+        pre_filters: &[Pred],
+        conditions: &[(Option<BranchCondInfo>, bool)],
+    ) -> f64 {
+        let mut preds: Vec<Pred> = pre_filters.to_vec();
+        let mut fallback = 1.0;
+        for (cond, taken) in conditions {
+            let info = match cond {
+                Some(c) => c,
+                None => {
+                    fallback *= 0.5;
+                    continue;
+                }
+            };
+            // A not-taken branch contributes the negated condition.
+            let effective = if *taken {
+                info.clone()
+            } else {
+                BranchCondInfo { op: info.op.negated(), ..info.clone() }
+            };
+            match self.rewrite(udf, &effective) {
+                Some(p) => preds.push(p),
+                None => fallback *= 0.5,
+            }
+        }
+        let denom = if pre_filters.is_empty() {
+            1.0
+        } else {
+            self.card.conjunction_selectivity(&udf.table, pre_filters).max(1e-9)
+        };
+        let joint = self.card.conjunction_selectivity(&udf.table, &preds);
+        (joint / denom * fallback).clamp(0.0, 1.0)
+    }
+
+    /// Annotate `in_rows` on the whole UDF DAG: the paper's step ④.
+    ///
+    /// `input_rows` is the (estimated) number of rows reaching the UDF
+    /// operator; `pre_filters` are the plain predicates already applied on
+    /// the UDF's base table below it.
+    pub fn annotate_dag(
+        &self,
+        dag: &mut UdfDag,
+        udf: &GeneratedUdf,
+        input_rows: f64,
+        pre_filters: &[Pred],
+    ) {
+        dag.annotate_rows(input_rows, |conds| self.path_probability(udf, pre_filters, conds));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ActualCard;
+    use graceful_cfg::{build_dag, DagConfig, UdfNodeKind};
+    use graceful_storage::datagen::{generate, schema};
+    use graceful_storage::{Database, DataType};
+    use graceful_udf::parse_udf;
+    use std::sync::Arc;
+
+    fn setup() -> (Database, Arc<GeneratedUdf>) {
+        let db = generate(&schema("tpc_h"), 0.05, 3);
+        // quantity is uniform in 1..=50; branch on x0 < 10 keeps ~18%.
+        let def = parse_udf(
+            "def f(x0):\n    if x0 < 10:\n        z = x0 * 2\n    else:\n        z = x0 + 1\n    return z\n",
+        )
+        .unwrap();
+        let source = graceful_udf::print_udf(&def);
+        let udf = Arc::new(GeneratedUdf {
+            def,
+            source,
+            table: "lineitem_t".into(),
+            input_columns: vec!["quantity".into()],
+            adaptations: vec![],
+        });
+        (db, udf)
+    }
+
+    #[test]
+    fn rewrites_param_to_column() {
+        let (db, udf) = setup();
+        let actual = ActualCard::new(&db);
+        let hr = HitRatioEstimator::new(&actual);
+        let cond = BranchCondInfo {
+            param: "x0".into(),
+            op: graceful_udf::ast::CmpOp::Lt,
+            literal: 10.0,
+        };
+        let pred = hr.rewrite(&udf, &cond).unwrap();
+        assert_eq!(pred.col.table, "lineitem_t");
+        assert_eq!(pred.col.column, "quantity");
+    }
+
+    #[test]
+    fn branch_hit_ratios_match_data() {
+        let (db, udf) = setup();
+        let actual = ActualCard::new(&db);
+        let hr = HitRatioEstimator::new(&actual);
+        let mut dag =
+            build_dag(&udf.def, &[DataType::Int], DataType::Float, DagConfig::default());
+        hr.annotate_dag(&mut dag, &udf, 1000.0, &[]);
+        // The then-side COMP should get ~18% of rows (quantity in 1..=9 of 1..=50).
+        let comps: Vec<&graceful_cfg::UdfNode> =
+            dag.nodes.iter().filter(|n| n.kind == UdfNodeKind::Comp).collect();
+        let min_rows = comps.iter().map(|n| n.in_rows).fold(f64::INFINITY, f64::min);
+        assert!(
+            (min_rows / 1000.0 - 0.18).abs() < 0.05,
+            "then-branch rows {min_rows} should be ≈180"
+        );
+        assert!((dag.nodes[dag.ret].in_rows - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pre_filters_condition_the_ratio() {
+        let (db, udf) = setup();
+        let actual = ActualCard::new(&db);
+        let hr = HitRatioEstimator::new(&actual);
+        // Pre-filter quantity <= 10 makes the branch (x0 < 10) almost always
+        // taken.
+        let pre = vec![Pred::new(
+            "lineitem_t",
+            "quantity",
+            graceful_udf::ast::CmpOp::Le,
+            Value::Int(10),
+        )];
+        let cond = vec![(
+            Some(BranchCondInfo {
+                param: "x0".into(),
+                op: graceful_udf::ast::CmpOp::Lt,
+                literal: 10.0,
+            }),
+            true,
+        )];
+        let p = hr.path_probability(&udf, &pre, &cond);
+        assert!(p > 0.8, "conditional hit ratio should be high, got {p}");
+        // Without conditioning it is ~0.18.
+        let p0 = hr.path_probability(&udf, &[], &cond);
+        assert!(p0 < 0.3, "unconditional ratio should be low, got {p0}");
+    }
+
+    #[test]
+    fn untraceable_conditions_fall_back() {
+        let (db, udf) = setup();
+        let actual = ActualCard::new(&db);
+        let hr = HitRatioEstimator::new(&actual);
+        let p = hr.path_probability(&udf, &[], &[(None, true)]);
+        assert_eq!(p, 0.5);
+        let p2 = hr.path_probability(&udf, &[], &[(None, true), (None, false)]);
+        assert_eq!(p2, 0.25);
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared primitives for the GRACEFUL reproduction.
+//!
+//! This crate hosts the pieces every other crate needs: a deterministic,
+//! seedable random-number generator ([`rng::Rng`]), evaluation metrics
+//! (Q-error and percentile helpers in [`metrics`]), experiment scaling knobs
+//! ([`config::ScaleConfig`]) and the shared error type ([`GracefulError`]).
+//!
+//! Everything in the reproduction is deterministic given a seed: data
+//! generation, workload generation, model initialisation and training all
+//! draw from [`rng::Rng`] instances derived from explicit seeds, so every
+//! experiment table can be regenerated bit-for-bit.
+
+pub mod config;
+pub mod metrics;
+pub mod rng;
+
+use std::fmt;
+
+/// Errors surfaced by the GRACEFUL crates.
+///
+/// The reproduction favours explicit `Result`s over panics for anything that
+/// can be triggered by user input (parsing UDF source, building plans over a
+/// catalog, featurizing graphs). Internal invariant violations still use
+/// `debug_assert!`/`panic!` as they indicate bugs, not bad input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GracefulError {
+    /// UDF source code failed to lex or parse.
+    Parse { line: usize, message: String },
+    /// A UDF failed while being evaluated (type error, unknown function, ...).
+    Eval(String),
+    /// A name (table, column, UDF parameter) could not be resolved.
+    Unresolved(String),
+    /// A plan is structurally invalid (e.g. join on missing columns).
+    InvalidPlan(String),
+    /// Model training / inference failed (shape mismatch, empty dataset, ...).
+    Model(String),
+    /// Corpus/bench construction failed.
+    Benchmark(String),
+}
+
+impl fmt::Display for GracefulError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GracefulError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GracefulError::Eval(m) => write!(f, "UDF evaluation error: {m}"),
+            GracefulError::Unresolved(m) => write!(f, "unresolved name: {m}"),
+            GracefulError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            GracefulError::Model(m) => write!(f, "model error: {m}"),
+            GracefulError::Benchmark(m) => write!(f, "benchmark error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GracefulError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GracefulError>;

@@ -1,0 +1,220 @@
+//! The pull-up/push-down advisor (Section IV).
+//!
+//! The UDF filter's selectivity is unknowable before execution, so the
+//! advisor performs **regret optimization**: it instantiates both candidate
+//! plans (push-down and pull-up) at a ladder of assumed selectivities,
+//! rescales all cardinalities above the UDF filter accordingly
+//! ([`graceful_card::scale_above_udf`]), predicts each instance's cost with
+//! the GRACEFUL model, and compares the resulting *cost distributions* with
+//! one of three heuristics:
+//!
+//! * **UBC** (upper-bound cardinality) — compare costs at selectivity 1.0,
+//! * **AuC** — compare the areas under the two cost curves (uniform prior
+//!   over selectivities),
+//! * **Conservative** — pull up only when the pull-up curve is below the
+//!   push-down curve at *every* selectivity (no-regression guarantee).
+//!
+//! A fourth mode, **Cost**, uses a single known selectivity (the "actual
+//! selectivity" rows of Table V).
+
+use crate::model::GracefulModel;
+use graceful_card::{scale_above_udf, CardEstimator};
+use graceful_common::{GracefulError, Result};
+use graceful_plan::{build_plan, QuerySpec, UdfPlacement, UdfUsage};
+use graceful_storage::Database;
+
+/// The selectivity ladder of Figure 4 (plus 1.0 for the UBC bound).
+pub const SELECTIVITY_LADDER: [f64; 6] = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+
+/// Decision strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Single cost estimate at a known (actual) selectivity.
+    Cost,
+    UpperBoundCardinality,
+    AreaUnderCurve,
+    Conservative,
+}
+
+impl Strategy {
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Cost => "GRACEFUL (Cost)",
+            Strategy::UpperBoundCardinality => "GRACEFUL (UBC)",
+            Strategy::AreaUnderCurve => "GRACEFUL (AuC)",
+            Strategy::Conservative => "GRACEFUL (Conservative)",
+        }
+    }
+}
+
+/// Advisor output: the decision plus both cost distributions.
+#[derive(Debug, Clone)]
+pub struct AdvisorDecision {
+    pub pull_up: bool,
+    /// `(selectivity, predicted cost)` for the pull-up plan.
+    pub pullup_costs: Vec<(f64, f64)>,
+    /// `(selectivity, predicted cost)` for the push-down plan.
+    pub pushdown_costs: Vec<(f64, f64)>,
+}
+
+/// The advisor: a GRACEFUL model plus a cardinality estimator.
+pub struct PullUpAdvisor<'a> {
+    pub model: &'a GracefulModel,
+}
+
+impl<'a> PullUpAdvisor<'a> {
+    pub fn new(model: &'a GracefulModel) -> Self {
+        PullUpAdvisor { model }
+    }
+
+    /// Predicted cost distribution of one placement across the ladder.
+    fn cost_curve(
+        &self,
+        db: &Database,
+        spec: &QuerySpec,
+        placement: UdfPlacement,
+        estimator: &dyn CardEstimator,
+        sels: &[f64],
+    ) -> Result<Vec<(f64, f64)>> {
+        let mut base = build_plan(spec, placement)?;
+        // Annotate without any execution feedback: the UDF hint defaults to
+        // 0.5 and is immediately overridden per assumed selectivity.
+        estimator.annotate(&mut base)?;
+        let mut out = Vec::with_capacity(sels.len());
+        for &sel in sels {
+            let mut plan = base.clone();
+            scale_above_udf(&mut plan, sel);
+            let cost = self.model.predict(db, spec, &plan, estimator)?;
+            out.push((sel, cost));
+        }
+        Ok(out)
+    }
+
+    /// Decide pull-up vs push-down for a UDF-filter query.
+    ///
+    /// `known_selectivity` is only consulted by [`Strategy::Cost`].
+    pub fn decide(
+        &self,
+        db: &Database,
+        spec: &QuerySpec,
+        estimator: &dyn CardEstimator,
+        strategy: Strategy,
+        known_selectivity: Option<f64>,
+    ) -> Result<AdvisorDecision> {
+        if spec.udf.is_none() || spec.udf_usage != UdfUsage::Filter || spec.joins.is_empty() {
+            return Err(GracefulError::InvalidPlan(
+                "advisor requires a UDF-filter query with at least one join".into(),
+            ));
+        }
+        let sels: Vec<f64> = match strategy {
+            Strategy::Cost => {
+                let s = known_selectivity.ok_or_else(|| {
+                    GracefulError::Model("Cost strategy needs a known selectivity".into())
+                })?;
+                vec![s.clamp(0.0, 1.0)]
+            }
+            _ => SELECTIVITY_LADDER.to_vec(),
+        };
+        let pullup = self.cost_curve(db, spec, UdfPlacement::PullUp, estimator, &sels)?;
+        let pushdown = self.cost_curve(db, spec, UdfPlacement::PushDown, estimator, &sels)?;
+        let pull_up = match strategy {
+            Strategy::Cost => pullup[0].1 < pushdown[0].1,
+            Strategy::UpperBoundCardinality => {
+                // Compare at the maximum selectivity (1.0 — last ladder entry).
+                pullup.last().expect("non-empty").1 < pushdown.last().expect("non-empty").1
+            }
+            Strategy::AreaUnderCurve => {
+                let a: f64 = pullup.iter().map(|(_, c)| c).sum();
+                let b: f64 = pushdown.iter().map(|(_, c)| c).sum();
+                a < b
+            }
+            Strategy::Conservative => pullup
+                .iter()
+                .zip(&pushdown)
+                .all(|((_, up), (_, down))| up < down),
+        };
+        Ok(AdvisorDecision { pull_up, pullup_costs: pullup, pushdown_costs: pushdown })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_corpus;
+    use crate::featurize::Featurizer;
+    use crate::model::TrainConfig;
+    use graceful_card::ActualCard;
+    use graceful_common::config::ScaleConfig;
+
+    #[test]
+    fn advisor_produces_distributions_and_decisions() {
+        let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 16, ..ScaleConfig::default() };
+        let c = build_corpus("imdb", &cfg, 11).unwrap();
+        let mut model = GracefulModel::new(Featurizer::full(), 12, 3);
+        model.train(&[&c], &TrainConfig { epochs: 6, ..TrainConfig::default() }).unwrap();
+        let est = ActualCard::new(&c.db);
+        let advisor = PullUpAdvisor::new(&model);
+        let q = c
+            .queries
+            .iter()
+            .find(|q| {
+                q.has_udf()
+                    && q.spec.udf_usage == UdfUsage::Filter
+                    && !q.spec.joins.is_empty()
+            })
+            .expect("corpus has an advisable query");
+        for strat in [
+            Strategy::UpperBoundCardinality,
+            Strategy::AreaUnderCurve,
+            Strategy::Conservative,
+        ] {
+            let d = advisor.decide(&c.db, &q.spec, &est, strat, None).unwrap();
+            assert_eq!(d.pullup_costs.len(), SELECTIVITY_LADDER.len());
+            assert!(d.pullup_costs.iter().all(|(_, c)| c.is_finite() && *c > 0.0));
+        }
+        let d = advisor.decide(&c.db, &q.spec, &est, Strategy::Cost, Some(0.4)).unwrap();
+        assert_eq!(d.pullup_costs.len(), 1);
+    }
+
+    #[test]
+    fn conservative_is_most_reluctant() {
+        // Conservative can only pull up when AuC would too (dominated curves
+        // imply a smaller area).
+        let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 20, ..ScaleConfig::default() };
+        let c = build_corpus("tpc_h", &cfg, 13).unwrap();
+        let mut model = GracefulModel::new(Featurizer::full(), 12, 5);
+        model.train(&[&c], &TrainConfig { epochs: 6, ..TrainConfig::default() }).unwrap();
+        let est = ActualCard::new(&c.db);
+        let advisor = PullUpAdvisor::new(&model);
+        for q in &c.queries {
+            if !(q.has_udf() && q.spec.udf_usage == UdfUsage::Filter && !q.spec.joins.is_empty())
+            {
+                continue;
+            }
+            let cons = advisor
+                .decide(&c.db, &q.spec, &est, Strategy::Conservative, None)
+                .unwrap();
+            let auc = advisor
+                .decide(&c.db, &q.spec, &est, Strategy::AreaUnderCurve, None)
+                .unwrap();
+            if cons.pull_up {
+                assert!(auc.pull_up, "conservative pulled up but AuC did not");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_advisable_queries() {
+        let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 8, ..ScaleConfig::default() };
+        let c = build_corpus("ssb", &cfg, 15).unwrap();
+        let model = GracefulModel::new(Featurizer::full(), 8, 1);
+        let est = ActualCard::new(&c.db);
+        let advisor = PullUpAdvisor::new(&model);
+        let q = c.queries.iter().find(|q| !q.has_udf() || q.spec.joins.is_empty());
+        if let Some(q) = q {
+            assert!(advisor
+                .decide(&c.db, &q.spec, &est, Strategy::AreaUnderCurve, None)
+                .is_err());
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Joint query–UDF graph featurization (Section III).
+//!
+//! The featurizer turns an annotated plan (+ its UDF) into the
+//! [`TypedGraph`] the GNN consumes:
+//!
+//! * **query part** — one node per plan operator with log-scaled estimated
+//!   cardinalities (the representation of Hilprecht & Binnig [11]); TABLE
+//!   and COLUMN nodes feed scans and filters,
+//! * **UDF part** — the transformed DAG of `graceful-cfg` with Table I
+//!   features; `in_rows` comes from the hit-ratio machinery,
+//! * **stitching** (Section III-C) — COLUMN → INV and COLUMN → COMP
+//!   data-flow edges, child-operator → INV, RET → consuming FILTER (with the
+//!   `on-udf` flag) or RET → UDF_PROJECT node.
+//!
+//! All features are database-independent (one-hot vocabularies + magnitudes),
+//! which is what enables zero-shot transfer. The [`Featurizer`]'s `level`
+//! reproduces the ablation lattice of Figure 7.
+
+use graceful_card::{CardEstimator, HitRatioEstimator};
+use graceful_cfg::{build_dag, DagConfig, UdfNodeKind};
+use graceful_common::{GracefulError, Result};
+use graceful_nn::TypedGraph;
+use graceful_plan::{Plan, PlanOpKind, Pred, QuerySpec};
+use graceful_storage::{DataType, Database};
+use graceful_udf::ast::{BinOp, CmpOp};
+use graceful_udf::LibFn;
+
+/// GNN node-type ids of the joint graph.
+pub mod node_type {
+    pub const TABLE: usize = 0;
+    pub const COLUMN: usize = 1;
+    pub const SCAN: usize = 2;
+    pub const FILTER: usize = 3;
+    pub const JOIN: usize = 4;
+    pub const AGG: usize = 5;
+    pub const UDF_PROJECT: usize = 6;
+    pub const INV: usize = 7;
+    pub const COMP: usize = 8;
+    pub const BRANCH: usize = 9;
+    pub const LOOP: usize = 10;
+    pub const LOOP_END: usize = 11;
+    pub const RET: usize = 12;
+    pub const COUNT: usize = 13;
+}
+
+/// Feature dimensions per node type (indexable by the ids above).
+pub fn feature_dims() -> Vec<usize> {
+    let mut dims = vec![0; node_type::COUNT];
+    dims[node_type::TABLE] = 2; // log rows, n_cols
+    dims[node_type::COLUMN] = 8; // dtype(4), log ndv, null frac, log width, log rows
+    dims[node_type::SCAN] = 1; // log out
+    dims[node_type::FILTER] = 4; // log in, log out, n_preds, on_udf
+    dims[node_type::JOIN] = 3; // log in_l, log in_r, log out
+    dims[node_type::AGG] = 4; // log in, agg one-hot(3)
+    dims[node_type::UDF_PROJECT] = 1; // log in
+    dims[node_type::INV] = 6; // log rows, nr_params, dtype counts(4)
+    dims[node_type::COMP] = 2 + BinOp::ALL.len() + LibFn::COUNT; // log rows, loop_part, ops, libs
+    dims[node_type::BRANCH] = 2 + CmpOp::ALL.len(); // log rows, loop_part, cmp one-hot
+    dims[node_type::LOOP] = 5; // log rows, loop_part, for/while, log iters
+    dims[node_type::LOOP_END] = 5;
+    dims[node_type::RET] = 1 + DataType::COUNT; // log rows, out dtype
+    dims
+}
+
+/// Log-scale a cardinality-like magnitude into roughly `[0, 1.5]`.
+#[inline]
+pub fn log_mag(x: f64) -> f32 {
+    ((1.0 + x.max(0.0)).log10() / 6.0) as f32
+}
+
+/// Featurization configuration = ablation level (Figure 7):
+///
+/// 1. UDF as a black box (RET node only),
+/// 2. \+ LOOP / COMP / BRANCH / INV nodes,
+/// 3. \+ `on-udf` flag on the consuming FILTER,
+/// 4. \+ explicit LOOP_END nodes,
+/// 5. \+ residual LOOP → LOOP_END edges (the full model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Featurizer {
+    pub level: u8,
+}
+
+impl Featurizer {
+    /// The full model (ablation level 5).
+    pub fn full() -> Self {
+        Featurizer { level: 5 }
+    }
+
+    pub fn level(level: u8) -> Self {
+        assert!((1..=5).contains(&level), "ablation level must be 1..=5");
+        Featurizer { level }
+    }
+
+    fn dag_config(&self) -> DagConfig {
+        DagConfig {
+            loop_end_nodes: self.level >= 4,
+            residual_loop_edges: self.level >= 5,
+        }
+    }
+
+    fn include_udf_structure(&self) -> bool {
+        self.level >= 2
+    }
+
+    fn on_udf_flag(&self) -> bool {
+        self.level >= 3
+    }
+
+    /// Featurize an annotated plan into the joint typed graph.
+    ///
+    /// The plan's `est_out_rows` must already be annotated (by any
+    /// [`CardEstimator`]); `estimator` is additionally used for the branch
+    /// hit-ratio estimation inside the UDF.
+    pub fn featurize(
+        &self,
+        db: &Database,
+        spec: &QuerySpec,
+        plan: &Plan,
+        estimator: &dyn CardEstimator,
+    ) -> Result<TypedGraph> {
+        let mut g = GraphBuilder::new();
+        // Map plan-op index -> graph node index (set as we emit).
+        let mut op_node = vec![usize::MAX; plan.ops.len()];
+        for (idx, op) in plan.ops.iter().enumerate() {
+            let est_out = op.est_out_rows;
+            match &op.kind {
+                PlanOpKind::Scan { table } => {
+                    let t = db.table(table)?;
+                    let tbl = g.push(
+                        node_type::TABLE,
+                        vec![log_mag(t.num_rows() as f64), t.num_columns() as f32 / 16.0],
+                    );
+                    let scan = g.push(node_type::SCAN, vec![log_mag(est_out)]);
+                    g.edge(tbl, scan);
+                    op_node[idx] = scan;
+                }
+                PlanOpKind::Filter { preds } => {
+                    let child = op_node[op.children[0]];
+                    let in_rows = plan.ops[op.children[0]].est_out_rows;
+                    // Column nodes must precede the filter node (edges are
+                    // forward-only in the typed graph).
+                    let mut cols = Vec::with_capacity(preds.len());
+                    for p in preds {
+                        cols.push(g.push(
+                            node_type::COLUMN,
+                            column_features(db, &p.col.table, &p.col.column)?,
+                        ));
+                    }
+                    let filter = g.push(
+                        node_type::FILTER,
+                        vec![
+                            log_mag(in_rows),
+                            log_mag(est_out),
+                            preds.len() as f32 / 8.0,
+                            0.0, // plain filters never sit on a UDF output
+                        ],
+                    );
+                    for col in cols {
+                        g.edge(col, filter);
+                    }
+                    g.edge(child, filter);
+                    op_node[idx] = filter;
+                }
+                PlanOpKind::Join { .. } => {
+                    let l = op.children[0];
+                    let r = op.children[1];
+                    let join = g.push(
+                        node_type::JOIN,
+                        vec![
+                            log_mag(plan.ops[l].est_out_rows),
+                            log_mag(plan.ops[r].est_out_rows),
+                            log_mag(est_out),
+                        ],
+                    );
+                    g.edge(op_node[l], join);
+                    g.edge(op_node[r], join);
+                    op_node[idx] = join;
+                }
+                PlanOpKind::UdfFilter { udf, op: cmp, .. } => {
+                    let child_op = op.children[0];
+                    let in_rows = plan.ops[child_op].est_out_rows;
+                    let ret_node = self.emit_udf(
+                        &mut g,
+                        db,
+                        spec,
+                        udf,
+                        in_rows,
+                        op_node[child_op],
+                        estimator,
+                    )?;
+                    let _ = cmp;
+                    let filter = g.push(
+                        node_type::FILTER,
+                        vec![
+                            log_mag(in_rows),
+                            log_mag(est_out),
+                            1.0 / 8.0,
+                            if self.on_udf_flag() { 1.0 } else { 0.0 },
+                        ],
+                    );
+                    g.edge(ret_node, filter);
+                    g.edge(op_node[child_op], filter);
+                    op_node[idx] = filter;
+                }
+                PlanOpKind::UdfProject { udf } => {
+                    let child_op = op.children[0];
+                    let in_rows = plan.ops[child_op].est_out_rows;
+                    let ret_node = self.emit_udf(
+                        &mut g,
+                        db,
+                        spec,
+                        udf,
+                        in_rows,
+                        op_node[child_op],
+                        estimator,
+                    )?;
+                    let proj = g.push(node_type::UDF_PROJECT, vec![log_mag(in_rows)]);
+                    g.edge(ret_node, proj);
+                    g.edge(op_node[child_op], proj);
+                    op_node[idx] = proj;
+                }
+                PlanOpKind::Agg { func, .. } => {
+                    let child = op.children[0];
+                    let mut f = vec![log_mag(plan.ops[child].est_out_rows), 0.0, 0.0, 0.0];
+                    f[1 + func.index()] = 1.0;
+                    let agg = g.push(node_type::AGG, f);
+                    g.edge(op_node[child], agg);
+                    op_node[idx] = agg;
+                }
+            }
+        }
+        let root = op_node[plan.root];
+        let graph = TypedGraph {
+            node_types: g.node_types,
+            features: g.features,
+            edges: g.edges,
+            root,
+        };
+        graph.validate(&feature_dims())?;
+        Ok(graph)
+    }
+
+    /// Emit the UDF subgraph and return the graph index of its RET node.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_udf(
+        &self,
+        g: &mut GraphBuilder,
+        db: &Database,
+        spec: &QuerySpec,
+        udf: &graceful_udf::GeneratedUdf,
+        input_rows: f64,
+        child_node: usize,
+        estimator: &dyn CardEstimator,
+    ) -> Result<usize> {
+        let table = db.table(&udf.table)?;
+        let arg_types: Vec<DataType> = udf
+            .input_columns
+            .iter()
+            .map(|c| table.column_type(c))
+            .collect::<Result<Vec<_>>>()?;
+        let ret_type = graceful_udf::infer_return_type(&udf.def, &arg_types);
+        let mut dag = build_dag(&udf.def, &arg_types, ret_type, self.dag_config());
+        // Hit-ratio row annotation (Section III-B), conditioned on the plain
+        // filters already applied to the UDF's base table.
+        let pre_filters: Vec<Pred> = spec
+            .filters
+            .iter()
+            .filter(|p| p.col.table == udf.table)
+            .cloned()
+            .collect();
+        let hr = HitRatioEstimator::new(estimator);
+        hr.annotate_dag(&mut dag, udf, input_rows, &pre_filters);
+
+        // COLUMN nodes for the UDF's inputs.
+        let mut col_nodes = Vec::with_capacity(udf.input_columns.len());
+        for c in &udf.input_columns {
+            col_nodes.push(g.push(node_type::COLUMN, column_features(db, &udf.table, c)?));
+        }
+
+        if !self.include_udf_structure() {
+            // Ablation level 1: the UDF is a black box — a single RET node.
+            let ret = &dag.nodes[dag.ret];
+            let ret_node = g.push(node_type::RET, ret_features(ret));
+            for &c in &col_nodes {
+                g.edge(c, ret_node);
+            }
+            g.edge(child_node, ret_node);
+            return Ok(ret_node);
+        }
+
+        // Full structure: map DAG nodes into the graph (DAG indices are
+        // already topological, so emitting in order preserves the invariant).
+        let mut dag_node = vec![usize::MAX; dag.len()];
+        for (i, n) in dag.nodes.iter().enumerate() {
+            let (ty, feats) = udf_node_features(n);
+            dag_node[i] = g.push(ty, feats);
+            // Data-flow edges: columns feed INV and the COMP/BRANCH nodes
+            // that read them directly.
+            match n.kind {
+                UdfNodeKind::Inv => {
+                    for &c in &col_nodes {
+                        g.edge(c, dag_node[i]);
+                    }
+                    g.edge(child_node, dag_node[i]);
+                }
+                UdfNodeKind::Comp | UdfNodeKind::Branch => {
+                    for &p in &n.param_reads {
+                        if let Some(&c) = col_nodes.get(p as usize) {
+                            g.edge(c, dag_node[i]);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for &(s, d, kind) in &dag.edges {
+            // Residual edges are already filtered by DagConfig; map the rest.
+            let _ = kind;
+            g.edge(dag_node[s], dag_node[d]);
+        }
+        Ok(dag_node[dag.ret])
+    }
+}
+
+/// Table I featurization of one UDF DAG node (public for the standalone
+/// UDF graphs of the Graph+Graph baseline).
+pub fn udf_node_features_public(n: &graceful_cfg::UdfNode) -> (usize, Vec<f32>) {
+    udf_node_features(n)
+}
+
+/// Table I featurization of one UDF DAG node.
+fn udf_node_features(n: &graceful_cfg::UdfNode) -> (usize, Vec<f32>) {
+    let rows = log_mag(n.in_rows);
+    let lp = if n.loop_part { 1.0 } else { 0.0 };
+    match n.kind {
+        UdfNodeKind::Inv => {
+            let mut f = vec![rows, n.nr_params as f32 / 4.0];
+            f.extend(n.in_dts.iter().map(|&c| c as f32));
+            (node_type::INV, f)
+        }
+        UdfNodeKind::Comp => {
+            let mut f = vec![rows, lp];
+            let mut ops = [0f32; BinOp::ALL.len()];
+            for op in &n.ops {
+                ops[op.index()] += 1.0;
+            }
+            f.extend_from_slice(&ops);
+            let mut libs = [0f32; LibFn::COUNT];
+            for l in &n.libs {
+                libs[l.index()] += 1.0;
+            }
+            f.extend_from_slice(&libs);
+            (node_type::COMP, f)
+        }
+        UdfNodeKind::Branch => {
+            let mut f = vec![rows, lp];
+            let mut cm = [0f32; CmpOp::ALL.len()];
+            if let Some(op) = n.cmp_op {
+                cm[op.index()] = 1.0;
+            }
+            f.extend_from_slice(&cm);
+            (node_type::BRANCH, f)
+        }
+        UdfNodeKind::Loop | UdfNodeKind::LoopEnd => {
+            let ty = if n.kind == UdfNodeKind::Loop { node_type::LOOP } else { node_type::LOOP_END };
+            let (is_for, is_while) = match n.loop_kind {
+                Some(graceful_cfg::LoopKindFeat::For) => (1.0, 0.0),
+                Some(graceful_cfg::LoopKindFeat::While) => (0.0, 1.0),
+                None => (0.0, 0.0),
+            };
+            (ty, vec![rows, lp, is_for, is_while, log_mag(n.nr_iter)])
+        }
+        UdfNodeKind::Ret => (node_type::RET, ret_features(n)),
+    }
+}
+
+fn ret_features(n: &graceful_cfg::UdfNode) -> Vec<f32> {
+    let mut f = vec![log_mag(n.in_rows)];
+    let mut dt = [0f32; DataType::COUNT];
+    if let Some(d) = n.out_dt {
+        dt[d.index()] = 1.0;
+    }
+    f.extend_from_slice(&dt);
+    f
+}
+
+/// COLUMN node features from statistics (database-independent magnitudes).
+fn column_features(db: &Database, table: &str, column: &str) -> Result<Vec<f32>> {
+    let stats = db.stats(table)?;
+    let cs = stats
+        .column(column)
+        .map_err(|_| GracefulError::Unresolved(format!("column {table}.{column}")))?;
+    let mut f = vec![0f32; 8];
+    f[cs.data_type.index()] = 1.0;
+    f[4] = log_mag(cs.ndv as f64);
+    f[5] = cs.null_fraction as f32;
+    f[6] = log_mag(cs.avg_text_len.max((cs.max - cs.min).abs()));
+    f[7] = log_mag(cs.num_rows as f64);
+    Ok(f)
+}
+
+/// Incremental graph builder enforcing forward edges.
+struct GraphBuilder {
+    node_types: Vec<usize>,
+    features: Vec<Vec<f32>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    fn new() -> Self {
+        GraphBuilder { node_types: Vec::new(), features: Vec::new(), edges: Vec::new() }
+    }
+
+    fn push(&mut self, ty: usize, feats: Vec<f32>) -> usize {
+        self.node_types.push(ty);
+        self.features.push(feats);
+        self.node_types.len() - 1
+    }
+
+    fn edge(&mut self, src: usize, dst: usize) {
+        debug_assert!(src < dst, "edge {src}->{dst} must be forward");
+        self.edges.push((src, dst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graceful_card::ActualCard;
+    use graceful_common::config::ScaleConfig;
+
+    fn corpus() -> crate::corpus::DatasetCorpus {
+        let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 12, ..ScaleConfig::default() };
+        crate::corpus::build_corpus("imdb", &cfg, 5).unwrap()
+    }
+
+    #[test]
+    fn featurizes_whole_corpus() {
+        let c = corpus();
+        let est = ActualCard::new(&c.db);
+        let fz = Featurizer::full();
+        for q in &c.queries {
+            let mut plan = q.plan.clone();
+            use graceful_card::CardEstimator as _;
+            est.annotate(&mut plan).unwrap();
+            let g = fz.featurize(&c.db, &q.spec, &plan, &est).unwrap();
+            g.validate(&feature_dims()).unwrap();
+            assert!(g.len() >= plan.ops.len());
+            // Root is the AGG node.
+            assert_eq!(g.node_types[g.root], node_type::AGG);
+        }
+    }
+
+    #[test]
+    fn ablation_levels_shrink_graph() {
+        let c = corpus();
+        let est = ActualCard::new(&c.db);
+        use graceful_card::CardEstimator as _;
+        let q = c
+            .queries
+            .iter()
+            .find(|q| {
+                q.has_udf()
+                    && q.spec.udf.as_ref().unwrap().def.loop_count() > 0
+                    && q.spec.udf_usage == graceful_plan::UdfUsage::Filter
+            })
+            .expect("corpus contains a loop UDF filter query");
+        let mut plan = q.plan.clone();
+        est.annotate(&mut plan).unwrap();
+        let sizes: Vec<usize> = (1..=5)
+            .map(|lvl| {
+                Featurizer::level(lvl)
+                    .featurize(&c.db, &q.spec, &plan, &est)
+                    .unwrap()
+                    .len()
+            })
+            .collect();
+        // Level 1 (RET only) is the smallest; level 4 adds LOOP_END nodes
+        // over level 3; level 5 only adds edges.
+        assert!(sizes[0] < sizes[1], "sizes={sizes:?}");
+        assert!(sizes[3] > sizes[2], "sizes={sizes:?}");
+        assert_eq!(sizes[3], sizes[4], "sizes={sizes:?}");
+        // Level 3 sets the on-udf flag; level 2 does not.
+        let g2 = Featurizer::level(2).featurize(&c.db, &q.spec, &plan, &est).unwrap();
+        let g3 = Featurizer::level(3).featurize(&c.db, &q.spec, &plan, &est).unwrap();
+        let on_udf = |g: &graceful_nn::TypedGraph| {
+            g.node_types
+                .iter()
+                .zip(&g.features)
+                .filter(|(t, _)| **t == node_type::FILTER)
+                .map(|(_, f)| f[3])
+                .fold(0.0f32, f32::max)
+        };
+        assert_eq!(on_udf(&g2), 0.0);
+        assert_eq!(on_udf(&g3), 1.0);
+    }
+
+    #[test]
+    fn feature_dims_match_emitted_features() {
+        let dims = feature_dims();
+        assert_eq!(dims.len(), node_type::COUNT);
+        assert_eq!(dims[node_type::COMP], 2 + 7 + 36);
+    }
+
+    #[test]
+    fn log_mag_monotone_bounded() {
+        assert_eq!(log_mag(0.0), 0.0);
+        assert!(log_mag(1e6) > log_mag(1e3));
+        assert!(log_mag(1e9) < 2.0);
+    }
+}

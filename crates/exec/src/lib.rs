@@ -1,0 +1,19 @@
+//! The execution engine: the reproduction's stand-in for DuckDB.
+//!
+//! [`Executor`] really executes logical plans over `graceful-storage` data —
+//! hash joins build and probe real hash tables, filters evaluate real
+//! predicates, UDFs are interpreted row by row — and *accounts* every unit of
+//! work into a deterministic simulated runtime (see `graceful-udf::costs` for
+//! why simulated time replaces wall clocks). Execution also yields the
+//! per-operator **actual cardinalities**, which serve as the paper's
+//! "Actual" cardinality annotation oracle and as ground truth for evaluating
+//! the other estimators.
+//!
+//! The engine is intentionally single-threaded and row-at-a-time: the paper's
+//! effects (UDF cost ∝ rows × code path, join cost ∝ input sizes, pull-up
+//! crossovers) do not depend on vectorization, and a simple engine keeps the
+//! work accounting exact.
+
+pub mod engine;
+
+pub use engine::{ExecConfig, Executor, OperatorWeights, QueryRun};

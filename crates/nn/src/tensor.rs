@@ -1,0 +1,180 @@
+//! Dense row-major `f32` matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense matrix (vectors are `1×n` or `n×1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(rows * cols, data.len(), "shape/data mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Row vector from a slice.
+    pub fn row(v: &[f32]) -> Self {
+        Tensor { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self · other` — the hot kernel; `ikj` loop order for cache locality.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (used in backward passes without materializing the
+    /// transpose).
+    pub fn matmul_transpose_b(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_tb shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let b_row = &other.data[j * k..(j + 1) * k];
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`.
+    pub fn transpose_a_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_ta shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for p in 0..k {
+            for i in 0..m {
+                let a = self.data[p * m + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.data.len(), other.data.len(), "add shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = Tensor::from_vec(4, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        // a · bᵀ the slow way: transpose b manually.
+        let mut bt = Tensor::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        assert_eq!(a.matmul(&bt).data, a.matmul_transpose_b(&b).data);
+        // aᵀ · x
+        let x = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut at = Tensor::zeros(3, 2);
+        for r in 0..2 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        assert_eq!(at.matmul(&x).data, a.transpose_a_matmul(&x).data);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Tensor::row(&[1.0, 2.0]);
+        a.add_assign(&Tensor::row(&[0.5, -1.0]));
+        a.scale_assign(2.0);
+        assert_eq!(a.data, vec![3.0, 2.0]);
+        assert!((a.norm() - (13.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

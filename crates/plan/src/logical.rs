@@ -1,0 +1,315 @@
+//! The logical plan arena.
+//!
+//! Plans are stored as a flat operator arena ([`Plan::ops`]) with child
+//! indices — the representation the executor walks, the cardinality
+//! estimators annotate, and the featurizer turns into query-graph nodes.
+//! Children always have smaller indices than their parents (the arena is in
+//! topological order), which both the executor and the GNN's topological
+//! message passing rely on.
+
+use crate::predicate::Pred;
+use graceful_common::{GracefulError, Result};
+use graceful_udf::ast::CmpOp;
+use graceful_udf::GeneratedUdf;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A fully qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl ColRef {
+    pub fn new(table: &str, column: &str) -> Self {
+        ColRef { table: table.to_string(), column: column.to_string() }
+    }
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Aggregate functions (plans are single-aggregate SPJA, no GROUP BY).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    CountStar,
+    Sum,
+    Avg,
+}
+
+impl AggFunc {
+    pub const ALL: [AggFunc; 3] = [AggFunc::CountStar, AggFunc::Sum, AggFunc::Avg];
+
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&a| a == self).expect("agg in ALL")
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// Operator kinds.
+#[derive(Debug, Clone)]
+pub enum PlanOpKind {
+    /// Base-table scan.
+    Scan { table: String },
+    /// Conjunctive filter of simple predicates.
+    Filter { preds: Vec<Pred> },
+    /// Equi hash join (`left_col = right_col`); children `[left, right]`.
+    Join { left_col: ColRef, right_col: ColRef },
+    /// Filter on a UDF's output: `udf(args...) OP literal`.
+    UdfFilter { udf: Arc<GeneratedUdf>, op: CmpOp, literal: f64 },
+    /// Compute the UDF per row as a projected column (consumed by Agg).
+    UdfProject { udf: Arc<GeneratedUdf> },
+    /// Final aggregate. `column: None` aggregates the UDF-projected column
+    /// when a UdfProject is below, otherwise it is COUNT(*).
+    Agg { func: AggFunc, column: Option<ColRef> },
+}
+
+impl PlanOpKind {
+    /// Operator-type index for featurization (one-hot over 6 kinds).
+    pub fn type_index(&self) -> usize {
+        match self {
+            PlanOpKind::Scan { .. } => 0,
+            PlanOpKind::Filter { .. } => 1,
+            PlanOpKind::Join { .. } => 2,
+            PlanOpKind::UdfFilter { .. } => 3,
+            PlanOpKind::UdfProject { .. } => 4,
+            PlanOpKind::Agg { .. } => 5,
+        }
+    }
+
+    pub const TYPE_COUNT: usize = 6;
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOpKind::Scan { .. } => "SCAN",
+            PlanOpKind::Filter { .. } => "FILTER",
+            PlanOpKind::Join { .. } => "JOIN",
+            PlanOpKind::UdfFilter { .. } => "UDF_FILTER",
+            PlanOpKind::UdfProject { .. } => "UDF_PROJECT",
+            PlanOpKind::Agg { .. } => "AGG",
+        }
+    }
+}
+
+/// One operator with its annotation slots.
+#[derive(Debug, Clone)]
+pub struct PlanOp {
+    pub kind: PlanOpKind,
+    pub children: Vec<usize>,
+    /// Estimated output cardinality (filled by a cardinality estimator).
+    pub est_out_rows: f64,
+    /// Actual output cardinality (filled by the executor).
+    pub actual_out_rows: f64,
+}
+
+impl PlanOp {
+    pub fn new(kind: PlanOpKind, children: Vec<usize>) -> Self {
+        PlanOp { kind, children, est_out_rows: 0.0, actual_out_rows: 0.0 }
+    }
+
+    /// True for `UdfFilter` / `UdfProject`.
+    pub fn is_udf_op(&self) -> bool {
+        matches!(self.kind, PlanOpKind::UdfFilter { .. } | PlanOpKind::UdfProject { .. })
+    }
+}
+
+/// A logical plan: operator arena in topological order plus the root index.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub ops: Vec<PlanOp>,
+    pub root: usize,
+}
+
+impl Plan {
+    /// Validate arena invariants (children precede parents, root is last
+    /// reachable, every non-root op has exactly one parent).
+    pub fn validate(&self) -> Result<()> {
+        let n = self.ops.len();
+        if self.root >= n {
+            return Err(GracefulError::InvalidPlan("root out of bounds".into()));
+        }
+        let mut parents = vec![0usize; n];
+        for (i, op) in self.ops.iter().enumerate() {
+            for &c in &op.children {
+                if c >= i {
+                    return Err(GracefulError::InvalidPlan(format!(
+                        "op {i} has child {c} >= itself (not topological)"
+                    )));
+                }
+                parents[c] += 1;
+            }
+        }
+        for (i, &p) in parents.iter().enumerate() {
+            if i == self.root && p != 0 {
+                return Err(GracefulError::InvalidPlan("root has a parent".into()));
+            }
+            if i != self.root && p != 1 {
+                return Err(GracefulError::InvalidPlan(format!(
+                    "op {i} has {p} parents (expected 1)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of the UDF operator, if the plan has one.
+    pub fn udf_op(&self) -> Option<usize> {
+        self.ops.iter().position(PlanOp::is_udf_op)
+    }
+
+    /// Number of joins in the plan.
+    pub fn join_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o.kind, PlanOpKind::Join { .. })).count()
+    }
+
+    /// All base tables scanned.
+    pub fn tables(&self) -> Vec<&str> {
+        self.ops
+            .iter()
+            .filter_map(|o| match &o.kind {
+                PlanOpKind::Scan { table } => Some(table.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Operators on the path from `from` (exclusive) up to the root
+    /// (inclusive) — the operators "above" an op, whose cardinalities the
+    /// advisor scales when enumerating UDF-filter selectivities.
+    pub fn ops_above(&self, from: usize) -> Vec<usize> {
+        let mut parent = vec![usize::MAX; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            for &c in &op.children {
+                parent[c] = i;
+            }
+        }
+        let mut out = Vec::new();
+        let mut cur = parent[from];
+        while cur != usize::MAX {
+            out.push(cur);
+            cur = parent[cur];
+        }
+        out
+    }
+
+    /// Number of operators in the subtree rooted at `op` (inclusive).
+    pub fn subtree_size(&self, op: usize) -> usize {
+        let mut count = 0;
+        let mut stack = vec![op];
+        while let Some(i) = stack.pop() {
+            count += 1;
+            stack.extend(self.ops[i].children.iter().copied());
+        }
+        count
+    }
+
+    /// EXPLAIN-style rendering with cardinality annotations.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_rec(self.root, 0, &mut out);
+        out
+    }
+
+    fn explain_rec(&self, idx: usize, depth: usize, out: &mut String) {
+        let op = &self.ops[idx];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let label = match &op.kind {
+            PlanOpKind::Scan { table } => format!("SCAN {table}"),
+            PlanOpKind::Filter { preds } => {
+                let ps: Vec<String> = preds.iter().map(Pred::display).collect();
+                format!("FILTER {}", ps.join(" AND "))
+            }
+            PlanOpKind::Join { left_col, right_col } => {
+                format!("JOIN {left_col} = {right_col}")
+            }
+            PlanOpKind::UdfFilter { udf, op, literal } => {
+                format!("UDF_FILTER {}(...) {} {literal}", udf.def.name, op.symbol())
+            }
+            PlanOpKind::UdfProject { udf } => format!("UDF_PROJECT {}(...)", udf.def.name),
+            PlanOpKind::Agg { func, column } => match column {
+                Some(c) => format!("AGG {}({c})", func.name()),
+                None => format!("AGG {}", func.name()),
+            },
+        };
+        let _ = writeln!(
+            out,
+            "{label}  [est={:.0}, actual={:.0}]",
+            op.est_out_rows, op.actual_out_rows
+        );
+        for &c in &op.children {
+            self.explain_rec(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_plan() -> Plan {
+        // AGG <- JOIN <- (SCAN a, SCAN b)
+        let ops = vec![
+            PlanOp::new(PlanOpKind::Scan { table: "a".into() }, vec![]),
+            PlanOp::new(PlanOpKind::Scan { table: "b".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Join {
+                    left_col: ColRef::new("a", "id"),
+                    right_col: ColRef::new("b", "a_id"),
+                },
+                vec![0, 1],
+            ),
+            PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![2]),
+        ];
+        Plan { ops, root: 3 }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        two_table_plan().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_forward_children() {
+        let mut p = two_table_plan();
+        p.ops[2].children = vec![0, 3];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_shared_children() {
+        let mut p = two_table_plan();
+        p.ops[3].children = vec![2, 2];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn ops_above_walks_to_root() {
+        let p = two_table_plan();
+        assert_eq!(p.ops_above(0), vec![2, 3]);
+        assert_eq!(p.ops_above(2), vec![3]);
+        assert!(p.ops_above(3).is_empty());
+    }
+
+    #[test]
+    fn metadata_helpers() {
+        let p = two_table_plan();
+        assert_eq!(p.join_count(), 1);
+        assert_eq!(p.tables(), vec!["a", "b"]);
+        assert_eq!(p.udf_op(), None);
+        assert_eq!(p.subtree_size(p.root), 4);
+        assert!(p.explain().contains("JOIN a.id = b.a_id"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Null-aware typed columns.
+//!
+//! Columns store their data in dense typed vectors plus a separate null
+//! bitmap (a `Vec<bool>`; simplicity over bit-packing at this scale). The
+//! executor and the UDF interpreter access values through the cheap typed
+//! accessors (`get_f64`, `get_str`, ...) so the hot row-by-row UDF loop never
+//! allocates.
+
+use crate::types::{DataType, Value};
+
+/// Typed backing storage of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Text(Vec<String>),
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Text(_) => DataType::Text,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+}
+
+/// A named, nullable, typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub data: ColumnData,
+    /// `true` marks a NULL at that row. Always the same length as `data`.
+    pub nulls: Vec<bool>,
+}
+
+impl Column {
+    /// Build a column without NULLs.
+    pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
+        let nulls = vec![false; data.len()];
+        Column { name: name.into(), data, nulls }
+    }
+
+    /// Build a column with an explicit null bitmap.
+    ///
+    /// # Panics
+    /// Panics if the bitmap length differs from the data length.
+    pub fn with_nulls(name: impl Into<String>, data: ColumnData, nulls: Vec<bool>) -> Self {
+        assert_eq!(data.len(), nulls.len(), "null bitmap length mismatch");
+        Column { name: name.into(), data, nulls }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    pub fn is_null(&self, row: usize) -> bool {
+        self.nulls[row]
+    }
+
+    /// Owned value at `row` (allocates for Text; prefer typed accessors in
+    /// hot paths).
+    pub fn value(&self, row: usize) -> Value {
+        if self.nulls[row] {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Text(v) => Value::Text(v[row].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[row]),
+        }
+    }
+
+    /// Numeric view of the value at `row`; `None` for NULL or Text.
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        if self.nulls[row] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[row] as f64),
+            ColumnData::Float(v) => Some(v[row]),
+            ColumnData::Bool(v) => Some(v[row] as u8 as f64),
+            ColumnData::Text(_) => None,
+        }
+    }
+
+    /// Integer view (used for join keys); `None` for NULL or non-int types.
+    pub fn get_i64(&self, row: usize) -> Option<i64> {
+        if self.nulls[row] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[row]),
+            ColumnData::Float(v) => Some(v[row] as i64),
+            ColumnData::Bool(v) => Some(v[row] as i64),
+            ColumnData::Text(_) => None,
+        }
+    }
+
+    /// Borrowed string at `row` for Text columns; `None` otherwise.
+    pub fn get_str(&self, row: usize) -> Option<&str> {
+        if self.nulls[row] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Text(v) => Some(&v[row]),
+            _ => None,
+        }
+    }
+
+    /// Fraction of NULL rows.
+    pub fn null_fraction(&self) -> f64 {
+        if self.nulls.is_empty() {
+            return 0.0;
+        }
+        self.nulls.iter().filter(|&&n| n).count() as f64 / self.nulls.len() as f64
+    }
+
+    /// Replace every NULL with `default`, mutating in place. This is the
+    /// "data adaptation" primitive from Section V of the paper (align data
+    /// with generated UDFs instead of constraining the UDFs).
+    pub fn replace_nulls(&mut self, default: &Value) {
+        for row in 0..self.len() {
+            if !self.nulls[row] {
+                continue;
+            }
+            let ok = match (&mut self.data, default) {
+                (ColumnData::Int(v), Value::Int(d)) => {
+                    v[row] = *d;
+                    true
+                }
+                (ColumnData::Float(v), Value::Float(d)) => {
+                    v[row] = *d;
+                    true
+                }
+                (ColumnData::Float(v), Value::Int(d)) => {
+                    v[row] = *d as f64;
+                    true
+                }
+                (ColumnData::Text(v), Value::Text(d)) => {
+                    v[row] = d.clone();
+                    true
+                }
+                (ColumnData::Bool(v), Value::Bool(d)) => {
+                    v[row] = *d;
+                    true
+                }
+                _ => false,
+            };
+            if ok {
+                self.nulls[row] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col() -> Column {
+        Column::with_nulls(
+            "x",
+            ColumnData::Int(vec![1, 2, 3, 4]),
+            vec![false, true, false, false],
+        )
+    }
+
+    #[test]
+    fn accessors_respect_nulls() {
+        let c = int_col();
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.get_f64(1), None);
+        assert_eq!(c.get_i64(2), Some(3));
+        assert!((c.null_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replace_nulls_clears_bitmap() {
+        let mut c = int_col();
+        c.replace_nulls(&Value::Int(99));
+        assert_eq!(c.value(1), Value::Int(99));
+        assert_eq!(c.null_fraction(), 0.0);
+    }
+
+    #[test]
+    fn replace_nulls_type_mismatch_is_noop() {
+        let mut c = int_col();
+        c.replace_nulls(&Value::Text("nope".into()));
+        assert_eq!(c.value(1), Value::Null);
+    }
+
+    #[test]
+    fn text_access() {
+        let c = Column::new("s", ColumnData::Text(vec!["ab".into(), "cd".into()]));
+        assert_eq!(c.get_str(1), Some("cd"));
+        assert_eq!(c.get_f64(0), None);
+        assert_eq!(c.data_type(), DataType::Text);
+    }
+
+    #[test]
+    #[should_panic(expected = "null bitmap length mismatch")]
+    fn bitmap_length_checked() {
+        Column::with_nulls("x", ColumnData::Int(vec![1]), vec![false, true]);
+    }
+}

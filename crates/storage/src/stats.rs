@@ -1,0 +1,295 @@
+//! Per-column statistics: the raw material of cardinality estimation.
+//!
+//! A real DBMS computes these during `ANALYZE`. We keep exactly the
+//! statistics that the paper's cardinality-estimation ladder needs:
+//!
+//! * **equi-depth histograms** over numeric columns (range selectivity),
+//! * **most-common values** with frequencies (equality selectivity, skew),
+//! * **NDV / null fraction / min / max** (uniformity fallbacks),
+//! * **average text length** (string-op cost featurization).
+//!
+//! The estimators in `graceful-card` combine these with either independence
+//! assumptions ("DuckDB-like"), join-aware sampling ("WanderJoin-like") or
+//! per-table sample synopses ("DeepDB-like").
+
+use crate::column::{Column, ColumnData};
+use crate::table::Table;
+use crate::types::{DataType, Value};
+use graceful_common::{GracefulError, Result};
+use std::collections::HashMap;
+
+/// Number of equi-depth buckets per histogram.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+/// Number of most-common values tracked per column.
+pub const MCV_ENTRIES: usize = 16;
+
+/// Equi-depth histogram over the non-NULL numeric values of a column.
+///
+/// `bounds` has `buckets + 1` entries; bucket `i` spans
+/// `[bounds[i], bounds[i+1]]` and holds `1/buckets` of the probability mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+}
+
+impl Histogram {
+    /// Build from raw (unsorted) values. Returns `None` when fewer than two
+    /// distinct values exist — the caller falls back to min/max/NDV logic.
+    pub fn build(mut values: Vec<f64>) -> Option<Self> {
+        values.retain(|v| v.is_finite());
+        if values.len() < 2 {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = values.len();
+        let buckets = HISTOGRAM_BUCKETS.min(n - 1).max(1);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            let rank = (i * (n - 1)) / buckets;
+            bounds.push(values[rank]);
+        }
+        Some(Histogram { bounds })
+    }
+
+    pub fn min(&self) -> f64 {
+        self.bounds[0]
+    }
+
+    pub fn max(&self) -> f64 {
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// Fraction of values `< x` (linear interpolation inside buckets).
+    pub fn selectivity_lt(&self, x: f64) -> f64 {
+        if x <= self.min() {
+            return 0.0;
+        }
+        if x > self.max() {
+            return 1.0;
+        }
+        let buckets = self.bounds.len() - 1;
+        let per_bucket = 1.0 / buckets as f64;
+        let mut acc = 0.0;
+        for i in 0..buckets {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if x >= hi {
+                acc += per_bucket;
+            } else if x > lo {
+                let width = (hi - lo).max(f64::EPSILON);
+                acc += per_bucket * ((x - lo) / width).clamp(0.0, 1.0);
+                break;
+            } else {
+                break;
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Fraction of values in `[lo, hi)`.
+    pub fn selectivity_range(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        (self.selectivity_lt(hi) - self.selectivity_lt(lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for a single column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub name: String,
+    pub data_type: DataType,
+    pub num_rows: usize,
+    pub null_fraction: f64,
+    /// Number of distinct non-NULL values.
+    pub ndv: usize,
+    /// Numeric min/max (0.0 for text columns; check `data_type`).
+    pub min: f64,
+    pub max: f64,
+    pub histogram: Option<Histogram>,
+    /// Most common values with their frequency (fraction of non-NULL rows).
+    pub mcv: Vec<(Value, f64)>,
+    /// Mean string length for Text columns (0 otherwise).
+    pub avg_text_len: f64,
+}
+
+impl ColumnStats {
+    /// Compute statistics from column data (a one-pass `ANALYZE`).
+    pub fn compute(column: &Column) -> Self {
+        let num_rows = column.len();
+        let null_fraction = column.null_fraction();
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut text_len_sum = 0.0;
+        let mut text_count = 0usize;
+        // NDV + MCV via exact counting (tables are in-memory; no sketch needed).
+        let mut counts: HashMap<String, (Value, usize)> = HashMap::new();
+        for row in 0..num_rows {
+            if column.is_null(row) {
+                continue;
+            }
+            match &column.data {
+                ColumnData::Int(v) => {
+                    numeric.push(v[row] as f64);
+                    counts.entry(v[row].to_string()).or_insert((Value::Int(v[row]), 0)).1 += 1;
+                }
+                ColumnData::Float(v) => {
+                    numeric.push(v[row]);
+                    // Bucket floats by bit pattern for NDV purposes.
+                    counts
+                        .entry(v[row].to_bits().to_string())
+                        .or_insert((Value::Float(v[row]), 0))
+                        .1 += 1;
+                }
+                ColumnData::Text(v) => {
+                    text_len_sum += v[row].len() as f64;
+                    text_count += 1;
+                    counts
+                        .entry(v[row].clone())
+                        .or_insert_with(|| (Value::Text(v[row].clone()), 0))
+                        .1 += 1;
+                }
+                ColumnData::Bool(v) => {
+                    numeric.push(v[row] as u8 as f64);
+                    counts.entry(v[row].to_string()).or_insert((Value::Bool(v[row]), 0)).1 += 1;
+                }
+            }
+        }
+        let non_null = counts.values().map(|(_, c)| *c).sum::<usize>().max(1);
+        let ndv = counts.len();
+        let mut freq: Vec<(Value, f64)> = counts
+            .into_values()
+            .map(|(v, c)| (v, c as f64 / non_null as f64))
+            .collect();
+        freq.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite freq"));
+        freq.truncate(MCV_ENTRIES);
+        let (min, max) = if numeric.is_empty() {
+            (0.0, 0.0)
+        } else {
+            numeric
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+        };
+        ColumnStats {
+            name: column.name.clone(),
+            data_type: column.data_type(),
+            num_rows,
+            null_fraction,
+            ndv,
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+            histogram: Histogram::build(numeric),
+            mcv: freq,
+            avg_text_len: if text_count > 0 { text_len_sum / text_count as f64 } else { 0.0 },
+        }
+    }
+
+    /// Frequency of `value` if it is among the most common values.
+    pub fn mcv_frequency(&self, value: &Value) -> Option<f64> {
+        self.mcv.iter().find(|(v, _)| v == value).map(|(_, f)| *f)
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub table: String,
+    pub num_rows: usize,
+    columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub fn compute(table: &Table) -> Self {
+        TableStats {
+            table: table.name.clone(),
+            num_rows: table.num_rows(),
+            columns: table.columns().iter().map(ColumnStats::compute).collect(),
+        }
+    }
+
+    pub fn column(&self, name: &str) -> Result<&ColumnStats> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| GracefulError::Unresolved(format!("stats for {}.{name}", self.table)))
+    }
+
+    pub fn columns(&self) -> &[ColumnStats] {
+        &self.columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_uniform_selectivity() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(values).unwrap();
+        assert!((h.selectivity_lt(500.0) - 0.5).abs() < 0.05);
+        assert_eq!(h.selectivity_lt(-1.0), 0.0);
+        assert_eq!(h.selectivity_lt(2000.0), 1.0);
+        assert!((h.selectivity_range(250.0, 750.0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn histogram_skewed_selectivity() {
+        // 90% zeros, 10% spread out: selectivity_lt(1) should be ~0.9.
+        let mut values = vec![0.0; 900];
+        values.extend((1..=100).map(|i| i as f64));
+        let h = Histogram::build(values).unwrap();
+        let s = h.selectivity_lt(1.0);
+        assert!(s > 0.8, "s={s}");
+    }
+
+    #[test]
+    fn histogram_needs_two_values() {
+        assert!(Histogram::build(vec![]).is_none());
+        assert!(Histogram::build(vec![1.0]).is_none());
+        assert!(Histogram::build(vec![1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn column_stats_basics() {
+        let col = Column::with_nulls(
+            "x",
+            ColumnData::Int(vec![1, 1, 1, 2, 3, 0]),
+            vec![false, false, false, false, false, true],
+        );
+        let s = ColumnStats::compute(&col);
+        assert_eq!(s.ndv, 3);
+        assert!((s.null_fraction - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // MCV ordered by frequency: 1 appears 3/5 of non-null rows.
+        assert_eq!(s.mcv[0].0, Value::Int(1));
+        assert!((s.mcv[0].1 - 0.6).abs() < 1e-12);
+        assert_eq!(s.mcv_frequency(&Value::Int(2)), Some(0.2));
+        assert_eq!(s.mcv_frequency(&Value::Int(42)), None);
+    }
+
+    #[test]
+    fn text_stats() {
+        let col = Column::new(
+            "s",
+            ColumnData::Text(vec!["ab".into(), "abcd".into(), "ab".into()]),
+        );
+        let s = ColumnStats::compute(&col);
+        assert_eq!(s.ndv, 2);
+        assert!((s.avg_text_len - 8.0 / 3.0).abs() < 1e-12);
+        assert!(s.histogram.is_none());
+    }
+
+    #[test]
+    fn selectivity_monotone() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let h = Histogram::build(values).unwrap();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let s = h.selectivity_lt(i as f64 * 0.25);
+            assert!(s >= prev - 1e-12, "monotonicity violated at {i}");
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The value/type system shared by the storage engine and the UDF language.
+//!
+//! The paper's scope is scalar Python UDFs over relational data, so the type
+//! lattice is deliberately small: 64-bit integers, 64-bit floats, UTF-8
+//! strings and booleans, plus SQL `NULL`. The UDF interpreter reuses
+//! [`Value`] directly, which keeps invocation/return conversion costs
+//! explicit and measurable (they are featurized via the `INV`/`RET` nodes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Column / UDF argument data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+impl DataType {
+    /// Stable index used for one-hot featurization (Table I `in_dts`).
+    pub fn index(self) -> usize {
+        match self {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Text => 2,
+            DataType::Bool => 3,
+        }
+    }
+
+    /// Number of distinct data types (one-hot width).
+    pub const COUNT: usize = 4;
+
+    /// True for `Int` and `Float`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value, including SQL `NULL`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's data type, or `None` for `NULL`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to float); `None` for NULL/Text.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view; floats truncate.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// String view for `Text` values only.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness following Python semantics (used by UDF branch conditions):
+    /// `NULL`/0/empty-string are false, everything else true.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Text(s) => !s.is_empty(),
+            Value::Bool(b) => *b,
+        }
+    }
+
+    /// SQL-style three-valued comparison; `None` when either side is NULL or
+    /// the types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn data_type_index_is_dense() {
+        let all = [DataType::Int, DataType::Float, DataType::Text, DataType::Bool];
+        let mut seen = [false; DataType::COUNT];
+        for dt in all {
+            seen[dt.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn value_casts() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Text("abc".into()).compare(&Value::Text("abd".into())),
+            Some(Ordering::Less)
+        );
+        // Text vs numeric is incomparable.
+        assert_eq!(Value::Text("1".into()).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn truthiness_follows_python() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Text(String::new()).truthy());
+        assert!(Value::Float(0.1).truthy());
+        assert!(Value::Text("x".into()).truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Text("hi".into()).to_string(), "'hi'");
+        assert_eq!(DataType::Float.to_string(), "FLOAT");
+    }
+}

@@ -1,0 +1,614 @@
+//! Tree-walking interpreter with work accounting.
+//!
+//! The interpreter does double duty: it *computes* the UDF's result for a row
+//! (so queries really execute, filters really filter) and it *accounts* every
+//! operation it performs into a [`CostCounter`] (so the simulated runtime of
+//! a query reflects exactly the code paths the data took — branch by branch,
+//! iteration by iteration).
+//!
+//! NULL semantics follow what DuckDB's Python UDFs see in practice: NULL
+//! propagates through arithmetic and library calls, comparisons against NULL
+//! are false, and a NULL branch condition takes the `else` side.
+
+use crate::ast::{BinOp, CmpOp, Expr, Stmt, UdfDef, UnOp};
+use crate::costs::{CostCounter, CostWeights};
+use crate::libfns::LibFn;
+use graceful_common::{GracefulError, Result};
+use graceful_storage::Value;
+use std::collections::HashMap;
+
+/// Hard cap on `while` iterations, so malformed UDFs cannot hang the engine.
+pub const MAX_WHILE_ITERS: u64 = 100_000;
+
+/// Result of evaluating a UDF over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    pub value: Value,
+    /// Work accounted during this evaluation (including invocation/return
+    /// conversion overhead).
+    pub cost: CostCounter,
+}
+
+/// A reusable interpreter (holds the cost weights and a scratch scope map so
+/// per-row evaluation does not allocate a fresh `HashMap`).
+#[derive(Debug)]
+pub struct Interpreter {
+    weights: CostWeights,
+    scope: HashMap<String, Value>,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new(CostWeights::default())
+    }
+}
+
+impl Interpreter {
+    pub fn new(weights: CostWeights) -> Self {
+        Interpreter { weights, scope: HashMap::new() }
+    }
+
+    pub fn weights(&self) -> &CostWeights {
+        &self.weights
+    }
+
+    /// Evaluate `udf` with positional arguments `args` (one row's values).
+    ///
+    /// Falling off the end of the function returns `NULL`, like Python's
+    /// implicit `return None`.
+    pub fn eval(&mut self, udf: &UdfDef, args: &[Value]) -> Result<EvalOutcome> {
+        if args.len() != udf.params.len() {
+            return Err(GracefulError::Eval(format!(
+                "{} expects {} args, got {}",
+                udf.name,
+                udf.params.len(),
+                args.len()
+            )));
+        }
+        let mut cost = CostCounter::new();
+        let text_chars: usize =
+            args.iter().map(|v| v.as_str().map_or(0, |s| s.len())).sum();
+        cost.add_invocation(&self.weights, args.len(), text_chars);
+        self.scope.clear();
+        for (p, v) in udf.params.iter().zip(args.iter()) {
+            self.scope.insert(p.clone(), v.clone());
+        }
+        let ret = self.run_block(&udf.body, &mut cost)?;
+        cost.add_return(&self.weights);
+        Ok(EvalOutcome { value: ret.unwrap_or(Value::Null), cost })
+    }
+
+    /// Execute a block; `Some(v)` means a `return` fired.
+    fn run_block(&mut self, body: &[Stmt], cost: &mut CostCounter) -> Result<Option<Value>> {
+        for stmt in body {
+            cost.add_stmt(&self.weights);
+            match stmt {
+                Stmt::Assign { target, expr } => {
+                    let v = self.eval_expr(expr, cost)?;
+                    cost.add_assign(&self.weights);
+                    self.scope.insert(target.clone(), v);
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    let c = self.eval_expr(cond, cost)?;
+                    cost.add_branch(&self.weights);
+                    let taken = c.truthy();
+                    let branch = if taken { then_body } else { else_body };
+                    if let Some(v) = self.run_block(branch, cost)? {
+                        return Ok(Some(v));
+                    }
+                }
+                Stmt::For { var, count, body } => {
+                    let n = self
+                        .eval_expr(count, cost)?
+                        .as_i64()
+                        .unwrap_or(0)
+                        .max(0) as u64;
+                    for i in 0..n {
+                        cost.add_loop_iter(&self.weights);
+                        self.scope.insert(var.clone(), Value::Int(i as i64));
+                        if let Some(v) = self.run_block(body, cost)? {
+                            return Ok(Some(v));
+                        }
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    let mut iters = 0u64;
+                    loop {
+                        let c = self.eval_expr(cond, cost)?;
+                        if !c.truthy() {
+                            break;
+                        }
+                        cost.add_loop_iter(&self.weights);
+                        iters += 1;
+                        if iters > MAX_WHILE_ITERS {
+                            return Err(GracefulError::Eval(format!(
+                                "while loop exceeded {MAX_WHILE_ITERS} iterations"
+                            )));
+                        }
+                        if let Some(v) = self.run_block(body, cost)? {
+                            return Ok(Some(v));
+                        }
+                    }
+                }
+                Stmt::Return(e) => {
+                    let v = self.eval_expr(e, cost)?;
+                    return Ok(Some(v));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn eval_expr(&mut self, expr: &Expr, cost: &mut CostCounter) -> Result<Value> {
+        match expr {
+            Expr::Name(n) => self
+                .scope
+                .get(n)
+                .cloned()
+                .ok_or_else(|| GracefulError::Eval(format!("undefined variable {n}"))),
+            Expr::Int(i) => Ok(Value::Int(*i)),
+            Expr::Float(f) => Ok(Value::Float(*f)),
+            Expr::Str(s) => Ok(Value::Text(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::NoneLit => Ok(Value::Null),
+            Expr::Unary { op, operand } => {
+                let v = self.eval_expr(operand, cost)?;
+                cost.add_arith(&self.weights, false);
+                Ok(match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        _ => Value::Null,
+                    },
+                    UnOp::Not => Value::Bool(!v.truthy()),
+                })
+            }
+            Expr::Binary { op, left, right } => {
+                let l = self.eval_expr(left, cost)?;
+                let r = self.eval_expr(right, cost)?;
+                self.apply_binary(*op, l, r, cost)
+            }
+            Expr::Compare { op, left, right } => {
+                let l = self.eval_expr(left, cost)?;
+                let r = self.eval_expr(right, cost)?;
+                cost.add_compare(&self.weights);
+                Ok(Value::Bool(compare(*op, &l, &r)))
+            }
+            Expr::BoolOp { is_and, left, right } => {
+                let l = self.eval_expr(left, cost)?;
+                cost.add_compare(&self.weights);
+                // Short circuit: the right side is only evaluated (and only
+                // costs work) when needed — visible in the cost counters.
+                if *is_and {
+                    if !l.truthy() {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = self.eval_expr(right, cost)?;
+                    Ok(Value::Bool(r.truthy()))
+                } else {
+                    if l.truthy() {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = self.eval_expr(right, cost)?;
+                    Ok(Value::Bool(r.truthy()))
+                }
+            }
+            Expr::Call { func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_expr(a, cost)?);
+                }
+                self.apply_lib(*func, None, &vals, cost)
+            }
+            Expr::Method { func, recv, args } => {
+                let r = self.eval_expr(recv, cost)?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_expr(a, cost)?);
+                }
+                self.apply_lib(*func, Some(r), &vals, cost)
+            }
+        }
+    }
+
+    fn apply_binary(
+        &mut self,
+        op: BinOp,
+        l: Value,
+        r: Value,
+        cost: &mut CostCounter,
+    ) -> Result<Value> {
+        // String concatenation.
+        if op == BinOp::Add {
+            if let (Value::Text(a), Value::Text(b)) = (&l, &r) {
+                cost.add_string(&self.weights, a.len() + b.len());
+                return Ok(Value::Text(format!("{a}{b}")));
+            }
+        }
+        // String repetition `s * n`.
+        if op == BinOp::Mul {
+            if let (Value::Text(a), Value::Int(n)) = (&l, &r) {
+                let n = (*n).clamp(0, 64) as usize;
+                cost.add_string(&self.weights, a.len() * n);
+                return Ok(Value::Text(a.repeat(n)));
+            }
+        }
+        let slow = matches!(op, BinOp::Pow | BinOp::FloorDiv | BinOp::Mod);
+        cost.add_arith(&self.weights, slow);
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        // Integer fast path keeps int-typed data int-typed.
+        if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+            let (a, b) = (*a, *b);
+            return Ok(match op {
+                BinOp::Add => Value::Int(a.wrapping_add(b)),
+                BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+                BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+                BinOp::Div => {
+                    if b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a as f64 / b as f64)
+                    }
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a.rem_euclid(b))
+                    }
+                }
+                BinOp::FloorDiv => {
+                    if b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a.div_euclid(b))
+                    }
+                }
+                BinOp::Pow => {
+                    if (0..=16).contains(&b) {
+                        Value::Int(a.saturating_pow(b as u32))
+                    } else {
+                        Value::Float((a as f64).powf(b as f64))
+                    }
+                }
+            });
+        }
+        let (a, b) = match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Ok(Value::Null),
+        };
+        let out = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    return Ok(Value::Null);
+                }
+                a / b
+            }
+            BinOp::Mod => {
+                if b == 0.0 {
+                    return Ok(Value::Null);
+                }
+                a.rem_euclid(b)
+            }
+            BinOp::FloorDiv => {
+                if b == 0.0 {
+                    return Ok(Value::Null);
+                }
+                (a / b).floor()
+            }
+            BinOp::Pow => sanitize(a.powf(b)),
+        };
+        Ok(Value::Float(sanitize(out)))
+    }
+
+    fn apply_lib(
+        &mut self,
+        f: LibFn,
+        recv: Option<Value>,
+        args: &[Value],
+        cost: &mut CostCounter,
+    ) -> Result<Value> {
+        use LibFn::*;
+        cost.add_lib_call(f);
+        // NULL propagation: any NULL input yields NULL (cheap early exit,
+        // mirroring how adapters skip the Python call for NULL rows).
+        if recv.as_ref().is_some_and(Value::is_null) || args.iter().any(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        let num = |i: usize| args.get(i).and_then(Value::as_f64);
+        let out = match f {
+            MathSqrt | NpSqrt => num(0).map(|x| Value::Float(sanitize(x.abs().sqrt()))),
+            MathPow | NpPower => match (num(0), num(1)) {
+                (Some(a), Some(b)) => Some(Value::Float(sanitize(a.powf(b)))),
+                _ => None,
+            },
+            MathLog | NpLog => num(0).map(|x| Value::Float(sanitize(x.abs().max(1e-12).ln()))),
+            MathExp | NpExp => num(0).map(|x| Value::Float(sanitize(x.min(700.0).exp()))),
+            MathSin => num(0).map(|x| Value::Float(x.sin())),
+            MathCos => num(0).map(|x| Value::Float(x.cos())),
+            MathAtan => num(0).map(|x| Value::Float(x.atan())),
+            MathFloor => num(0).map(|x| Value::Int(x.floor() as i64)),
+            MathCeil => num(0).map(|x| Value::Int(x.ceil() as i64)),
+            MathFabs | NpAbs => num(0).map(|x| Value::Float(x.abs())),
+            NpMinimum => match (num(0), num(1)) {
+                (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
+                _ => None,
+            },
+            NpMaximum => match (num(0), num(1)) {
+                (Some(a), Some(b)) => Some(Value::Float(a.max(b))),
+                _ => None,
+            },
+            NpClip => match (num(0), num(1), num(2)) {
+                (Some(x), Some(lo), Some(hi)) => Some(Value::Float(x.clamp(lo, hi.max(lo)))),
+                _ => None,
+            },
+            NpSign => num(0).map(|x| Value::Float(x.signum())),
+            NpRound | BuiltinRound => num(0).map(|x| Value::Float(x.round())),
+            BuiltinAbs => match args.first() {
+                Some(Value::Int(i)) => Some(Value::Int(i.abs())),
+                Some(v) => v.as_f64().map(|x| Value::Float(x.abs())),
+                None => None,
+            },
+            BuiltinInt => num(0).map(|x| Value::Int(x as i64)),
+            BuiltinFloat => num(0).map(Value::Float),
+            BuiltinMin => match (num(0), num(1)) {
+                (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
+                _ => None,
+            },
+            BuiltinMax => match (num(0), num(1)) {
+                (Some(a), Some(b)) => Some(Value::Float(a.max(b))),
+                _ => None,
+            },
+            BuiltinLen => match args.first() {
+                Some(Value::Text(s)) => {
+                    cost.add_string(&self.weights, 0);
+                    Some(Value::Int(s.len() as i64))
+                }
+                _ => None,
+            },
+            BuiltinStr => {
+                let s = args.first().map(|v| match v {
+                    Value::Text(t) => t.clone(),
+                    other => other.to_string(),
+                });
+                s.map(|s| {
+                    cost.add_string(&self.weights, s.len());
+                    Value::Text(s)
+                })
+            }
+            // String methods (receiver required).
+            StrUpper | StrLower | StrStrip | StrReplace | StrStartswith | StrEndswith
+            | StrFind | StrSplitCount => {
+                let s = match recv {
+                    Some(Value::Text(s)) => s,
+                    _ => return Ok(Value::Null),
+                };
+                cost.add_string(&self.weights, s.len());
+                let arg_str = |i: usize| args.get(i).and_then(|v| v.as_str().map(str::to_string));
+                match f {
+                    StrUpper => Some(Value::Text(s.to_uppercase())),
+                    StrLower => Some(Value::Text(s.to_lowercase())),
+                    StrStrip => Some(Value::Text(s.trim().to_string())),
+                    StrReplace => match (arg_str(0), arg_str(1)) {
+                        (Some(from), Some(to)) if !from.is_empty() => {
+                            Some(Value::Text(s.replace(&from, &to)))
+                        }
+                        _ => Some(Value::Text(s)),
+                    },
+                    StrStartswith => arg_str(0).map(|p| Value::Bool(s.starts_with(&p))),
+                    StrEndswith => arg_str(0).map(|p| Value::Bool(s.ends_with(&p))),
+                    StrFind => arg_str(0).map(|p| {
+                        Value::Int(s.find(&p).map(|i| i as i64).unwrap_or(-1))
+                    }),
+                    StrSplitCount => arg_str(0).map(|p| {
+                        let count = if p.is_empty() { 1 } else { s.matches(&p).count() + 1 };
+                        Value::Int(count as i64)
+                    }),
+                    _ => unreachable!("string method match is exhaustive"),
+                }
+            }
+        };
+        Ok(out.unwrap_or(Value::Null))
+    }
+}
+
+/// SQL/Python-style comparison: NULL never compares true.
+fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    match l.compare(r) {
+        None => false,
+        Some(ord) => match op {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+        },
+    }
+}
+
+/// Replace NaN/inf (from overflowing powf etc.) with large-but-finite values
+/// so downstream filters and aggregates stay well-defined.
+fn sanitize(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else if x.is_infinite() {
+        if x > 0.0 {
+            1e300
+        } else {
+            -1e300
+        }
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+
+    fn udf(body: Vec<Stmt>) -> UdfDef {
+        UdfDef { name: "f".into(), params: vec!["x".into(), "y".into()], body }
+    }
+
+    fn run(u: &UdfDef, x: Value, y: Value) -> EvalOutcome {
+        Interpreter::default().eval(u, &[x, y]).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let u = udf(vec![Stmt::Return(E::bin(BinOp::Add, E::name("x"), E::name("y")))]);
+        let out = run(&u, Value::Int(2), Value::Int(3));
+        assert_eq!(out.value, Value::Int(5));
+        assert_eq!(out.cost.arith_ops, 1);
+        assert!(out.cost.total > 0.0);
+    }
+
+    #[test]
+    fn branch_costs_differ_by_path() {
+        // if x < 20: z = x * 2 else: (loop 50: z = z + 1)
+        let u = udf(vec![
+            Stmt::Assign { target: "z".into(), expr: E::Int(0) },
+            Stmt::If {
+                cond: E::cmp(CmpOp::Lt, E::name("x"), E::Int(20)),
+                then_body: vec![Stmt::Assign {
+                    target: "z".into(),
+                    expr: E::bin(BinOp::Mul, E::name("x"), E::Int(2)),
+                }],
+                else_body: vec![Stmt::For {
+                    var: "i".into(),
+                    count: E::Int(50),
+                    body: vec![Stmt::Assign {
+                        target: "z".into(),
+                        expr: E::bin(BinOp::Add, E::name("z"), E::Int(1)),
+                    }],
+                }],
+            },
+            Stmt::Return(E::name("z")),
+        ]);
+        let cheap = run(&u, Value::Int(1), Value::Int(0));
+        let pricey = run(&u, Value::Int(99), Value::Int(0));
+        assert_eq!(cheap.value, Value::Int(2));
+        assert_eq!(pricey.value, Value::Int(50));
+        assert_eq!(pricey.cost.loop_iters, 50);
+        assert!(pricey.cost.total > 3.0 * cheap.cost.total);
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let u = udf(vec![Stmt::Return(E::bin(BinOp::Mul, E::name("x"), E::name("y")))]);
+        assert_eq!(run(&u, Value::Null, Value::Int(3)).value, Value::Null);
+    }
+
+    #[test]
+    fn null_condition_takes_else() {
+        let u = udf(vec![Stmt::If {
+            cond: E::cmp(CmpOp::Lt, E::name("x"), E::Int(10)),
+            then_body: vec![Stmt::Return(E::Int(1))],
+            else_body: vec![Stmt::Return(E::Int(2))],
+        }]);
+        assert_eq!(run(&u, Value::Null, Value::Int(0)).value, Value::Int(2));
+    }
+
+    #[test]
+    fn division_by_zero_yields_null() {
+        let u = udf(vec![Stmt::Return(E::bin(BinOp::Div, E::name("x"), E::name("y")))]);
+        assert_eq!(run(&u, Value::Int(4), Value::Int(0)).value, Value::Null);
+        assert_eq!(run(&u, Value::Float(4.0), Value::Float(0.0)).value, Value::Null);
+    }
+
+    #[test]
+    fn string_ops() {
+        let u = udf(vec![Stmt::Return(E::Method {
+            func: LibFn::StrUpper,
+            recv: Box::new(E::name("x")),
+            args: vec![],
+        })]);
+        let out = run(&u, Value::Text("abc".into()), Value::Int(0));
+        assert_eq!(out.value, Value::Text("ABC".into()));
+        assert!(out.cost.string_ops >= 1);
+    }
+
+    #[test]
+    fn while_loop_terminates_and_counts() {
+        // i = 0; while i < 7: i = i + 1; return i
+        let u = udf(vec![
+            Stmt::Assign { target: "i".into(), expr: E::Int(0) },
+            Stmt::While {
+                cond: E::cmp(CmpOp::Lt, E::name("i"), E::Int(7)),
+                body: vec![Stmt::Assign {
+                    target: "i".into(),
+                    expr: E::bin(BinOp::Add, E::name("i"), E::Int(1)),
+                }],
+            },
+            Stmt::Return(E::name("i")),
+        ]);
+        let out = run(&u, Value::Int(0), Value::Int(0));
+        assert_eq!(out.value, Value::Int(7));
+        assert_eq!(out.cost.loop_iters, 7);
+    }
+
+    #[test]
+    fn runaway_while_is_capped() {
+        let u = udf(vec![Stmt::While {
+            cond: E::Bool(true),
+            body: vec![Stmt::Assign { target: "z".into(), expr: E::Int(1) }],
+        }]);
+        let err = Interpreter::default().eval(&u, &[Value::Int(0), Value::Int(0)]).unwrap_err();
+        assert!(err.to_string().contains("iterations"));
+    }
+
+    #[test]
+    fn implicit_return_none() {
+        let u = udf(vec![Stmt::Assign { target: "z".into(), expr: E::Int(1) }]);
+        assert_eq!(run(&u, Value::Int(0), Value::Int(0)).value, Value::Null);
+    }
+
+    #[test]
+    fn lib_calls_cost_and_compute() {
+        let u = udf(vec![Stmt::Return(E::call(LibFn::MathSqrt, vec![E::name("x")]))]);
+        let out = run(&u, Value::Float(16.0), Value::Int(0));
+        assert_eq!(out.value, Value::Float(4.0));
+        assert_eq!(out.cost.lib_calls, 1);
+    }
+
+    #[test]
+    fn sqrt_of_negative_is_guarded() {
+        let u = udf(vec![Stmt::Return(E::call(LibFn::MathSqrt, vec![E::name("x")]))]);
+        let out = run(&u, Value::Float(-9.0), Value::Int(0));
+        assert_eq!(out.value, Value::Float(3.0));
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        let u = udf(vec![Stmt::Return(E::Int(1))]);
+        assert!(Interpreter::default().eval(&u, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn short_circuit_and_saves_work() {
+        // x < 0 and math.sqrt(y) > 1 — sqrt must not run when x >= 0.
+        let cond = E::BoolOp {
+            is_and: true,
+            left: Box::new(E::cmp(CmpOp::Lt, E::name("x"), E::Int(0))),
+            right: Box::new(E::cmp(
+                CmpOp::Gt,
+                E::call(LibFn::MathSqrt, vec![E::name("y")]),
+                E::Int(1),
+            )),
+        };
+        let u = udf(vec![Stmt::Return(cond)]);
+        let skipped = run(&u, Value::Int(5), Value::Int(100));
+        assert_eq!(skipped.cost.lib_calls, 0);
+        let taken = run(&u, Value::Int(-5), Value::Int(100));
+        assert_eq!(taken.cost.lib_calls, 1);
+        assert_eq!(taken.value, Value::Bool(true));
+    }
+}

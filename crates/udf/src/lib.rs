@@ -1,0 +1,37 @@
+//! The scalar UDF language of the GRACEFUL reproduction.
+//!
+//! The paper studies *scalar Python UDFs*: row-by-row functions containing
+//! branches, loops, arithmetic and string operations and calls into `math` /
+//! `numpy`. CPython is not part of this reproduction, so this crate
+//! implements a Python-like UDF language end to end:
+//!
+//! * [`ast`] — expressions, statements and function definitions,
+//! * [`lexer`] / [`parser`] — an indentation-aware Python-subset parser so
+//!   UDFs exist as real source text (and round-trip through [`printer`]),
+//! * [`libfns`] — the closed registry of `math`/`numpy`/string builtins with
+//!   per-call cost weights (the featurization vocabulary of Table I),
+//! * [`costs`] — the work-unit cost model that turns interpreted operations
+//!   into deterministic simulated nanoseconds,
+//! * [`interp`] — a tree-walking interpreter that both *computes* the UDF
+//!   result for a row and *accounts* every operation it executes,
+//! * [`generator`] — the synthetic UDF generator of Section V (0–3 branches,
+//!   0–3 loops, 10–150 ops, library calls, data-adaptation actions).
+
+pub mod ast;
+pub mod costs;
+pub mod generator;
+pub mod interp;
+pub mod lexer;
+pub mod libfns;
+pub mod parser;
+pub mod printer;
+pub mod typecheck;
+
+pub use ast::{BinOp, CmpOp, Expr, Stmt, UdfDef, UnOp};
+pub use costs::{CostCounter, CostWeights};
+pub use generator::{AdaptAction, GeneratedUdf, UdfGenConfig, UdfGenerator};
+pub use interp::{EvalOutcome, Interpreter};
+pub use libfns::LibFn;
+pub use parser::parse_udf;
+pub use printer::print_udf;
+pub use typecheck::infer_return_type;

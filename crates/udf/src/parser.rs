@@ -1,0 +1,519 @@
+//! Recursive-descent parser for the UDF language.
+//!
+//! Grammar (a Python subset sufficient for the UDF corpus of [1]):
+//!
+//! ```text
+//! udf      := 'def' NAME '(' params ')' ':' block
+//! block    := NEWLINE INDENT stmt+ DEDENT
+//! stmt     := assign | if | for | while | return
+//! assign   := NAME '=' expr NEWLINE
+//! if       := 'if' expr ':' block ('elif' expr ':' block)* ('else' ':' block)?
+//! for      := 'for' NAME 'in' 'range' '(' expr ')' ':' block
+//! while    := 'while' expr ':' block
+//! return   := 'return' expr NEWLINE
+//! expr     := or_expr
+//! or_expr  := and_expr ('or' and_expr)*
+//! and_expr := not_expr ('and' not_expr)*
+//! not_expr := 'not' not_expr | cmp_expr
+//! cmp_expr := add_expr (CMPOP add_expr)?
+//! add_expr := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr := unary (('*'|'/'|'%'|'//') unary)*
+//! unary    := '-' unary | power
+//! power    := postfix ('**' unary)?          // right associative
+//! postfix  := atom ('.' NAME '(' args ')')*  // string methods
+//! atom     := NAME | NAME '.' NAME '(' args ')' | NAME '(' args ')'
+//!           | literal | '(' expr ')'
+//! ```
+//!
+//! `elif` chains are desugared into nested `if` statements.
+
+use crate::ast::{BinOp, CmpOp, Expr, Stmt, UdfDef, UnOp};
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::libfns::LibFn;
+use graceful_common::{GracefulError, Result};
+
+/// Parse a full UDF definition from source code.
+pub fn parse_udf(source: &str) -> Result<UdfDef> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let udf = p.parse_def()?;
+    p.skip_newlines();
+    p.expect(&Tok::Eof)?;
+    Ok(udf)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GracefulError {
+        GracefulError::Parse { line: self.line(), message: msg.into() }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<()> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    fn parse_def(&mut self) -> Result<UdfDef> {
+        self.skip_newlines();
+        self.expect(&Tok::Def)?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                params.push(self.expect_ident()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Colon)?;
+        let body = self.parse_block()?;
+        Ok(UdfDef { name, params, body })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Tok::Newline)?;
+        self.expect(&Tok::Indent)?;
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Dedent => {
+                    self.bump();
+                    break;
+                }
+                Tok::Eof => break,
+                Tok::Newline => {
+                    self.bump();
+                }
+                _ => stmts.push(self.parse_stmt()?),
+            }
+        }
+        if stmts.is_empty() {
+            return Err(self.err("empty block"));
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        match self.peek().clone() {
+            Tok::If => self.parse_if(),
+            Tok::For => self.parse_for(),
+            Tok::While => self.parse_while(),
+            Tok::Return => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&Tok::Newline)?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                self.expect(&Tok::Assign)?;
+                let e = self.parse_expr()?;
+                self.expect(&Tok::Newline)?;
+                Ok(Stmt::Assign { target: name, expr: e })
+            }
+            other => Err(self.err(format!("unexpected token {other:?} at statement start"))),
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt> {
+        self.expect(&Tok::If)?;
+        let cond = self.parse_expr()?;
+        self.expect(&Tok::Colon)?;
+        let then_body = self.parse_block()?;
+        let else_body = match self.peek() {
+            Tok::Elif => {
+                // Desugar: `elif c:` becomes `else: if c:`.
+                // Replace the Elif token with If and recurse.
+                self.toks[self.pos].tok = Tok::If;
+                vec![self.parse_if()?]
+            }
+            Tok::Else => {
+                self.bump();
+                self.expect(&Tok::Colon)?;
+                self.parse_block()?
+            }
+            _ => Vec::new(),
+        };
+        Ok(Stmt::If { cond, then_body, else_body })
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt> {
+        self.expect(&Tok::For)?;
+        let var = self.expect_ident()?;
+        self.expect(&Tok::In)?;
+        let range_name = self.expect_ident()?;
+        if range_name != "range" {
+            return Err(self.err("only `for NAME in range(expr)` loops are supported"));
+        }
+        self.expect(&Tok::LParen)?;
+        let count = self.parse_expr()?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Colon)?;
+        let body = self.parse_block()?;
+        Ok(Stmt::For { var, count, body })
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt> {
+        self.expect(&Tok::While)?;
+        let cond = self.parse_expr()?;
+        self.expect(&Tok::Colon)?;
+        let body = self.parse_block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    // --- expressions ---
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), Tok::Or) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::BoolOp { is_and: false, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while matches!(self.peek(), Tok::And) {
+            self.bump();
+            let right = self.parse_not()?;
+            left = Expr::BoolOp { is_and: true, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Tok::Not) {
+            self.bump();
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand) });
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let left = self.parse_add()?;
+        let op = match self.peek() {
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::EqEq => CmpOp::Eq,
+            Tok::NotEq => CmpOp::Ne,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_add()?;
+        Ok(Expr::cmp(op, left, right))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut left = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_mul()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                Tok::DoubleSlash => BinOp::FloorDiv,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Tok::Minus) {
+            self.bump();
+            let operand = self.parse_unary()?;
+            // Fold negative literals for cleaner round-trips.
+            return Ok(match operand {
+                Expr::Int(i) => Expr::Int(-i),
+                Expr::Float(f) => Expr::Float(-f),
+                other => Expr::Unary { op: UnOp::Neg, operand: Box::new(other) },
+            });
+        }
+        self.parse_power()
+    }
+
+    fn parse_power(&mut self) -> Result<Expr> {
+        let base = self.parse_postfix()?;
+        if matches!(self.peek(), Tok::DoubleStar) {
+            self.bump();
+            let exp = self.parse_unary()?; // right associative
+            return Ok(Expr::bin(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_atom()?;
+        while matches!(self.peek(), Tok::Dot) {
+            self.bump();
+            let method = self.expect_ident()?;
+            let func = LibFn::resolve_method(&method)
+                .ok_or_else(|| self.err(format!("unknown string method {method}")))?;
+            self.expect(&Tok::LParen)?;
+            let args = self.parse_args()?;
+            if args.len() != func.arity() {
+                return Err(self.err(format!(
+                    "{method} expects {} args, got {}",
+                    func.arity(),
+                    args.len()
+                )));
+            }
+            e = Expr::Method { func, recv: Box::new(e), args };
+        }
+        Ok(e)
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Tok::Int(i) => Ok(Expr::Int(i)),
+            Tok::Float(f) => Ok(Expr::Float(f)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::True => Ok(Expr::Bool(true)),
+            Tok::False => Ok(Expr::Bool(false)),
+            Tok::NoneKw => Ok(Expr::NoneLit),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // `module.func(args)` — library call.
+                if matches!(self.peek(), Tok::Dot) && (name == "math" || name == "np" || name == "numpy")
+                {
+                    self.bump();
+                    let fn_name = self.expect_ident()?;
+                    let func = LibFn::resolve(Some(&name), &fn_name)
+                        .ok_or_else(|| self.err(format!("unknown function {name}.{fn_name}")))?;
+                    self.expect(&Tok::LParen)?;
+                    let args = self.parse_args()?;
+                    if args.len() != func.arity() {
+                        return Err(self.err(format!(
+                            "{name}.{fn_name} expects {} args, got {}",
+                            func.arity(),
+                            args.len()
+                        )));
+                    }
+                    return Ok(Expr::Call { func, args });
+                }
+                // `func(args)` — builtin call.
+                if matches!(self.peek(), Tok::LParen) {
+                    if let Some(func) = LibFn::resolve(None, &name) {
+                        self.bump();
+                        let args = self.parse_args()?;
+                        if args.len() != func.arity() {
+                            return Err(self.err(format!(
+                                "{name} expects {} args, got {}",
+                                func.arity(),
+                                args.len()
+                            )));
+                        }
+                        return Ok(Expr::Call { func, args });
+                    }
+                    return Err(self.err(format!("unknown function {name}")));
+                }
+                Ok(Expr::Name(name))
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure2_udf() {
+        let src = "\
+def func(x, y):
+    if x < 20:
+        z = x ** 2
+    else:
+        z = 0
+        for i in range(100):
+            z = math.pow(math.sqrt(y), i) + z
+    return z
+";
+        let udf = parse_udf(src).unwrap();
+        assert_eq!(udf.name, "func");
+        assert_eq!(udf.params, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(udf.branch_count(), 1);
+        assert_eq!(udf.loop_count(), 1);
+        assert_eq!(udf.lib_calls(), vec![LibFn::MathPow, LibFn::MathSqrt]);
+    }
+
+    #[test]
+    fn elif_desugars_to_nested_if() {
+        let src = "\
+def f(x):
+    if x < 1:
+        return 1
+    elif x < 2:
+        return 2
+    else:
+        return 3
+";
+        let udf = parse_udf(src).unwrap();
+        assert_eq!(udf.branch_count(), 2);
+        match &udf.body[0] {
+            Stmt::If { else_body, .. } => {
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let udf = parse_udf("def f(x):\n    return 1 + 2 * 3 ** 2\n").unwrap();
+        // 1 + (2 * (3 ** 2)) = 19
+        let mut interp = crate::interp::Interpreter::default();
+        let out = interp.eval(&udf, &[graceful_storage::Value::Int(0)]).unwrap();
+        assert_eq!(out.value, graceful_storage::Value::Int(19));
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let udf = parse_udf("def f(x):\n    return 2 ** 3 ** 2\n").unwrap();
+        let mut interp = crate::interp::Interpreter::default();
+        let out = interp.eval(&udf, &[graceful_storage::Value::Int(0)]).unwrap();
+        assert_eq!(out.value, graceful_storage::Value::Int(512));
+    }
+
+    #[test]
+    fn unary_minus_binds_tighter_than_mul() {
+        let udf = parse_udf("def f(x):\n    return -x * 3\n").unwrap();
+        let mut interp = crate::interp::Interpreter::default();
+        let out = interp.eval(&udf, &[graceful_storage::Value::Int(2)]).unwrap();
+        assert_eq!(out.value, graceful_storage::Value::Int(-6));
+    }
+
+    #[test]
+    fn string_methods_parse() {
+        let src = "def f(s):\n    return s.upper().replace('A', 'B')\n";
+        let udf = parse_udf(src).unwrap();
+        assert_eq!(udf.lib_calls(), vec![LibFn::StrReplace, LibFn::StrUpper]);
+    }
+
+    #[test]
+    fn while_loop_parses() {
+        let src = "def f(x):\n    i = 0\n    while i < x:\n        i = i + 1\n    return i\n";
+        let udf = parse_udf(src).unwrap();
+        assert_eq!(udf.loop_count(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_functions() {
+        assert!(parse_udf("def f(x):\n    return os.system(x)\n").is_err());
+        assert!(parse_udf("def f(x):\n    return mystery(x)\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse_udf("def f(x):\n    return math.sqrt(x, x)\n").is_err());
+        assert!(parse_udf("def f(x):\n    return math.pow(x)\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_range_for() {
+        assert!(parse_udf("def f(x):\n    for i in items(x):\n        y = 1\n    return 0\n").is_err());
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let src = "def f(x, y):\n    if x < 1 and not y > 2 or x == 5:\n        return 1\n    return 0\n";
+        let udf = parse_udf(src).unwrap();
+        assert_eq!(udf.branch_count(), 1);
+    }
+
+    #[test]
+    fn reports_error_line() {
+        let err = parse_udf("def f(x):\n    return $\n").unwrap_err();
+        match err {
+            GracefulError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

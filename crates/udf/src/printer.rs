@@ -1,0 +1,252 @@
+//! Pretty-printer: AST → Python-like source.
+//!
+//! The printer is the inverse of the parser — `parse(print(udf))` must
+//! reproduce the same AST (verified by property tests). Expressions are
+//! printed with minimal parentheses based on operator precedence.
+
+use crate::ast::{BinOp, Expr, Stmt, UdfDef, UnOp};
+
+/// Render a UDF back to source code.
+pub fn print_udf(udf: &UdfDef) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("def {}({}):\n", udf.name, udf.params.join(", ")));
+    print_block(&udf.body, 1, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(body: &[Stmt], level: usize, out: &mut String) {
+    if body.is_empty() {
+        // Valid blocks are never empty in our AST, but keep printable.
+        indent(level, out);
+        out.push_str("return None\n");
+        return;
+    }
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { target, expr } => {
+                indent(level, out);
+                out.push_str(&format!("{target} = {}\n", print_expr(expr)));
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                indent(level, out);
+                out.push_str(&format!("if {}:\n", print_expr(cond)));
+                print_block(then_body, level + 1, out);
+                if !else_body.is_empty() {
+                    indent(level, out);
+                    out.push_str("else:\n");
+                    print_block(else_body, level + 1, out);
+                }
+            }
+            Stmt::For { var, count, body } => {
+                indent(level, out);
+                out.push_str(&format!("for {var} in range({}):\n", print_expr(count)));
+                print_block(body, level + 1, out);
+            }
+            Stmt::While { cond, body } => {
+                indent(level, out);
+                out.push_str(&format!("while {}:\n", print_expr(cond)));
+                print_block(body, level + 1, out);
+            }
+            Stmt::Return(e) => {
+                indent(level, out);
+                out.push_str(&format!("return {}\n", print_expr(e)));
+            }
+        }
+    }
+}
+
+/// Precedence levels; larger binds tighter. Mirrors the parser.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::BoolOp { is_and: false, .. } => 1, // or
+        Expr::BoolOp { is_and: true, .. } => 2,  // and
+        Expr::Unary { op: UnOp::Not, .. } => 3,
+        Expr::Compare { .. } => 4,
+        Expr::Binary { op: BinOp::Add | BinOp::Sub, .. } => 5,
+        Expr::Binary { op: BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::FloorDiv, .. } => 6,
+        Expr::Unary { op: UnOp::Neg, .. } => 7,
+        Expr::Binary { op: BinOp::Pow, .. } => 8,
+        _ => 10, // atoms, calls, methods
+    }
+}
+
+/// Print an expression with minimal parentheses.
+pub fn print_expr(e: &Expr) -> String {
+    print_prec(e)
+}
+
+fn child(parent_prec: u8, e: &Expr, needs_paren_on_tie: bool) -> String {
+    let p = precedence(e);
+    let s = print_prec(e);
+    if p < parent_prec || (p == parent_prec && needs_paren_on_tie) {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn print_prec(e: &Expr) -> String {
+    match e {
+        Expr::Name(n) => n.clone(),
+        Expr::Int(i) => {
+            if *i < 0 {
+                format!("({i})")
+            } else {
+                i.to_string()
+            }
+        }
+        Expr::Float(f) => {
+            let neg = *f < 0.0;
+            let body = if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{:.1}", f)
+            } else {
+                format!("{}", f)
+            };
+            if neg {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Str(s) => format!("'{}'", s.replace('\'', "")),
+        Expr::Bool(b) => if *b { "True" } else { "False" }.to_string(),
+        Expr::NoneLit => "None".to_string(),
+        Expr::Unary { op, operand } => {
+            let prec = precedence(e);
+            match op {
+                UnOp::Neg => format!("-{}", child(prec, operand, true)),
+                UnOp::Not => format!("not {}", child(prec, operand, false)),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let prec = precedence(e);
+            if *op == BinOp::Pow {
+                // Right associative: parenthesize left on tie.
+                format!("{} ** {}", child(prec, left, true), child(prec, right, false))
+            } else {
+                // Left associative: parenthesize right on tie.
+                format!(
+                    "{} {} {}",
+                    child(prec, left, false),
+                    op.symbol(),
+                    child(prec, right, true)
+                )
+            }
+        }
+        Expr::Compare { op, left, right } => {
+            let prec = precedence(e);
+            format!("{} {} {}", child(prec, left, true), op.symbol(), child(prec, right, true))
+        }
+        Expr::BoolOp { is_and, left, right } => {
+            let prec = precedence(e);
+            let sym = if *is_and { "and" } else { "or" };
+            format!("{} {sym} {}", child(prec, left, false), child(prec, right, true))
+        }
+        Expr::Call { func, args } => {
+            let args: Vec<String> = args.iter().map(print_prec).collect();
+            format!("{}({})", func.python_name(), args.join(", "))
+        }
+        Expr::Method { func, recv, args } => {
+            let args: Vec<String> = args.iter().map(print_prec).collect();
+            let r = child(10, recv, false);
+            format!("{r}.{}({})", func.python_name(), args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use crate::libfns::LibFn;
+    use crate::parser::parse_udf;
+
+    fn round_trip(src: &str) {
+        let udf = parse_udf(src).unwrap();
+        let printed = print_udf(&udf);
+        let reparsed = parse_udf(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(udf, reparsed, "round trip changed AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_paper_example() {
+        round_trip(
+            "def func(x, y):\n    if x < 20:\n        z = x ** 2\n    else:\n        z = 0\n        for i in range(100):\n            z = math.pow(math.sqrt(y), i) + z\n    return z\n",
+        );
+    }
+
+    #[test]
+    fn round_trips_operators() {
+        round_trip("def f(a, b):\n    return (a + b) * (a - b) / (b + 1) % 7 // 2\n");
+        round_trip("def f(a, b):\n    return a ** (b ** 2) - (a ** b) ** 2\n");
+        round_trip("def f(a):\n    return -(a + 1) * -a\n");
+    }
+
+    #[test]
+    fn round_trips_bool_logic() {
+        round_trip("def f(a, b):\n    if a < 1 and (b > 2 or a == b) and not b != 3:\n        return 1\n    return 0\n");
+    }
+
+    #[test]
+    fn round_trips_strings() {
+        round_trip("def f(s):\n    t = s.upper().replace('a', 'b')\n    if t.startswith('x'):\n        return len(t)\n    return t.find('q')\n");
+    }
+
+    #[test]
+    fn round_trips_while() {
+        round_trip("def f(x):\n    i = 0\n    while i < x and i < 100:\n        i = i + 1\n    return i\n");
+    }
+
+    #[test]
+    fn negative_literals_print_parenthesized() {
+        let udf = crate::ast::UdfDef {
+            name: "f".into(),
+            params: vec!["x".into()],
+            body: vec![Stmt::Return(Expr::bin(
+                BinOp::Sub,
+                Expr::name("x"),
+                Expr::Int(-5),
+            ))],
+        };
+        let printed = print_udf(&udf);
+        assert!(printed.contains("(-5)"), "{printed}");
+        let reparsed = parse_udf(&printed).unwrap();
+        assert_eq!(udf, reparsed);
+    }
+
+    #[test]
+    fn subtraction_associativity_preserved() {
+        // (a - b) - c prints without parens; a - (b - c) keeps them.
+        let l = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::name("a"), Expr::name("b")),
+            Expr::name("c"),
+        );
+        assert_eq!(print_expr(&l), "a - b - c");
+        let r = Expr::bin(
+            BinOp::Sub,
+            Expr::name("a"),
+            Expr::bin(BinOp::Sub, Expr::name("b"), Expr::name("c")),
+        );
+        assert_eq!(print_expr(&r), "a - (b - c)");
+    }
+
+    #[test]
+    fn comparison_prints() {
+        let e = Expr::cmp(CmpOp::Le, Expr::name("x"), Expr::Int(3));
+        assert_eq!(print_expr(&e), "x <= 3");
+    }
+
+    #[test]
+    fn call_prints_qualified_names() {
+        let e = Expr::call(LibFn::NpClip, vec![Expr::name("x"), Expr::Int(0), Expr::Int(1)]);
+        assert_eq!(print_expr(&e), "np.clip(x, 0, 1)");
+    }
+}

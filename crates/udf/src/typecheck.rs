@@ -1,0 +1,289 @@
+//! Static type inference over UDFs.
+//!
+//! The RET node of the UDF graph featurizes the *output data type* (Table I)
+//! because DBMS↔UDF conversion costs differ by type. Rather than executing
+//! the UDF to observe it, this module infers the return type with a small
+//! abstract interpreter over the type lattice
+//! `Int ⊑ Float`, `{Bool, Text}` incomparable, `Unknown` as top.
+//!
+//! The analysis is flow-sensitive for straight-line code, joins branches by
+//! type unification, and iterates loop bodies to a (two-pass) fixpoint —
+//! enough for the UDF language, which has no recursion.
+
+use crate::ast::{BinOp, Expr, Stmt, UdfDef, UnOp};
+use crate::libfns::{LibCategory, LibFn};
+use graceful_storage::DataType;
+use std::collections::HashMap;
+
+/// Abstract value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    Int,
+    Float,
+    Text,
+    Bool,
+    /// NULL-only or not yet assigned.
+    None,
+    Unknown,
+}
+
+impl Ty {
+    fn from_data_type(dt: DataType) -> Ty {
+        match dt {
+            DataType::Int => Ty::Int,
+            DataType::Float => Ty::Float,
+            DataType::Text => Ty::Text,
+            DataType::Bool => Ty::Bool,
+        }
+    }
+
+    /// Best-effort conversion back to a storage type (Float for unknowns —
+    /// the numeric accumulator case dominates generated UDFs).
+    pub fn to_data_type(self) -> DataType {
+        match self {
+            Ty::Int => DataType::Int,
+            Ty::Float | Ty::None | Ty::Unknown => DataType::Float,
+            Ty::Text => DataType::Text,
+            Ty::Bool => DataType::Bool,
+        }
+    }
+
+    /// Least upper bound.
+    fn unify(self, other: Ty) -> Ty {
+        use Ty::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (None, t) | (t, None) => t,
+            (Int, Float) | (Float, Int) => Float,
+            (Bool, Int) | (Int, Bool) => Int,
+            (Bool, Float) | (Float, Bool) => Float,
+            _ => Unknown,
+        }
+    }
+
+    fn is_numeric(self) -> bool {
+        matches!(self, Ty::Int | Ty::Float | Ty::Bool)
+    }
+}
+
+/// Infer the return type of a UDF given its argument types.
+pub fn infer_return_type(udf: &UdfDef, arg_types: &[DataType]) -> DataType {
+    let mut env: HashMap<String, Ty> = HashMap::new();
+    for (i, p) in udf.params.iter().enumerate() {
+        let ty = arg_types.get(i).map(|&d| Ty::from_data_type(d)).unwrap_or(Ty::Unknown);
+        env.insert(p.clone(), ty);
+    }
+    let mut returns = Vec::new();
+    walk_block(&udf.body, &mut env, &mut returns);
+    let mut out = Ty::None;
+    for t in returns {
+        out = out.unify(t);
+    }
+    out.to_data_type()
+}
+
+fn walk_block(body: &[Stmt], env: &mut HashMap<String, Ty>, returns: &mut Vec<Ty>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { target, expr } => {
+                let t = type_of(expr, env);
+                env.insert(target.clone(), t);
+            }
+            Stmt::Return(e) => returns.push(type_of(e, env)),
+            Stmt::If { then_body, else_body, .. } => {
+                let mut then_env = env.clone();
+                let mut else_env = env.clone();
+                walk_block(then_body, &mut then_env, returns);
+                walk_block(else_body, &mut else_env, returns);
+                // Join: unify per variable across both arms.
+                let keys: Vec<String> =
+                    then_env.keys().chain(else_env.keys()).cloned().collect();
+                for k in keys {
+                    let a = *then_env.get(&k).unwrap_or(&Ty::None);
+                    let b = *else_env.get(&k).unwrap_or(&Ty::None);
+                    env.insert(k, a.unify(b));
+                }
+            }
+            Stmt::For { var, body, .. } => {
+                env.insert(var.clone(), Ty::Int);
+                // Two passes reach the fixpoint on this lattice (height 2).
+                walk_block(body, env, returns);
+                walk_block(body, env, returns);
+            }
+            Stmt::While { body, .. } => {
+                walk_block(body, env, returns);
+                walk_block(body, env, returns);
+            }
+        }
+    }
+}
+
+fn type_of(e: &Expr, env: &HashMap<String, Ty>) -> Ty {
+    match e {
+        Expr::Name(n) => *env.get(n).unwrap_or(&Ty::Unknown),
+        Expr::Int(_) => Ty::Int,
+        Expr::Float(_) => Ty::Float,
+        Expr::Str(_) => Ty::Text,
+        Expr::Bool(_) => Ty::Bool,
+        Expr::NoneLit => Ty::None,
+        Expr::Unary { op, operand } => match op {
+            UnOp::Not => Ty::Bool,
+            UnOp::Neg => type_of(operand, env),
+        },
+        Expr::Compare { .. } | Expr::BoolOp { .. } => Ty::Bool,
+        Expr::Binary { op, left, right } => {
+            let (l, r) = (type_of(left, env), type_of(right, env));
+            match op {
+                BinOp::Add if l == Ty::Text && r == Ty::Text => Ty::Text,
+                BinOp::Mul if l == Ty::Text && r.is_numeric() => Ty::Text,
+                BinOp::Div => Ty::Float,
+                BinOp::FloorDiv | BinOp::Mod => {
+                    if l == Ty::Int && r == Ty::Int {
+                        Ty::Int
+                    } else {
+                        Ty::Float
+                    }
+                }
+                BinOp::Pow => {
+                    if l == Ty::Int && r == Ty::Int {
+                        Ty::Int // small literal exponents stay integral
+                    } else {
+                        Ty::Float
+                    }
+                }
+                _ => {
+                    if l == Ty::Int && r == Ty::Int {
+                        Ty::Int
+                    } else if l.is_numeric() && r.is_numeric() {
+                        Ty::Float
+                    } else {
+                        Ty::Unknown
+                    }
+                }
+            }
+        }
+        Expr::Call { func, args } => lib_return_type(*func, args.first().map(|a| type_of(a, env))),
+        Expr::Method { func, .. } => lib_return_type(*func, Some(Ty::Text)),
+    }
+}
+
+fn lib_return_type(f: LibFn, first_arg: Option<Ty>) -> Ty {
+    use LibFn::*;
+    match f {
+        MathFloor | MathCeil | BuiltinLen | BuiltinInt | StrFind | StrSplitCount => Ty::Int,
+        BuiltinStr | StrUpper | StrLower | StrStrip | StrReplace => Ty::Text,
+        StrStartswith | StrEndswith => Ty::Bool,
+        BuiltinAbs => match first_arg {
+            Some(Ty::Int) => Ty::Int,
+            _ => Ty::Float,
+        },
+        _ => match f.category() {
+            LibCategory::Math | LibCategory::Numpy => Ty::Float,
+            _ => Ty::Float,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_udf;
+
+    fn infer(src: &str, args: &[DataType]) -> DataType {
+        infer_return_type(&parse_udf(src).unwrap(), args)
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_int() {
+        assert_eq!(
+            infer("def f(x):\n    return x + 2\n", &[DataType::Int]),
+            DataType::Int
+        );
+        assert_eq!(
+            infer("def f(x):\n    return x * 2 - 1\n", &[DataType::Int]),
+            DataType::Int
+        );
+    }
+
+    #[test]
+    fn division_promotes_to_float() {
+        assert_eq!(
+            infer("def f(x):\n    return x / 2\n", &[DataType::Int]),
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn math_calls_are_float() {
+        assert_eq!(
+            infer("def f(x):\n    return math.sqrt(x)\n", &[DataType::Int]),
+            DataType::Float
+        );
+        assert_eq!(
+            infer("def f(x):\n    return math.floor(x)\n", &[DataType::Float]),
+            DataType::Int
+        );
+    }
+
+    #[test]
+    fn string_methods_are_text() {
+        assert_eq!(
+            infer("def f(s):\n    return s.upper()\n", &[DataType::Text]),
+            DataType::Text
+        );
+        assert_eq!(
+            infer("def f(s):\n    return len(s)\n", &[DataType::Text]),
+            DataType::Int
+        );
+        assert_eq!(
+            infer("def f(s):\n    return s.startswith('a')\n", &[DataType::Text]),
+            DataType::Bool
+        );
+    }
+
+    #[test]
+    fn branches_unify() {
+        // One branch Int, one Float -> Float.
+        let src = "def f(x):\n    if x < 0:\n        return x\n    return x / 2\n";
+        assert_eq!(infer(src, &[DataType::Int]), DataType::Float);
+        // Both Int -> Int.
+        let src2 = "def f(x):\n    if x < 0:\n        return 0\n    return x + 1\n";
+        assert_eq!(infer(src2, &[DataType::Int]), DataType::Int);
+    }
+
+    #[test]
+    fn loop_accumulation_reaches_fixpoint() {
+        // z starts Int, becomes Float inside the loop via math.sqrt.
+        let src = "def f(x):\n    z = 0\n    for i in range(10):\n        z = z + math.sqrt(x)\n    return z\n";
+        assert_eq!(infer(src, &[DataType::Int]), DataType::Float);
+    }
+
+    #[test]
+    fn implicit_none_defaults_to_float() {
+        let src = "def f(x):\n    z = x + 1\n    return z\n";
+        assert_eq!(infer(src, &[DataType::Int]), DataType::Int);
+        // No return at all -> None path -> Float fallback.
+        let src2 = "def f(x):\n    z = x + 1\n    return None\n";
+        assert_eq!(infer(src2, &[DataType::Int]), DataType::Float);
+    }
+
+    #[test]
+    fn generated_udfs_infer_without_panic() {
+        use graceful_common::rng::Rng;
+        use graceful_storage::datagen::{generate, schema};
+        let db = generate(&schema("imdb"), 0.02, 7);
+        let gen = crate::generator::UdfGenerator::default();
+        let mut rng = Rng::seed(3);
+        for _ in 0..40 {
+            let u = gen.generate(&db, &mut rng).unwrap();
+            let types: Vec<DataType> = u
+                .input_columns
+                .iter()
+                .map(|c| db.table(&u.table).unwrap().column_type(c).unwrap())
+                .collect();
+            let dt = infer_return_type(&u.def, &types);
+            // Generated UDFs return numbers or strings.
+            assert!(matches!(dt, DataType::Int | DataType::Float | DataType::Text));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Quickstart: the full GRACEFUL pipeline on one database in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Steps: generate a database → write a UDF → build and execute a query plan
+//! → train a small GRACEFUL model on a generated workload → predict the
+//! query's runtime and compare against the measured truth.
+
+use graceful::prelude::*;
+use graceful_plan::{AggFunc, ColRef, Plan, PlanOp, PlanOpKind};
+use graceful_udf::ast::CmpOp;
+use graceful_udf::GeneratedUdf;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A database: the synthetic IMDB stand-in at small scale.
+    let db = generate(&schema("imdb"), 0.1, 42);
+    println!("database `{}`: {} tables, {} rows total", db.name, db.tables().len(), db.total_rows());
+
+    // 2. A scalar UDF, written as Python-like source and parsed for real.
+    let udf_src = "\
+def score(production_year, kind_id):
+    z = production_year - 1900
+    if kind_id < 3:
+        z = z * 1.5 + math.sqrt(abs(z) + 1)
+    else:
+        for i in range(25):
+            z = z + np.log(production_year) / (abs(kind_id) + 1)
+    return z
+";
+    let def = parse_udf(udf_src).expect("UDF parses");
+    println!("\nparsed UDF `{}` ({} ops, {} branches, {} loops)", def.name, def.op_count(), def.branch_count(), def.loop_count());
+    let udf = Arc::new(GeneratedUdf {
+        source: print_udf(&def),
+        def,
+        table: "title".into(),
+        input_columns: vec!["production_year".into(), "kind_id".into()],
+        adaptations: vec![],
+    });
+
+    // 3. A query plan: SELECT COUNT(*) FROM title WHERE score(...) <= 120.
+    let plan = Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "title".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::UdfFilter { udf: udf.clone(), op: CmpOp::Le, literal: 120.0 },
+                vec![0],
+            ),
+            PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![1]),
+        ],
+        root: 2,
+    };
+    let exec = Executor::new(&db);
+    let mut annotated = plan.clone();
+    let run = exec.run_and_annotate(&mut annotated, 7).expect("plan executes");
+    println!("\nexecuted plan:\n{}", annotated.explain());
+    println!("measured runtime: {:.3} ms ({} rows kept)", run.runtime_ns * 1e-6, run.out_rows[1]);
+
+    // 4. Train a small model on a generated workload over the same database.
+    let cfg = ScaleConfig { data_scale: 0.1, queries_per_db: 40, epochs: 12, hidden: 24, ..ScaleConfig::default() };
+    let corpus = build_corpus("imdb", &cfg, 42).expect("corpus builds");
+    println!("\ntraining on {} labelled queries...", corpus.queries.len());
+    let model = train_graceful(std::slice::from_ref(&corpus), &cfg, Featurizer::full());
+    println!("model has {} parameters", model.param_count());
+
+    // 5. Predict the hand-written query's runtime.
+    // NOTE: the model was trained on *this* database, so this is the easy
+    // (seen-data) case — the paper's experiments always predict on unseen
+    // databases; see `cargo bench` targets for that setup.
+    let spec = QuerySpec {
+        id: 999,
+        database: db.name.clone(),
+        base_table: "title".into(),
+        joins: vec![],
+        filters: vec![],
+        udf: Some(udf),
+        udf_usage: UdfUsage::Filter,
+        udf_filter_op: CmpOp::Le,
+        udf_filter_literal: 120.0,
+        target_udf_selectivity: 0.5,
+        agg: AggFunc::CountStar,
+        agg_col: None,
+    };
+    let est = ActualCard::new(&corpus.db);
+    let mut plan2 = annotated.clone();
+    est.annotate(&mut plan2).unwrap();
+    let _ = ColRef::new("title", "id"); // (ColRef is part of the public plan API)
+    let pred = model.predict(&corpus.db, &spec, &plan2, &est).expect("prediction");
+    let q = q_error(pred, run.runtime_ns);
+    println!("\npredicted {:.3} ms vs measured {:.3} ms  (Q-error {:.2})", pred * 1e-6, run.runtime_ns * 1e-6, q);
+}

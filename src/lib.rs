@@ -1,0 +1,69 @@
+//! # GRACEFUL — A Learned Cost Estimator for UDFs (reproduction)
+//!
+//! This workspace reproduces *GRACEFUL: A Learned Cost Estimator For UDFs*
+//! (Wehrstein, Bang, Heinrich, Binnig — ICDE 2025) end to end in Rust,
+//! including every substrate the paper depends on: a columnar storage engine
+//! with statistics, a Python-like scalar UDF language and interpreter, the
+//! transformed control-flow-graph representation, a cardinality-estimator
+//! ladder, a from-scratch GNN stack, gradient-boosted trees, the benchmark
+//! generator, the learned cost model, and the pull-up/push-down advisor.
+//!
+//! This crate is the facade: it re-exports the workspace crates under short
+//! module names and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! ```no_run
+//! use graceful::prelude::*;
+//!
+//! // Generate a database, build a workload, train and apply the estimator.
+//! let cfg = ScaleConfig { queries_per_db: 40, ..ScaleConfig::default() };
+//! let corpus = build_corpus("imdb", &cfg, 42).unwrap();
+//! let model = train_graceful(std::slice::from_ref(&corpus), &cfg, Featurizer::full());
+//! println!("{}", evaluate_actual(&model, &corpus));
+//! ```
+
+pub use graceful_card as card;
+pub use graceful_cfg as cfg;
+pub use graceful_common as common;
+pub use graceful_core as core_model;
+pub use graceful_exec as exec;
+pub use graceful_gbdt as gbdt;
+pub use graceful_nn as nn;
+pub use graceful_plan as plan;
+pub use graceful_storage as storage;
+pub use graceful_udf as udf;
+
+/// Everything a downstream user typically needs.
+pub mod prelude {
+    pub use graceful_card::{
+        ActualCard, CardEstimator, DataDrivenCard, HitRatioEstimator, NaiveCard, SamplingCard,
+    };
+    pub use graceful_cfg::{build_dag, DagConfig, UdfDag, UdfNodeKind};
+    pub use graceful_common::config::ScaleConfig;
+    pub use graceful_common::metrics::{q_error, QErrorSummary};
+    pub use graceful_common::rng::Rng;
+    pub use graceful_core::advisor::{PullUpAdvisor, Strategy};
+    pub use graceful_core::corpus::{build_all_corpora, build_corpus, DatasetCorpus};
+    pub use graceful_core::experiments::{
+        cross_validate, evaluate_actual, evaluate_model, summarize, train_graceful, EstimatorKind,
+    };
+    pub use graceful_core::featurize::Featurizer;
+    pub use graceful_core::model::{GracefulModel, TrainConfig};
+    pub use graceful_exec::Executor;
+    pub use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
+    pub use graceful_storage::datagen::{generate, schema, DATASET_NAMES};
+    pub use graceful_storage::{DataType, Database, Value};
+    pub use graceful_udf::{parse_udf, print_udf, Interpreter, UdfGenerator};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let mut rng = Rng::seed(1);
+        assert!(rng.unit() < 1.0);
+        assert_eq!(DATASET_NAMES.len(), 20);
+        assert!(q_error(2.0, 1.0) >= 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the substrate invariants.
+//!
+//! Strategy: `proptest` drives seeds and scalar knobs; the domain generators
+//! (databases, UDFs, queries) are deterministic functions of those seeds, so
+//! failures shrink to a reproducible seed.
+
+use graceful::prelude::*;
+use graceful_cfg::EdgeKind;
+use graceful_common::metrics::q_error;
+use graceful_common::rng::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every generated UDF's printed source re-parses to the identical AST.
+    #[test]
+    fn generated_udfs_round_trip(seed in 0u64..5_000) {
+        let db = generate(&schema("tpc_h"), 0.02, 1);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        let reparsed = parse_udf(&u.source).expect("generated UDF parses");
+        prop_assert_eq!(&u.def, &reparsed);
+    }
+
+    /// Every generated UDF evaluates without error on adapted data and its
+    /// DAG satisfies the paper's structural invariants.
+    #[test]
+    fn generated_udfs_evaluate_and_lower(seed in 0u64..5_000) {
+        let mut db = generate(&schema("imdb"), 0.02, 2);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+        let table = db.table(&u.table).unwrap();
+        let cols: Vec<_> = u.input_columns.iter().map(|c| table.column(c).unwrap()).collect();
+        let mut interp = Interpreter::default();
+        for row in 0..table.num_rows().min(10) {
+            let args: Vec<Value> = cols.iter().map(|c| c.value(row)).collect();
+            let out = interp.eval(&u.def, &args).expect("UDF evaluates");
+            prop_assert!(out.cost.total > 0.0);
+        }
+        // DAG invariants: single INV + RET, balanced LOOP/LOOP_END, acyclic
+        // by index order, one residual edge per loop.
+        let types: Vec<DataType> = u
+            .input_columns
+            .iter()
+            .map(|c| table.column_type(c).unwrap())
+            .collect();
+        let dag = build_dag(&u.def, &types, DataType::Float, DagConfig::default());
+        let count = |k: UdfNodeKind| dag.nodes.iter().filter(|n| n.kind == k).count();
+        prop_assert_eq!(count(UdfNodeKind::Inv), 1);
+        prop_assert_eq!(count(UdfNodeKind::Ret), 1);
+        prop_assert_eq!(count(UdfNodeKind::Loop), count(UdfNodeKind::LoopEnd));
+        let residuals = dag.edges.iter().filter(|(_, _, k)| *k == EdgeKind::Residual).count();
+        prop_assert_eq!(residuals, count(UdfNodeKind::Loop));
+        for &(s, d, _) in &dag.edges {
+            prop_assert!(s < d);
+        }
+    }
+
+    /// Row annotation conserves probability: INV and RET always carry the
+    /// full input rows; no node exceeds them.
+    #[test]
+    fn dag_row_annotation_is_conservative(seed in 0u64..5_000, sel in 0.01f64..0.99) {
+        let db = generate(&schema("tpc_h"), 0.02, 3);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        let mut dag = build_dag(&u.def, &[], DataType::Float, DagConfig::default());
+        dag.annotate_rows(1000.0, |conds| {
+            conds.iter().fold(1.0, |p, (c, taken)| {
+                let s = c.as_ref().map_or(0.5, |_| sel);
+                p * if *taken { s } else { 1.0 - s }
+            })
+        });
+        prop_assert!((dag.nodes[dag.inv].in_rows - 1000.0).abs() < 1e-6);
+        prop_assert!((dag.nodes[dag.ret].in_rows - 1000.0).abs() < 1e-6);
+        for n in &dag.nodes {
+            prop_assert!(n.in_rows <= 1000.0 + 1e-6);
+            prop_assert!(n.in_rows >= -1e-6);
+        }
+    }
+
+    /// Plan rewrites preserve query answers (pull-up == push-down), for any
+    /// generated query with a movable UDF filter.
+    #[test]
+    fn plan_rewrites_preserve_semantics(seed in 0u64..2_000) {
+        let mut db = generate(&schema("movielens"), 0.02, 4);
+        let qgen = QueryGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let spec = qgen.generate(&db, seed, &mut rng).unwrap();
+        prop_assume!(spec.has_udf() && spec.udf_usage == UdfUsage::Filter && !spec.joins.is_empty());
+        if let Some(u) = &spec.udf {
+            graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+        }
+        let exec = Executor::new(&db);
+        let mut results = Vec::new();
+        for placement in graceful::plan::valid_placements(&spec) {
+            let plan = build_plan(&spec, placement).unwrap();
+            plan.validate().unwrap();
+            results.push(exec.run(&plan, spec.id).unwrap().agg_value);
+        }
+        for w in results.windows(2) {
+            let rel = (w[0] - w[1]).abs() / w[0].abs().max(1e-9);
+            prop_assert!(rel < 1e-9, "placements disagree: {:?}", results);
+        }
+    }
+
+    /// Q-error is symmetric and >= 1 for all positive pairs.
+    #[test]
+    fn q_error_properties(a in 1e-6f64..1e12, b in 1e-6f64..1e12) {
+        let q = q_error(a, b);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q - q_error(b, a)).abs() < 1e-9 * q);
+    }
+
+    /// Histogram selectivities are monotone in the threshold and bounded.
+    #[test]
+    fn histogram_selectivity_monotone(seed in 0u64..10_000) {
+        let mut rng = Rng::seed(seed);
+        let values: Vec<f64> = (0..500).map(|_| rng.normal(0.0, 10.0)).collect();
+        if let Some(h) = graceful::storage::Histogram::build(values) {
+            let mut prev = 0.0;
+            for i in -40..=40 {
+                let s = h.selectivity_lt(i as f64);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!(s >= prev - 1e-9);
+                prev = s;
+            }
+        }
+    }
+
+    /// Estimator outputs are always finite, non-negative selectivities.
+    #[test]
+    fn estimator_selectivities_in_range(seed in 0u64..2_000, lit in -100f64..100.0) {
+        let db = generate(&schema("airline"), 0.02, 5);
+        let preds = vec![graceful::plan::Pred::new(
+            "flight",
+            "dep_delay",
+            graceful::udf::ast::CmpOp::Lt,
+            Value::Float(lit),
+        )];
+        let actual = ActualCard::new(&db);
+        let naive = NaiveCard::new(&db);
+        let dd = DataDrivenCard::build(&db, seed);
+        let samp = SamplingCard::new(&db, 50, seed);
+        for est in [&actual as &dyn CardEstimator, &naive, &dd, &samp] {
+            let s = est.conjunction_selectivity("flight", &preds);
+            prop_assert!((0.0..=1.0).contains(&s), "{} returned {s}", est.name());
+        }
+    }
+}
