@@ -12,11 +12,7 @@ fn main() {
 
     println!(
         "{:<12} | {:^24} | {:^24} | {:^24} | {:^24}",
-        "dataset",
-        "Actual (med/p95/p99)",
-        "DeepDB-like",
-        "WanderJoin-like",
-        "DuckDB-like"
+        "dataset", "Actual (med/p95/p99)", "DeepDB-like", "WanderJoin-like", "DuckDB-like"
     );
     rule(124);
     let mut per_kind_medians = vec![Vec::new(); EstimatorKind::ALL.len()];

@@ -67,7 +67,12 @@ fn main() {
 
     println!(
         "{:<13} {:<16} | {:^22} | {:^22} | {:^22} | {:^22} | {:^14}",
-        "Model", "Card. Est.", "Overall (med/p95/p99)", "Pull-Up", "Intermediate", "Push-Down",
+        "Model",
+        "Card. Est.",
+        "Overall (med/p95/p99)",
+        "Pull-Up",
+        "Intermediate",
+        "Push-Down",
         "CardEst err"
     );
     rule(150);

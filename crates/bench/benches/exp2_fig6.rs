@@ -6,13 +6,8 @@ use graceful_bench::{announce, corpora, fmt_q, rule};
 use graceful_core::experiments::{cross_validate, evaluate_model, summarize, EstimatorKind};
 use graceful_core::featurize::Featurizer;
 
-const SIZE_BINS: [(usize, usize, &str); 5] = [
-    (0, 6, "0-6"),
-    (6, 12, "6-12"),
-    (12, 24, "12-24"),
-    (24, 40, "24-40"),
-    (40, 100, "40-100"),
-];
+const SIZE_BINS: [(usize, usize, &str); 5] =
+    [(0, 6, "0-6"), (6, 12, "6-12"), (12, 24, "12-24"), (24, 40, "24-40"), (40, 100, "40-100")];
 
 fn main() {
     let cfg = announce("Exp 2 / Figure 6: robustness across UDF complexities");

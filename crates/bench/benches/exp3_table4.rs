@@ -46,12 +46,8 @@ fn main() {
     let mut f_deepdb = Vec::new();
     for h in 0..hold_outs {
         let test_idx = corpora.len() - 1 - h;
-        let train_refs: Vec<&DatasetCorpus> = corpora
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != test_idx)
-            .map(|(_, c)| c)
-            .collect();
+        let train_refs: Vec<&DatasetCorpus> =
+            corpora.iter().enumerate().filter(|(i, _)| *i != test_idx).map(|(_, c)| c).collect();
         let mut model =
             graceful_core::GracefulModel::new(Featurizer::full(), cfg.hidden, cfg.seed + h as u64);
         model
@@ -75,10 +71,30 @@ fn main() {
 
     println!("{:<12} {:<14} | {:^22}", "Model", "Card. Est.", "Q-error (med/p95/p99)");
     rule(54);
-    println!("{:<12} {:<14} | {}", "GRACEFUL", "Actual", fmt_q(&summarize(&g_actual, |r| r.has_udf)));
-    println!("{:<12} {:<14} | {}", "GRACEFUL", "DeepDB-like", fmt_q(&summarize(&g_deepdb, |r| r.has_udf)));
-    println!("{:<12} {:<14} | {}", "FlatVector", "Actual", fmt_q(&summarize(&f_actual, |r| r.has_udf)));
-    println!("{:<12} {:<14} | {}", "FlatVector", "DeepDB-like", fmt_q(&summarize(&f_deepdb, |r| r.has_udf)));
+    println!(
+        "{:<12} {:<14} | {}",
+        "GRACEFUL",
+        "Actual",
+        fmt_q(&summarize(&g_actual, |r| r.has_udf))
+    );
+    println!(
+        "{:<12} {:<14} | {}",
+        "GRACEFUL",
+        "DeepDB-like",
+        fmt_q(&summarize(&g_deepdb, |r| r.has_udf))
+    );
+    println!(
+        "{:<12} {:<14} | {}",
+        "FlatVector",
+        "Actual",
+        fmt_q(&summarize(&f_actual, |r| r.has_udf))
+    );
+    println!(
+        "{:<12} {:<14} | {}",
+        "FlatVector",
+        "DeepDB-like",
+        fmt_q(&summarize(&f_deepdb, |r| r.has_udf))
+    );
     rule(54);
     println!(
         "\npaper shape reference: in the paper GRACEFUL (1.29/1.37) beats FlatVector \

@@ -47,7 +47,6 @@ fn main() {
     println!(
         "\npaper shape check: median error decreases monotonically from (1) {:.2} to (5) {:.2} \
          (paper: 2.05 -> 1.13)",
-        medians[0],
-        medians[4]
+        medians[0], medians[4]
     );
 }

@@ -23,13 +23,28 @@ fn main() {
         for &t in &fold.test_indices {
             let corpus = &all[t];
             let cost = summarize_advisor(&run_advisor(
-                &fold.model, corpus, EstimatorKind::Actual, Strategy::Cost, 1, per_db,
+                &fold.model,
+                corpus,
+                EstimatorKind::Actual,
+                Strategy::Cost,
+                1,
+                per_db,
             ));
             let cons = summarize_advisor(&run_advisor(
-                &fold.model, corpus, EstimatorKind::DataDriven, Strategy::Conservative, 1, per_db,
+                &fold.model,
+                corpus,
+                EstimatorKind::DataDriven,
+                Strategy::Conservative,
+                1,
+                per_db,
             ));
             let auc = summarize_advisor(&run_advisor(
-                &fold.model, corpus, EstimatorKind::DataDriven, Strategy::AreaUnderCurve, 1, per_db,
+                &fold.model,
+                corpus,
+                EstimatorKind::DataDriven,
+                Strategy::AreaUnderCurve,
+                1,
+                per_db,
             ));
             let ubc = summarize_advisor(&run_advisor(
                 &fold.model,

@@ -11,10 +11,8 @@ use graceful_core::corpus::build_corpus;
 use graceful_core::experiments::train_graceful;
 use graceful_core::featurize::Featurizer;
 use graceful_exec::Executor;
-use graceful_plan::{
-    build_plan, AggFunc, ColRef, Pred, QuerySpec, UdfPlacement, UdfUsage,
-};
 use graceful_plan::querygen::JoinStep;
+use graceful_plan::{build_plan, AggFunc, ColRef, Pred, QuerySpec, UdfPlacement, UdfUsage};
 use graceful_storage::datagen::{generate, schema};
 use graceful_storage::Value;
 use graceful_udf::ast::CmpOp;
@@ -89,10 +87,18 @@ fn main() {
     let pu_run = exec.run_and_annotate(&mut pu, 1).unwrap();
     println!("--- push-down plan (DBMS default) ---");
     println!("{}", pd.explain());
-    println!("runtime: {:.4}s (UDF applied to {} rows)\n", pd_run.runtime_s(), pd_run.udf_input_rows);
+    println!(
+        "runtime: {:.4}s (UDF applied to {} rows)\n",
+        pd_run.runtime_s(),
+        pd_run.udf_input_rows
+    );
     println!("--- pull-up plan ---");
     println!("{}", pu.explain());
-    println!("runtime: {:.4}s (UDF applied to {} rows)\n", pu_run.runtime_s(), pu_run.udf_input_rows);
+    println!(
+        "runtime: {:.4}s (UDF applied to {} rows)\n",
+        pu_run.runtime_s(),
+        pu_run.udf_input_rows
+    );
     let speedup = pd_run.runtime_ns / pu_run.runtime_ns;
     println!("pull-up speedup: {speedup:.1}x (paper's example: 21.86s -> 0.48s ≈ 45x)\n");
 

@@ -26,9 +26,7 @@ fn bench_interpreter(c: &mut Criterion) {
         let mut x = 0i64;
         b.iter(|| {
             x = (x + 7) % 100;
-            let out = interp
-                .eval(&udf, &[Value::Int(black_box(x)), Value::Float(2.5)])
-                .unwrap();
+            let out = interp.eval(&udf, &[Value::Int(black_box(x)), Value::Float(2.5)]).unwrap();
             black_box(out.cost.total)
         })
     });

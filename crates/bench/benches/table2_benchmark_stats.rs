@@ -16,17 +16,11 @@ fn main() {
         "", s.n_udf_filter, s.n_udf_projection, s.n_non_udf
     );
     println!("{:<38} {}", "Number of Databases", s.n_databases);
-    println!(
-        "{:<38} {:.3} hours (simulated)",
-        "Total Runtime Of Benchmark", s.total_runtime_hours
-    );
+    println!("{:<38} {:.3} hours (simulated)", "Total Runtime Of Benchmark", s.total_runtime_hours);
     println!("{:<38} 0-{} joins, 0-{} filters", "Query Complexity", s.max_joins, s.max_filters);
     println!("{:<38} 0-{}", "UDF: Number of Branches", s.max_branches);
     println!("{:<38} 0-{}", "UDF: Number of Loops", s.max_loops);
-    println!(
-        "{:<38} {}-{}",
-        "UDF: Number of Arithmetic/String Ops", s.min_ops, s.max_ops
-    );
+    println!("{:<38} {}-{}", "UDF: Number of Arithmetic/String Ops", s.min_ops, s.max_ops);
     println!("{:<38} math, numpy", "UDF: Supported Libraries");
     println!("{:<38} 0.0001-1.0 (log-uniform target)", "UDF: Filter Selectivity");
     rule(72);

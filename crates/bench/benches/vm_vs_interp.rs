@@ -1,0 +1,198 @@
+//! Microbenchmark: tree-walking interpreter vs bytecode batch VM.
+//!
+//! Measures per-row UDF evaluation throughput for both execution backends
+//! over representative UDF shapes (straight-line arithmetic, branch+loop,
+//! string methods) and prints the speedup at several batch sizes. The VM is
+//! expected to clear 2× on per-row evaluation at batch sizes ≥ 1024 — the
+//! acceptance bar for the bytecode subsystem.
+//!
+//! Run with `cargo bench --bench vm_vs_interp` (add `--release` semantics
+//! automatically; bench profile inherits release).
+
+use graceful_common::rng::Rng;
+use graceful_storage::datagen::{generate, schema};
+use graceful_storage::Value;
+use graceful_udf::generator::apply_adaptations;
+use graceful_udf::{compile, parse_udf, Interpreter, UdfGenerator, Vm};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    source: &'static str,
+    rows: usize,
+    make_args: fn(usize) -> Vec<Value>,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "arith_straightline",
+        source: "def f(x, y):\n    z = x * 1.5 + y\n    w = z * z - x / (y + 1)\n    return w + z * 0.25\n",
+        rows: 60_000,
+        make_args: |i| vec![Value::Int((i % 100) as i64), Value::Float((i % 37) as f64 + 0.5)],
+    },
+    Case {
+        name: "branch_loop",
+        source: "def f(x, y):\n    z = 0\n    if x < 50:\n        z = x * 2 + y\n    else:\n        for i in range(12):\n            z = z + math.sqrt(x + i)\n    return z\n",
+        rows: 30_000,
+        make_args: |i| vec![Value::Int((i % 100) as i64), Value::Int((i % 7) as i64)],
+    },
+    Case {
+        name: "string_methods",
+        source: "def f(s, y):\n    t = s.upper()\n    if t.startswith('AB'):\n        return len(t) + y\n    return t.find('X') + y\n",
+        rows: 20_000,
+        make_args: |i| {
+            let s = if i % 3 == 0 { "abcdefgh" } else { "xyzzy prefix" };
+            vec![Value::Text(s.to_string()), Value::Int((i % 11) as i64)]
+        },
+    },
+];
+
+fn time_it(mut f: impl FnMut()) -> f64 {
+    // One warm-up pass, then best-of-3 timed passes.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    println!("=== UDF backends: tree-walking interpreter vs bytecode batch VM ===\n");
+    let batch_sizes = [1usize, 64, 1024, 4096];
+    let mut worst_speedup_1024 = f64::INFINITY;
+    for case in CASES {
+        let udf = parse_udf(case.source).expect("bench UDF parses");
+        let prog = compile(&udf).expect("bench UDF compiles");
+        let rows: Vec<Vec<Value>> = (0..case.rows).map(case.make_args).collect();
+        // Columnar copy for the batch API.
+        let n_params = rows[0].len();
+        let cols: Vec<Vec<Value>> =
+            (0..n_params).map(|p| rows.iter().map(|r| r[p].clone()).collect()).collect();
+
+        let mut interp = Interpreter::default();
+        let tree_s = time_it(|| {
+            let mut acc = 0.0;
+            for args in &rows {
+                acc += interp.eval(&udf, args).unwrap().cost.total;
+            }
+            black_box(acc);
+        });
+        let tree_rate = case.rows as f64 / tree_s;
+        println!("{:<20} tree-walk: {:>10.0} rows/s", case.name, tree_rate);
+
+        for &batch in &batch_sizes {
+            let mut vm = Vm::default();
+            let mut out = Vec::with_capacity(batch);
+            let vm_s = time_it(|| {
+                let mut acc = 0.0;
+                let mut start = 0;
+                while start < case.rows {
+                    let end = (start + batch).min(case.rows);
+                    let slices: Vec<&[Value]> = cols.iter().map(|c| &c[start..end]).collect();
+                    out.clear();
+                    let mut cost = graceful_udf::CostCounter::new();
+                    vm.eval_batch(&prog, &slices, &mut out, &mut cost).unwrap();
+                    acc += cost.total;
+                    start = end;
+                }
+                black_box(acc);
+            });
+            let vm_rate = case.rows as f64 / vm_s;
+            let speedup = vm_rate / tree_rate;
+            println!(
+                "{:<20} vm b={:<5} {:>10.0} rows/s   ({speedup:.2}x)",
+                case.name, batch, vm_rate
+            );
+            if batch >= 1024 {
+                worst_speedup_1024 = worst_speedup_1024.min(speedup);
+            }
+        }
+        println!();
+    }
+    println!("worst handcrafted-case VM speedup at batch >= 1024: {worst_speedup_1024:.2}x");
+    println!("(string-method UDFs are bound by string allocation, not dispatch)\n");
+
+    // The acceptance measurement: the generator's own corpus mix (the UDF
+    // population every experiment runs), evaluated per row by both backends.
+    let corpus_speedup = corpus_mix_speedup();
+    println!("corpus-mix VM speedup at batch 1024: {corpus_speedup:.2}x (target: >= 2x)");
+    if corpus_speedup < 2.0 {
+        println!("WARNING: below the 2x acceptance bar");
+    }
+}
+
+/// Generate a representative batch of corpus UDFs and measure the aggregate
+/// per-row evaluation throughput of both backends at batch size 1024.
+fn corpus_mix_speedup() -> f64 {
+    let mut db = generate(&schema("tpc_h"), 0.05, 3);
+    let gen = UdfGenerator::default();
+    let mut rng = Rng::seed(42);
+    struct GenCase {
+        udf: graceful_udf::UdfDef,
+        prog: graceful_udf::Program,
+        cols: Vec<Vec<Value>>,
+        rows: usize,
+    }
+    let mut cases = Vec::new();
+    for _ in 0..12 {
+        let u = gen.generate(&db, &mut rng).expect("generator produces UDF");
+        apply_adaptations(&mut db, &u.adaptations).expect("adaptations apply");
+        let table = db.table(&u.table).expect("udf table exists");
+        let rows = table.num_rows().min(4_000);
+        let cols: Vec<Vec<Value>> = u
+            .input_columns
+            .iter()
+            .map(|c| {
+                let col = table.column(c).expect("input column exists");
+                (0..rows).map(|r| col.value(r)).collect()
+            })
+            .collect();
+        let prog = compile(&u.def).expect("corpus UDF compiles");
+        cases.push(GenCase { udf: u.def.clone(), prog, cols, rows });
+    }
+    let total_rows: usize = cases.iter().map(|c| c.rows).sum();
+
+    let mut interp = Interpreter::default();
+    let tree_s = time_it(|| {
+        let mut acc = 0.0;
+        let mut args = Vec::new();
+        for case in &cases {
+            for r in 0..case.rows {
+                args.clear();
+                args.extend(case.cols.iter().map(|c| c[r].clone()));
+                acc += interp.eval(&case.udf, &args).unwrap().cost.total;
+            }
+        }
+        black_box(acc);
+    });
+
+    let mut vm = Vm::default();
+    let vm_s = time_it(|| {
+        let mut acc = 0.0;
+        let mut out = Vec::new();
+        for case in &cases {
+            let mut start = 0;
+            while start < case.rows {
+                let end = (start + 1024).min(case.rows);
+                let slices: Vec<&[Value]> = case.cols.iter().map(|c| &c[start..end]).collect();
+                out.clear();
+                let mut cost = graceful_udf::CostCounter::new();
+                vm.eval_batch(&case.prog, &slices, &mut out, &mut cost).unwrap();
+                acc += cost.total;
+                start = end;
+            }
+        }
+        black_box(acc);
+    });
+    println!(
+        "corpus mix ({} UDFs, {total_rows} rows): tree-walk {:>10.0} rows/s, vm {:>10.0} rows/s",
+        cases.len(),
+        total_rows as f64 / tree_s,
+        total_rows as f64 / vm_s,
+    );
+    tree_s / vm_s
+}

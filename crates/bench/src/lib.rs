@@ -20,7 +20,9 @@ pub fn announce(experiment: &str) -> ScaleConfig {
         "scale: data x{:.2}, {} queries/db, {} folds, {} epochs, hidden {}, seed {}",
         cfg.data_scale, cfg.queries_per_db, cfg.folds, cfg.epochs, cfg.hidden, cfg.seed
     );
-    println!("(set GRACEFUL_FOLDS=20 / GRACEFUL_QUERIES_PER_DB / GRACEFUL_SCALE for paper scale)\n");
+    println!(
+        "(set GRACEFUL_FOLDS=20 / GRACEFUL_QUERIES_PER_DB / GRACEFUL_SCALE for paper scale)\n"
+    );
     cfg
 }
 

@@ -73,9 +73,8 @@ mod tests {
         // Exactly count.
         let t = db.table("lineitem_t").unwrap();
         let c = t.column("quantity").unwrap();
-        let truth = (0..t.num_rows())
-            .filter(|&r| c.get_i64(r).is_some_and(|v| v <= 25))
-            .count() as f64
+        let truth = (0..t.num_rows()).filter(|&r| c.get_i64(r).is_some_and(|v| v <= 25)).count()
+            as f64
             / t.num_rows() as f64;
         assert_eq!(sel, truth);
     }

@@ -82,10 +82,7 @@ impl<'a> DataDrivenCard<'a> {
         if ids.is_empty() {
             return 0.0;
         }
-        let hits = ids
-            .iter()
-            .filter(|&&r| preds.iter().all(|p| p.matches(t, r as usize)))
-            .count();
+        let hits = ids.iter().filter(|&&r| preds.iter().all(|p| p.matches(t, r as usize))).count();
         // Laplace smoothing: zero sample hits become a small non-zero
         // probability (DeepDB's SPN leaves never output exact zero either).
         (hits as f64 + 0.5) / (ids.len() as f64 + 1.0)
@@ -160,14 +157,18 @@ mod tests {
         let dep = st.column("dep_delay").unwrap();
         let arr = st.column("arr_delay").unwrap();
         let preds = vec![
-            Pred::new("flight", "dep_delay", CmpOp::Gt, Value::Int(((dep.min + dep.max) / 2.0) as i64)),
+            Pred::new(
+                "flight",
+                "dep_delay",
+                CmpOp::Gt,
+                Value::Int(((dep.min + dep.max) / 2.0) as i64),
+            ),
             Pred::new("flight", "arr_delay", CmpOp::Gt, Value::Float((arr.min + arr.max) / 2.0)),
         ];
         let est_sel = est.conjunction_selectivity("flight", &preds);
         let t = db.table("flight").unwrap();
-        let truth = (0..t.num_rows())
-            .filter(|&r| preds.iter().all(|p| p.matches(t, r)))
-            .count() as f64
+        let truth = (0..t.num_rows()).filter(|&r| preds.iter().all(|p| p.matches(t, r))).count()
+            as f64
             / t.num_rows() as f64;
         let q = (est_sel / truth).max(truth / est_sel);
         assert!(q < 1.5, "data-driven should capture correlation: q={q}");

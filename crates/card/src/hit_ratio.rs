@@ -109,7 +109,7 @@ mod tests {
     use crate::ActualCard;
     use graceful_cfg::{build_dag, DagConfig, UdfNodeKind};
     use graceful_storage::datagen::{generate, schema};
-    use graceful_storage::{Database, DataType};
+    use graceful_storage::{DataType, Database};
     use graceful_udf::parse_udf;
     use std::sync::Arc;
 
@@ -136,11 +136,8 @@ mod tests {
         let (db, udf) = setup();
         let actual = ActualCard::new(&db);
         let hr = HitRatioEstimator::new(&actual);
-        let cond = BranchCondInfo {
-            param: "x0".into(),
-            op: graceful_udf::ast::CmpOp::Lt,
-            literal: 10.0,
-        };
+        let cond =
+            BranchCondInfo { param: "x0".into(), op: graceful_udf::ast::CmpOp::Lt, literal: 10.0 };
         let pred = hr.rewrite(&udf, &cond).unwrap();
         assert_eq!(pred.col.table, "lineitem_t");
         assert_eq!(pred.col.column, "quantity");
@@ -151,8 +148,7 @@ mod tests {
         let (db, udf) = setup();
         let actual = ActualCard::new(&db);
         let hr = HitRatioEstimator::new(&actual);
-        let mut dag =
-            build_dag(&udf.def, &[DataType::Int], DataType::Float, DagConfig::default());
+        let mut dag = build_dag(&udf.def, &[DataType::Int], DataType::Float, DagConfig::default());
         hr.annotate_dag(&mut dag, &udf, 1000.0, &[]);
         // The then-side COMP should get ~18% of rows (quantity in 1..=9 of 1..=50).
         let comps: Vec<&graceful_cfg::UdfNode> =
@@ -172,12 +168,8 @@ mod tests {
         let hr = HitRatioEstimator::new(&actual);
         // Pre-filter quantity <= 10 makes the branch (x0 < 10) almost always
         // taken.
-        let pre = vec![Pred::new(
-            "lineitem_t",
-            "quantity",
-            graceful_udf::ast::CmpOp::Le,
-            Value::Int(10),
-        )];
+        let pre =
+            vec![Pred::new("lineitem_t", "quantity", graceful_udf::ast::CmpOp::Le, Value::Int(10))];
         let cond = vec![(
             Some(BranchCondInfo {
                 param: "x0".into(),

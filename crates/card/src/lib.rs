@@ -157,10 +157,7 @@ mod tests {
                     },
                     vec![0, 1],
                 ),
-                PlanOp::new(
-                    PlanOpKind::UdfFilter { udf, op: CmpOp::Le, literal: 1.0 },
-                    vec![2],
-                ),
+                PlanOp::new(PlanOpKind::UdfFilter { udf, op: CmpOp::Le, literal: 1.0 }, vec![2]),
                 PlanOp::new(
                     PlanOpKind::Join {
                         left_col: ColRef::new("a", "id"),

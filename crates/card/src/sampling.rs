@@ -141,8 +141,7 @@ impl CardEstimator for SamplingCard<'_> {
                     let t = self.db.table(table)?;
                     let n = t.num_rows();
                     let k = self.walks.min(n);
-                    let rows: Vec<u32> =
-                        (0..k).map(|_| rng.range(0..n.max(1)) as u32).collect();
+                    let rows: Vec<u32> = (0..k).map(|_| rng.range(0..n.max(1)) as u32).collect();
                     let est = n as f64;
                     (SampleRel { tables: vec![table.clone()], rows, estimate: est }, est)
                 }

@@ -173,12 +173,8 @@ impl Builder {
                     prev.extend(else_ends);
                 }
                 Stmt::For { count, body, .. } => {
-                    prev = self.lower_loop(
-                        LoopKindFeat::For,
-                        estimate_for_iters(count),
-                        body,
-                        prev,
-                    );
+                    prev =
+                        self.lower_loop(LoopKindFeat::For, estimate_for_iters(count), body, prev);
                 }
                 Stmt::While { cond, body } => {
                     let iters = self.estimate_while_iters(cond);
@@ -295,8 +291,10 @@ fn estimate_for_iters(count: &Expr) -> f64 {
         Expr::Int(n) => (*n).max(0) as f64,
         Expr::Float(f) => f.max(0.0),
         Expr::Binary { op: graceful_udf::BinOp::Add, left, right } => {
-            if let (Expr::Binary { op: graceful_udf::BinOp::Mod, right: modulus, .. }, Expr::Int(k)) =
-                (left.as_ref(), right.as_ref())
+            if let (
+                Expr::Binary { op: graceful_udf::BinOp::Mod, right: modulus, .. },
+                Expr::Int(k),
+            ) = (left.as_ref(), right.as_ref())
             {
                 if let Expr::Int(m) = modulus.as_ref() {
                     return (*m as f64) / 2.0 + *k as f64;
@@ -313,16 +311,14 @@ fn estimate_for_iters(count: &Expr) -> f64 {
 /// traceable comparison; everything else is untraceable.
 fn trace_condition(cond: &Expr, params: &[String]) -> Option<BranchCondInfo> {
     match cond {
-        Expr::Compare { op, left, right } => {
-            match (left.as_ref(), right.as_ref()) {
-                (Expr::Name(n), lit) if params.contains(n) => {
-                    literal_value(lit).map(|v| BranchCondInfo { param: n.clone(), op: *op, literal: v })
-                }
-                (lit, Expr::Name(n)) if params.contains(n) => literal_value(lit)
-                    .map(|v| BranchCondInfo { param: n.clone(), op: op.flipped(), literal: v }),
-                _ => None,
+        Expr::Compare { op, left, right } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Name(n), lit) if params.contains(n) => {
+                literal_value(lit).map(|v| BranchCondInfo { param: n.clone(), op: *op, literal: v })
             }
-        }
+            (lit, Expr::Name(n)) if params.contains(n) => literal_value(lit)
+                .map(|v| BranchCondInfo { param: n.clone(), op: op.flipped(), literal: v }),
+            _ => None,
+        },
         Expr::BoolOp { left, right, .. } => {
             trace_condition(left, params).or_else(|| trace_condition(right, params))
         }
@@ -529,10 +525,7 @@ mod tests {
             && dag.nodes[s].kind == UdfNodeKind::Loop
             && dag.nodes[d].kind == UdfNodeKind::LoopEnd));
         // Loop body COMP nodes carry loop_part.
-        assert!(dag
-            .nodes
-            .iter()
-            .any(|n| n.kind == UdfNodeKind::Comp && n.loop_part));
+        assert!(dag.nodes.iter().any(|n| n.kind == UdfNodeKind::Comp && n.loop_part));
         // Loop trip count is the literal 100.
         let loop_node = dag.nodes.iter().find(|n| n.kind == UdfNodeKind::Loop).unwrap();
         assert_eq!(loop_node.nr_iter, 100.0);

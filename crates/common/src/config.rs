@@ -13,6 +13,44 @@
 //! | `GRACEFUL_EPOCHS`         | GNN training epochs | `14` |
 //! | `GRACEFUL_HIDDEN`         | GNN hidden width | `32` |
 //! | `GRACEFUL_SEED`           | global seed | `20250331` (the arXiv date) |
+//! | `GRACEFUL_UDF_BACKEND`    | UDF execution backend: `treewalk` or `vm` | `treewalk` |
+//! | `GRACEFUL_UDF_BATCH`      | rows per batch fed to the UDF VM | `1024` |
+
+/// Which UDF evaluation backend the execution engine uses.
+///
+/// Both backends produce identical values and identical accounted work (the
+/// differential property suite enforces it), so experiments are reproducible
+/// under either; the flag exists so results can always be pinned to the
+/// reference tree-walker while the vectorized VM serves the hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UdfBackend {
+    /// Reference tree-walking interpreter (`graceful-udf::interp`).
+    #[default]
+    TreeWalk,
+    /// Bytecode compiler + vectorized batch VM (`graceful-udf::vm`).
+    Vm,
+}
+
+impl UdfBackend {
+    /// Resolve from `GRACEFUL_UDF_BACKEND` (`treewalk` | `vm`, case
+    /// insensitive); unknown values fall back to the default.
+    pub fn from_env() -> Self {
+        match std::env::var("GRACEFUL_UDF_BACKEND") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "vm" | "bytecode" => UdfBackend::Vm,
+                "treewalk" | "tree_walk" | "interp" => UdfBackend::TreeWalk,
+                _ => UdfBackend::default(),
+            },
+            Err(_) => UdfBackend::default(),
+        }
+    }
+}
+
+/// Resolve the UDF VM batch size from `GRACEFUL_UDF_BATCH` (default 1024,
+/// clamped to at least 1).
+pub fn udf_batch_from_env() -> usize {
+    env_parse::<usize>("GRACEFUL_UDF_BATCH").unwrap_or(1024).max(1)
+}
 
 /// Scaling configuration resolved from the environment with sane defaults.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,12 +93,8 @@ impl ScaleConfig {
         let d = ScaleConfig::default();
         ScaleConfig {
             data_scale: env_parse("GRACEFUL_SCALE").unwrap_or(d.data_scale).max(0.01),
-            queries_per_db: env_parse("GRACEFUL_QUERIES_PER_DB")
-                .unwrap_or(d.queries_per_db)
-                .max(4),
-            folds: env_parse::<usize>("GRACEFUL_FOLDS")
-                .unwrap_or(d.folds)
-                .clamp(1, 20),
+            queries_per_db: env_parse("GRACEFUL_QUERIES_PER_DB").unwrap_or(d.queries_per_db).max(4),
+            folds: env_parse::<usize>("GRACEFUL_FOLDS").unwrap_or(d.folds).clamp(1, 20),
             epochs: env_parse("GRACEFUL_EPOCHS").unwrap_or(d.epochs).max(1),
             hidden: env_parse("GRACEFUL_HIDDEN").unwrap_or(d.hidden).clamp(4, 512),
             seed: env_parse("GRACEFUL_SEED").unwrap_or(d.seed),

@@ -28,6 +28,14 @@ pub enum GracefulError {
     Parse { line: usize, message: String },
     /// A UDF failed while being evaluated (type error, unknown function, ...).
     Eval(String),
+    /// A UDF loop ran past the engine's iteration cap. Typed (rather than a
+    /// generic `Eval` string) so executors and schedulers can distinguish
+    /// "this UDF diverges" from ordinary evaluation failures; both UDF
+    /// backends report it identically.
+    IterationLimit {
+        /// The cap that was exceeded.
+        limit: u64,
+    },
     /// A name (table, column, UDF parameter) could not be resolved.
     Unresolved(String),
     /// A plan is structurally invalid (e.g. join on missing columns).
@@ -45,6 +53,9 @@ impl fmt::Display for GracefulError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GracefulError::Eval(m) => write!(f, "UDF evaluation error: {m}"),
+            GracefulError::IterationLimit { limit } => {
+                write!(f, "iteration limit: loop exceeded {limit} iterations")
+            }
             GracefulError::Unresolved(m) => write!(f, "unresolved name: {m}"),
             GracefulError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             GracefulError::Model(m) => write!(f, "model error: {m}"),

@@ -20,9 +20,7 @@ pub struct Rng {
 impl Rng {
     /// Create a generator from an explicit 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        Rng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        Rng { inner: StdRng::seed_from_u64(seed) }
     }
 
     /// Derive an independent child generator.
@@ -140,9 +138,7 @@ impl Rng {
 /// from the same skewed domain.
 pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
     assert!(n > 0);
-    let mut weights: Vec<f64> = (0..n)
-        .map(|i| 1.0 / ((i + 1) as f64).powf(s.max(0.0)))
-        .collect();
+    let mut weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s.max(0.0))).collect();
     let total: f64 = weights.iter().sum();
     let mut acc = 0.0;
     for w in weights.iter_mut() {

@@ -128,10 +128,9 @@ impl<'a> PullUpAdvisor<'a> {
                 let b: f64 = pushdown.iter().map(|(_, c)| c).sum();
                 a < b
             }
-            Strategy::Conservative => pullup
-                .iter()
-                .zip(&pushdown)
-                .all(|((_, up), (_, down))| up < down),
+            Strategy::Conservative => {
+                pullup.iter().zip(&pushdown).all(|((_, up), (_, down))| up < down)
+            }
         };
         Ok(AdvisorDecision { pull_up, pullup_costs: pullup, pushdown_costs: pushdown })
     }
@@ -158,16 +157,12 @@ mod tests {
             .queries
             .iter()
             .find(|q| {
-                q.has_udf()
-                    && q.spec.udf_usage == UdfUsage::Filter
-                    && !q.spec.joins.is_empty()
+                q.has_udf() && q.spec.udf_usage == UdfUsage::Filter && !q.spec.joins.is_empty()
             })
             .expect("corpus has an advisable query");
-        for strat in [
-            Strategy::UpperBoundCardinality,
-            Strategy::AreaUnderCurve,
-            Strategy::Conservative,
-        ] {
+        for strat in
+            [Strategy::UpperBoundCardinality, Strategy::AreaUnderCurve, Strategy::Conservative]
+        {
             let d = advisor.decide(&c.db, &q.spec, &est, strat, None).unwrap();
             assert_eq!(d.pullup_costs.len(), SELECTIVITY_LADDER.len());
             assert!(d.pullup_costs.iter().all(|(_, c)| c.is_finite() && *c > 0.0));
@@ -187,16 +182,11 @@ mod tests {
         let est = ActualCard::new(&c.db);
         let advisor = PullUpAdvisor::new(&model);
         for q in &c.queries {
-            if !(q.has_udf() && q.spec.udf_usage == UdfUsage::Filter && !q.spec.joins.is_empty())
-            {
+            if !(q.has_udf() && q.spec.udf_usage == UdfUsage::Filter && !q.spec.joins.is_empty()) {
                 continue;
             }
-            let cons = advisor
-                .decide(&c.db, &q.spec, &est, Strategy::Conservative, None)
-                .unwrap();
-            let auc = advisor
-                .decide(&c.db, &q.spec, &est, Strategy::AreaUnderCurve, None)
-                .unwrap();
+            let cons = advisor.decide(&c.db, &q.spec, &est, Strategy::Conservative, None).unwrap();
+            let auc = advisor.decide(&c.db, &q.spec, &est, Strategy::AreaUnderCurve, None).unwrap();
             if cons.pull_up {
                 assert!(auc.pull_up, "conservative pulled up but AuC did not");
             }
@@ -212,9 +202,7 @@ mod tests {
         let advisor = PullUpAdvisor::new(&model);
         let q = c.queries.iter().find(|q| !q.has_udf() || q.spec.joins.is_empty());
         if let Some(q) = q {
-            assert!(advisor
-                .decide(&c.db, &q.spec, &est, Strategy::AreaUnderCurve, None)
-                .is_err());
+            assert!(advisor.decide(&c.db, &q.spec, &est, Strategy::AreaUnderCurve, None).is_err());
         }
     }
 }

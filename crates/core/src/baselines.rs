@@ -90,9 +90,13 @@ pub struct QuerySideModel {
 }
 
 impl QuerySideModel {
-    pub fn train(corpora: &[&DatasetCorpus], epochs: usize, hidden: usize, seed: u64) -> Result<Self> {
-        let config =
-            GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
+    pub fn train(
+        corpora: &[&DatasetCorpus],
+        epochs: usize,
+        hidden: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let config = GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
         let mut gnn = GnnModel::new(config, seed);
         let fz = Featurizer::level(1);
         let mut samples: Vec<(TypedGraph, f64)> = Vec::new();
@@ -156,7 +160,12 @@ pub struct FlatGraphBaseline {
 }
 
 impl FlatGraphBaseline {
-    pub fn train(corpora: &[&DatasetCorpus], epochs: usize, hidden: usize, seed: u64) -> Result<Self> {
+    pub fn train(
+        corpora: &[&DatasetCorpus],
+        epochs: usize,
+        hidden: usize,
+        seed: u64,
+    ) -> Result<Self> {
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
         for c in corpora {
@@ -220,11 +229,8 @@ fn udf_only_graph(
     estimator: &dyn CardEstimator,
 ) -> Result<TypedGraph> {
     let table = db.table(&udf.table)?;
-    let arg_types: Vec<DataType> = udf
-        .input_columns
-        .iter()
-        .map(|c| table.column_type(c))
-        .collect::<Result<Vec<_>>>()?;
+    let arg_types: Vec<DataType> =
+        udf.input_columns.iter().map(|c| table.column_type(c)).collect::<Result<Vec<_>>>()?;
     let ret_type = graceful_udf::infer_return_type(&udf.def, &arg_types);
     let mut dag = build_dag(&udf.def, &arg_types, ret_type, DagConfig::default());
     let pre: Vec<graceful_plan::Pred> =
@@ -277,9 +283,13 @@ fn udf_only_graph(
 }
 
 impl GraphGraphBaseline {
-    pub fn train(corpora: &[&DatasetCorpus], epochs: usize, hidden: usize, seed: u64) -> Result<Self> {
-        let config =
-            GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
+    pub fn train(
+        corpora: &[&DatasetCorpus],
+        epochs: usize,
+        hidden: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let config = GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
         let mut udf_gnn = GnnModel::new(config, seed ^ 0x66);
         let mut samples: Vec<(TypedGraph, f64)> = Vec::new();
         for c in corpora {

@@ -108,10 +108,7 @@ pub fn build_corpus_with(
         let exec = Executor::new(&db);
         match exec.run_and_annotate(&mut plan, spec.id) {
             Ok(run) => {
-                let udf_work = plan
-                    .udf_op()
-                    .map(|i| run.op_work[i])
-                    .unwrap_or(0.0);
+                let udf_work = plan.udf_op().map(|i| run.op_work[i]).unwrap_or(0.0);
                 queries.push(LabeledQuery {
                     spec,
                     placement,
@@ -138,16 +135,19 @@ pub fn build_all_corpora(cfg: &ScaleConfig) -> Vec<DatasetCorpus> {
         for (w, block) in names.chunks(chunk).enumerate() {
             let cfg = *cfg;
             let block: Vec<&str> = block.to_vec();
-            handles.push((w, s.spawn(move || {
-                block
-                    .iter()
-                    .enumerate()
-                    .map(|(i, name)| {
-                        let seed = cfg.seed.wrapping_add(((w * chunk + i) as u64) * 7919);
-                        build_corpus(name, &cfg, seed).expect("corpus build failed")
-                    })
-                    .collect::<Vec<_>>()
-            })));
+            handles.push((
+                w,
+                s.spawn(move || {
+                    block
+                        .iter()
+                        .enumerate()
+                        .map(|(i, name)| {
+                            let seed = cfg.seed.wrapping_add(((w * chunk + i) as u64) * 7919);
+                            build_corpus(name, &cfg, seed).expect("corpus build failed")
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
         }
         for (w, h) in handles {
             for (i, c) in h.join().expect("corpus worker panicked").into_iter().enumerate() {
@@ -177,7 +177,8 @@ pub struct BenchmarkStats {
 
 /// Compute Table II's rows.
 pub fn benchmark_stats(corpora: &[DatasetCorpus]) -> BenchmarkStats {
-    let mut s = BenchmarkStats { n_databases: corpora.len(), min_ops: usize::MAX, ..Default::default() };
+    let mut s =
+        BenchmarkStats { n_databases: corpora.len(), min_ops: usize::MAX, ..Default::default() };
     for c in corpora {
         for q in &c.queries {
             s.n_queries += 1;

@@ -2,11 +2,11 @@
 //! advisor end-to-end runner. The bench targets (one per paper table/figure)
 //! are thin printers over these functions.
 
+use crate::advisor::{PullUpAdvisor, Strategy};
 use crate::baselines::{FlatGraphBaseline, GraphGraphBaseline};
 use crate::corpus::{DatasetCorpus, LabeledQuery};
 use crate::featurize::Featurizer;
 use crate::model::{GracefulModel, TrainConfig};
-use crate::advisor::{PullUpAdvisor, Strategy};
 use graceful_card::{ActualCard, CardEstimator, DataDrivenCard, NaiveCard, SamplingCard};
 use graceful_common::config::ScaleConfig;
 use graceful_common::metrics::QErrorSummary;
@@ -86,35 +86,40 @@ pub fn cross_validate(
 ) -> Vec<Fold> {
     let n = corpora.len();
     let folds = cfg.folds.clamp(1, n);
-    let groups: Vec<Vec<usize>> = (0..folds)
-        .map(|f| (0..n).filter(|i| i % folds == f).collect())
-        .collect();
+    let groups: Vec<Vec<usize>> =
+        (0..folds).map(|f| (0..n).filter(|i| i % folds == f).collect()).collect();
     let mut out: Vec<Option<Fold>> = (0..folds).map(|_| None).collect();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (f, group) in groups.iter().enumerate() {
             let group = group.clone();
             let cfg = *cfg;
-            handles.push((f, s.spawn(move || {
-                let train: Vec<&DatasetCorpus> = corpora
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !group.contains(i))
-                    .map(|(_, c)| c)
-                    .collect();
-                let mut model = GracefulModel::new(featurizer, cfg.hidden, cfg.seed + f as u64);
-                let tcfg =
-                    TrainConfig { epochs: cfg.epochs, seed: cfg.seed, ..TrainConfig::default() };
-                // A single-fold setup has no training partner; train on the
-                // test group itself (degenerate but still useful smoke mode).
-                if train.is_empty() {
-                    let all: Vec<&DatasetCorpus> = corpora.iter().collect();
-                    model.train(&all, &tcfg).expect("training succeeds");
-                } else {
-                    model.train(&train, &tcfg).expect("training succeeds");
-                }
-                Fold { model, test_indices: group }
-            })));
+            handles.push((
+                f,
+                s.spawn(move || {
+                    let train: Vec<&DatasetCorpus> = corpora
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !group.contains(i))
+                        .map(|(_, c)| c)
+                        .collect();
+                    let mut model = GracefulModel::new(featurizer, cfg.hidden, cfg.seed + f as u64);
+                    let tcfg = TrainConfig {
+                        epochs: cfg.epochs,
+                        seed: cfg.seed,
+                        ..TrainConfig::default()
+                    };
+                    // A single-fold setup has no training partner; train on the
+                    // test group itself (degenerate but still useful smoke mode).
+                    if train.is_empty() {
+                        let all: Vec<&DatasetCorpus> = corpora.iter().collect();
+                        model.train(&all, &tcfg).expect("training succeeds");
+                    } else {
+                        model.train(&train, &tcfg).expect("training succeeds");
+                    }
+                    Fold { model, test_indices: group }
+                }),
+            ));
         }
         for (f, h) in handles {
             out[f] = Some(h.join().expect("fold training panicked"));
@@ -154,7 +159,12 @@ pub fn evaluate_with<F>(
     mut predict: F,
 ) -> Vec<EvalRecord>
 where
-    F: FnMut(&DatasetCorpus, &LabeledQuery, &graceful_plan::Plan, &dyn CardEstimator) -> Result<f64>,
+    F: FnMut(
+        &DatasetCorpus,
+        &LabeledQuery,
+        &graceful_plan::Plan,
+        &dyn CardEstimator,
+    ) -> Result<f64>,
 {
     let est = kind.build(&corpus.db, seed);
     let mut out = Vec::with_capacity(corpus.queries.len());
@@ -308,11 +318,11 @@ pub fn run_advisor(
             })
             .unwrap_or(0.5);
         let started = std::time::Instant::now();
-        let decision = match advisor.decide(&corpus.db, &q.spec, est.as_ref(), strategy, Some(known_sel))
-        {
-            Ok(d) => d,
-            Err(_) => continue,
-        };
+        let decision =
+            match advisor.decide(&corpus.db, &q.spec, est.as_ref(), strategy, Some(known_sel)) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
         let decide_seconds = started.elapsed().as_secs_f64();
         let chosen_ns = if decision.pull_up { pu_run.runtime_ns } else { pd_run.runtime_ns };
         out.push(AdvisorOutcome {
@@ -408,12 +418,10 @@ mod tests {
         let train = build_corpus("tpc_h", &cfg, 5).unwrap();
         let test = build_corpus("airline", &cfg, 6).unwrap();
         let model = train_graceful(std::slice::from_ref(&train), &cfg, Featurizer::full());
-        let actual = summarize(&evaluate_model(&model, &test, EstimatorKind::Actual, 1), |r| {
-            r.has_udf
-        });
-        let naive = summarize(&evaluate_model(&model, &test, EstimatorKind::Naive, 1), |r| {
-            r.has_udf
-        });
+        let actual =
+            summarize(&evaluate_model(&model, &test, EstimatorKind::Actual, 1), |r| r.has_udf);
+        let naive =
+            summarize(&evaluate_model(&model, &test, EstimatorKind::Naive, 1), |r| r.has_udf);
         // Card-est error at the top node must be worse for naive.
         let actual_card = summarize_card(&evaluate_model(&model, &test, EstimatorKind::Actual, 1));
         let naive_card = summarize_card(&evaluate_model(&model, &test, EstimatorKind::Naive, 1));
@@ -432,25 +440,14 @@ mod tests {
         let cfg = cfg();
         let corpus = build_corpus("imdb", &cfg, 8).unwrap();
         let model = train_graceful(std::slice::from_ref(&corpus), &cfg, Featurizer::full());
-        let outcomes = run_advisor(
-            &model,
-            &corpus,
-            EstimatorKind::Actual,
-            Strategy::Cost,
-            1,
-            8,
-        );
+        let outcomes = run_advisor(&model, &corpus, EstimatorKind::Actual, Strategy::Cost, 1, 8);
         if outcomes.is_empty() {
             return; // tiny corpus may lack advisable queries
         }
         let s = summarize_advisor(&outcomes);
         // With the Cost strategy and actual cards, the advisor should never
         // be much worse than always-push-down on aggregate.
-        assert!(
-            s.total_speedup > 0.8,
-            "advisor badly regressed: speedup {}",
-            s.total_speedup
-        );
+        assert!(s.total_speedup > 0.8, "advisor badly regressed: speedup {}", s.total_speedup);
         assert!(s.total_optimal_ns <= s.total_chosen_ns + 1e-6);
     }
 }

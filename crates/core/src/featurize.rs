@@ -92,10 +92,7 @@ impl Featurizer {
     }
 
     fn dag_config(&self) -> DagConfig {
-        DagConfig {
-            loop_end_nodes: self.level >= 4,
-            residual_loop_edges: self.level >= 5,
-        }
+        DagConfig { loop_end_nodes: self.level >= 4, residual_loop_edges: self.level >= 5 }
     }
 
     fn include_udf_structure(&self) -> bool {
@@ -230,12 +227,8 @@ impl Featurizer {
             }
         }
         let root = op_node[plan.root];
-        let graph = TypedGraph {
-            node_types: g.node_types,
-            features: g.features,
-            edges: g.edges,
-            root,
-        };
+        let graph =
+            TypedGraph { node_types: g.node_types, features: g.features, edges: g.edges, root };
         graph.validate(&feature_dims())?;
         Ok(graph)
     }
@@ -253,21 +246,14 @@ impl Featurizer {
         estimator: &dyn CardEstimator,
     ) -> Result<usize> {
         let table = db.table(&udf.table)?;
-        let arg_types: Vec<DataType> = udf
-            .input_columns
-            .iter()
-            .map(|c| table.column_type(c))
-            .collect::<Result<Vec<_>>>()?;
+        let arg_types: Vec<DataType> =
+            udf.input_columns.iter().map(|c| table.column_type(c)).collect::<Result<Vec<_>>>()?;
         let ret_type = graceful_udf::infer_return_type(&udf.def, &arg_types);
         let mut dag = build_dag(&udf.def, &arg_types, ret_type, self.dag_config());
         // Hit-ratio row annotation (Section III-B), conditioned on the plain
         // filters already applied to the UDF's base table.
-        let pre_filters: Vec<Pred> = spec
-            .filters
-            .iter()
-            .filter(|p| p.col.table == udf.table)
-            .cloned()
-            .collect();
+        let pre_filters: Vec<Pred> =
+            spec.filters.iter().filter(|p| p.col.table == udf.table).cloned().collect();
         let hr = HitRatioEstimator::new(estimator);
         hr.annotate_dag(&mut dag, udf, input_rows, &pre_filters);
 
@@ -362,7 +348,8 @@ fn udf_node_features(n: &graceful_cfg::UdfNode) -> (usize, Vec<f32>) {
             (node_type::BRANCH, f)
         }
         UdfNodeKind::Loop | UdfNodeKind::LoopEnd => {
-            let ty = if n.kind == UdfNodeKind::Loop { node_type::LOOP } else { node_type::LOOP_END };
+            let ty =
+                if n.kind == UdfNodeKind::Loop { node_type::LOOP } else { node_type::LOOP_END };
             let (is_for, is_while) = match n.loop_kind {
                 Some(graceful_cfg::LoopKindFeat::For) => (1.0, 0.0),
                 Some(graceful_cfg::LoopKindFeat::While) => (0.0, 1.0),
@@ -468,12 +455,7 @@ mod tests {
         let mut plan = q.plan.clone();
         est.annotate(&mut plan).unwrap();
         let sizes: Vec<usize> = (1..=5)
-            .map(|lvl| {
-                Featurizer::level(lvl)
-                    .featurize(&c.db, &q.spec, &plan, &est)
-                    .unwrap()
-                    .len()
-            })
+            .map(|lvl| Featurizer::level(lvl).featurize(&c.db, &q.spec, &plan, &est).unwrap().len())
             .collect();
         // Level 1 (RET only) is the smallest; level 4 adds LOOP_END nodes
         // over level 3; level 5 only adds edges.

@@ -50,11 +50,7 @@ pub struct GracefulModel {
 impl GracefulModel {
     /// Create an untrained model.
     pub fn new(featurizer: Featurizer, hidden: usize, seed: u64) -> Self {
-        let config = GnnConfig {
-            hidden,
-            feature_dims: feature_dims(),
-            readout_hidden: hidden,
-        };
+        let config = GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
         GracefulModel { gnn: GnnModel::new(config, seed), featurizer_level: featurizer.level }
     }
 

@@ -1,9 +1,10 @@
 //! Plan execution with exact work accounting.
 
+use graceful_common::config::{udf_batch_from_env, UdfBackend};
 use graceful_common::{GracefulError, Result};
 use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind};
 use graceful_storage::{Database, Table, Value};
-use graceful_udf::{CostWeights, Interpreter};
+use graceful_udf::{compile, CostCounter, CostWeights, Interpreter, Vm};
 use std::collections::HashMap;
 
 /// Per-row work-unit weights of the relational operators (≈ simulated
@@ -50,6 +51,13 @@ pub struct ExecConfig {
     pub jitter: f64,
     /// Safety cap on intermediate result sizes.
     pub max_intermediate_rows: usize,
+    /// Which UDF evaluation backend serves `UdfFilter` / `UdfProject`.
+    /// Both produce identical values and accounted work; see
+    /// [`UdfBackend`]. Defaults from `GRACEFUL_UDF_BACKEND`.
+    pub udf_backend: UdfBackend,
+    /// Rows per batch fed to the UDF VM (ignored by the tree-walker).
+    /// Defaults from `GRACEFUL_UDF_BATCH`.
+    pub udf_batch_size: usize,
 }
 
 impl Default for ExecConfig {
@@ -59,8 +67,16 @@ impl Default for ExecConfig {
             udf_weights: CostWeights::default(),
             jitter: 0.03,
             max_intermediate_rows: 20_000_000,
+            udf_backend: UdfBackend::from_env(),
+            udf_batch_size: udf_batch_from_env(),
         }
     }
+}
+
+/// The per-run UDF evaluation state of the chosen backend.
+enum UdfEval {
+    Tree(Interpreter),
+    Vm(Vm),
 }
 
 /// Result of executing one plan.
@@ -135,7 +151,12 @@ impl<'a> Executor<'a> {
         let mut out_rows = vec![0usize; plan.ops.len()];
         let mut op_work = vec![0f64; plan.ops.len()];
         let mut udf_input_rows = 0usize;
-        let mut interp = Interpreter::new(self.config.udf_weights.clone());
+        let mut udf_eval = match self.config.udf_backend {
+            UdfBackend::TreeWalk => {
+                UdfEval::Tree(Interpreter::new(self.config.udf_weights.clone()))
+            }
+            UdfBackend::Vm => UdfEval::Vm(Vm::new(self.config.udf_weights.clone())),
+        };
         let mut agg_value = 0.0;
         let mut results: Vec<Option<Inter>> = (0..plan.ops.len()).map(|_| None).collect();
         for idx in 0..plan.ops.len() {
@@ -164,13 +185,18 @@ impl<'a> Executor<'a> {
                     let child = results[op.children[0]].take().expect("child executed");
                     udf_input_rows = child.n_rows();
                     self.exec_udf_filter(
-                        udf, *cmp, *literal, child, &mut interp, &mut op_work[idx],
+                        udf,
+                        *cmp,
+                        *literal,
+                        child,
+                        &mut udf_eval,
+                        &mut op_work[idx],
                     )?
                 }
                 PlanOpKind::UdfProject { udf } => {
                     let child = results[op.children[0]].take().expect("child executed");
                     udf_input_rows = child.n_rows();
-                    self.exec_udf_project(udf, child, &mut interp, &mut op_work[idx])?
+                    self.exec_udf_project(udf, child, &mut udf_eval, &mut op_work[idx])?
                 }
                 PlanOpKind::Agg { func, column } => {
                     let child = results[op.children[0]].take().expect("child executed");
@@ -180,11 +206,8 @@ impl<'a> Executor<'a> {
                     Inter { tables: child.tables, rows: Vec::new(), computed: None }
                 }
             };
-            out_rows[idx] = if matches!(op.kind, PlanOpKind::Agg { .. }) {
-                1
-            } else {
-                inter.n_rows()
-            };
+            out_rows[idx] =
+                if matches!(op.kind, PlanOpKind::Agg { .. }) { 1 } else { inter.n_rows() };
             if out_rows[idx] > self.config.max_intermediate_rows {
                 return Err(GracefulError::InvalidPlan(format!(
                     "intermediate result exceeds cap: {} rows",
@@ -211,7 +234,12 @@ impl<'a> Executor<'a> {
         self.db.table(name)
     }
 
-    fn exec_filter(&self, preds: &[graceful_plan::Pred], child: Inter, work: &mut f64) -> Result<Inter> {
+    fn exec_filter(
+        &self,
+        preds: &[graceful_plan::Pred],
+        child: Inter,
+        work: &mut f64,
+    ) -> Result<Inter> {
         let n = child.n_rows();
         let stride = child.tables.len();
         *work += n as f64 * preds.len() as f64 * self.config.weights.filter_pred;
@@ -225,9 +253,8 @@ impl<'a> Executor<'a> {
         }
         let mut rows = Vec::new();
         for r in 0..n {
-            let keep = resolved
-                .iter()
-                .all(|(p, pos, t)| p.matches(t, child.row_id(r, *pos) as usize));
+            let keep =
+                resolved.iter().all(|(p, pos, t)| p.matches(t, child.row_id(r, *pos) as usize));
             if keep {
                 rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
             }
@@ -303,12 +330,73 @@ impl<'a> Executor<'a> {
             GracefulError::InvalidPlan(format!("UDF table {} not bound", udf.table))
         })?;
         let t = self.table(&udf.table)?;
-        let cols = udf
-            .input_columns
-            .iter()
-            .map(|c| t.column(c))
-            .collect::<Result<Vec<_>>>()?;
+        let cols = udf.input_columns.iter().map(|c| t.column(c)).collect::<Result<Vec<_>>>()?;
         Ok((pos, cols))
+    }
+
+    /// Evaluate `udf` over every row of `child`, invoking `consume(row, value)`
+    /// for each output. `per_row_overhead` is the operator's own per-row work
+    /// (comparison against the filter literal, projection bookkeeping).
+    ///
+    /// Tree-walk backend: one interpretation per row. VM backend: the UDF is
+    /// compiled once, rows are gathered into columnar batches of
+    /// `udf_batch_size` and fed to the batch VM. Both account identical UDF
+    /// work; only the float summation *grouping* differs (per row vs per
+    /// batch), which changes `op_work` by at most rounding in the last ulps.
+    fn exec_udf_rows(
+        &self,
+        udf: &graceful_udf::GeneratedUdf,
+        child: &Inter,
+        udf_eval: &mut UdfEval,
+        work: &mut f64,
+        per_row_overhead: f64,
+        mut consume: impl FnMut(usize, Value),
+    ) -> Result<()> {
+        let (pos, cols) = self.udf_args(udf, child)?;
+        let n = child.n_rows();
+        match udf_eval {
+            UdfEval::Tree(interp) => {
+                let mut args: Vec<Value> = Vec::with_capacity(cols.len());
+                for r in 0..n {
+                    let rid = child.row_id(r, pos) as usize;
+                    args.clear();
+                    args.extend(cols.iter().map(|c| c.value(rid)));
+                    let out = interp.eval(&udf.def, &args)?;
+                    *work += out.cost.total + per_row_overhead;
+                    consume(r, out.value);
+                }
+            }
+            UdfEval::Vm(vm) => {
+                let prog = compile(&udf.def)?;
+                let batch = self.config.udf_batch_size.max(1);
+                let mut col_bufs: Vec<Vec<Value>> =
+                    cols.iter().map(|_| Vec::with_capacity(batch.min(n))).collect();
+                let mut outs: Vec<Value> = Vec::with_capacity(batch.min(n));
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + batch).min(n);
+                    for buf in &mut col_bufs {
+                        buf.clear();
+                    }
+                    for r in start..end {
+                        let rid = child.row_id(r, pos) as usize;
+                        for (buf, col) in col_bufs.iter_mut().zip(cols.iter()) {
+                            buf.push(col.value(rid));
+                        }
+                    }
+                    outs.clear();
+                    let mut cost = CostCounter::new();
+                    let col_slices: Vec<&[Value]> = col_bufs.iter().map(|b| b.as_slice()).collect();
+                    vm.eval_batch(&prog, &col_slices, &mut outs, &mut cost)?;
+                    *work += cost.total + (end - start) as f64 * per_row_overhead;
+                    for (i, value) in outs.drain(..).enumerate() {
+                        consume(start + i, value);
+                    }
+                    start = end;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn exec_udf_filter(
@@ -317,28 +405,27 @@ impl<'a> Executor<'a> {
         cmp: graceful_udf::ast::CmpOp,
         literal: f64,
         child: Inter,
-        interp: &mut Interpreter,
+        udf_eval: &mut UdfEval,
         work: &mut f64,
     ) -> Result<Inter> {
-        let (pos, cols) = self.udf_args(udf, &child)?;
         let stride = child.tables.len();
-        let n = child.n_rows();
         let mut rows = Vec::new();
-        let mut args: Vec<Value> = Vec::with_capacity(cols.len());
-        for r in 0..n {
-            let rid = child.row_id(r, pos) as usize;
-            args.clear();
-            args.extend(cols.iter().map(|c| c.value(rid)));
-            let out = interp.eval(&udf.def, &args)?;
-            *work += out.cost.total + self.config.weights.udf_compare;
-            let keep = match out.value.as_f64() {
-                Some(v) => cmp_f64(cmp, v, literal),
-                None => false, // NULL and text outputs never pass the filter
-            };
-            if keep {
-                rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
-            }
-        }
+        self.exec_udf_rows(
+            udf,
+            &child,
+            udf_eval,
+            work,
+            self.config.weights.udf_compare,
+            |r, value| {
+                let keep = match value.as_f64() {
+                    Some(v) => cmp_f64(cmp, v, literal),
+                    None => false, // NULL and text outputs never pass the filter
+                };
+                if keep {
+                    rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
+                }
+            },
+        )?;
         Ok(Inter { tables: child.tables, rows, computed: None })
     }
 
@@ -346,21 +433,19 @@ impl<'a> Executor<'a> {
         &self,
         udf: &graceful_udf::GeneratedUdf,
         child: Inter,
-        interp: &mut Interpreter,
+        udf_eval: &mut UdfEval,
         work: &mut f64,
     ) -> Result<Inter> {
-        let (pos, cols) = self.udf_args(udf, &child)?;
         let n = child.n_rows();
         let mut computed = Vec::with_capacity(n);
-        let mut args: Vec<Value> = Vec::with_capacity(cols.len());
-        for r in 0..n {
-            let rid = child.row_id(r, pos) as usize;
-            args.clear();
-            args.extend(cols.iter().map(|c| c.value(rid)));
-            let out = interp.eval(&udf.def, &args)?;
-            *work += out.cost.total + self.config.weights.project_row;
-            computed.push(out.value);
-        }
+        self.exec_udf_rows(
+            udf,
+            &child,
+            udf_eval,
+            work,
+            self.config.weights.project_row,
+            |_, value| computed.push(value),
+        )?;
         Ok(Inter { tables: child.tables, rows: child.rows, computed: Some(computed) })
     }
 
@@ -549,7 +634,7 @@ mod tests {
         assert_eq!(f1, f2);
         for seed in 0..100 {
             let f = jitter_factor(seed, 0.03);
-            assert!(f >= 0.97 && f <= 1.03);
+            assert!((0.97..=1.03).contains(&f));
         }
         assert_ne!(jitter_factor(1, 0.03), jitter_factor(2, 0.03));
     }
@@ -589,7 +674,86 @@ mod tests {
         let avg = exec.run(&mk(AggFunc::Avg), 1).unwrap().agg_value;
         let n = db.table("lineitem_t").unwrap().num_rows() as f64;
         assert!((sum / n - avg).abs() < 1e-9);
-        assert!(avg >= 1.0 && avg <= 50.0);
+        assert!((1.0..=50.0).contains(&avg));
+    }
+
+    #[test]
+    fn vm_backend_matches_tree_walker_on_generated_queries() {
+        // Same plans, same data, both backends: identical answers and
+        // cardinalities, and runtimes equal up to float-summation grouping.
+        let mut database = db();
+        let g = QueryGenerator::default();
+        let mut rng = Rng::seed(23);
+        let mut checked = 0;
+        for id in 0..60 {
+            let spec = g.generate(&database, id, &mut rng).unwrap();
+            if !spec.has_udf() {
+                continue;
+            }
+            if let Some(u) = &spec.udf {
+                apply_adaptations(&mut database, &u.adaptations).unwrap();
+            }
+            let tree = Executor::with_config(
+                &database,
+                ExecConfig { udf_backend: UdfBackend::TreeWalk, ..ExecConfig::default() },
+            );
+            let vm = Executor::with_config(
+                &database,
+                ExecConfig {
+                    udf_backend: UdfBackend::Vm,
+                    udf_batch_size: 7, // deliberately awkward batch boundary
+                    ..ExecConfig::default()
+                },
+            );
+            for placement in graceful_plan::valid_placements(&spec) {
+                let plan = build_plan(&spec, placement).unwrap();
+                let a = tree.run(&plan, id).unwrap();
+                let b = vm.run(&plan, id).unwrap();
+                assert_eq!(a.out_rows, b.out_rows, "cardinalities differ (query {id})");
+                assert_eq!(a.agg_value, b.agg_value, "answers differ (query {id})");
+                assert_eq!(a.udf_input_rows, b.udf_input_rows);
+                let rel = (a.runtime_ns - b.runtime_ns).abs() / a.runtime_ns.max(1.0);
+                assert!(rel < 1e-9, "runtimes diverge: {} vs {}", a.runtime_ns, b.runtime_ns);
+                checked += 1;
+            }
+        }
+        assert!(checked >= 10, "only {checked} UDF plans compared");
+    }
+
+    #[test]
+    fn vm_backend_batch_size_does_not_change_results() {
+        let mut database = db();
+        let g = QueryGenerator::default();
+        let mut rng = Rng::seed(29);
+        for id in 200..260 {
+            let spec = g.generate(&database, id, &mut rng).unwrap();
+            if !spec.has_udf() {
+                continue;
+            }
+            if let Some(u) = &spec.udf {
+                apply_adaptations(&mut database, &u.adaptations).unwrap();
+            }
+            let plan = build_plan(&spec, graceful_plan::UdfPlacement::PushDown).unwrap();
+            let mut previous: Option<QueryRun> = None;
+            for batch in [1usize, 3, 1024] {
+                let exec = Executor::with_config(
+                    &database,
+                    ExecConfig {
+                        udf_backend: UdfBackend::Vm,
+                        udf_batch_size: batch,
+                        ..ExecConfig::default()
+                    },
+                );
+                let run = exec.run(&plan, id).unwrap();
+                if let Some(p) = &previous {
+                    assert_eq!(p.out_rows, run.out_rows);
+                    assert_eq!(p.agg_value, run.agg_value);
+                }
+                previous = Some(run);
+            }
+            return;
+        }
+        panic!("no UDF query generated");
     }
 
     #[test]
@@ -618,11 +782,7 @@ mod tests {
             ops: vec![
                 PlanOp::new(PlanOpKind::Scan { table: "orders_t".into() }, vec![]),
                 PlanOp::new(
-                    PlanOpKind::UdfFilter {
-                        udf,
-                        op: graceful_udf::ast::CmpOp::Ge,
-                        literal: 0.0,
-                    },
+                    PlanOpKind::UdfFilter { udf, op: graceful_udf::ast::CmpOp::Ge, literal: 0.0 },
                     vec![0],
                 ),
                 PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![1]),

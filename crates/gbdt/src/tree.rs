@@ -46,13 +46,7 @@ pub struct RegressionTree {
 impl RegressionTree {
     /// Fit a tree to `(x, residual)` via exact greedy variance-reduction
     /// splits.
-    fn fit(
-        x: &[Vec<f64>],
-        y: &[f64],
-        idx: &[usize],
-        cfg: &GbdtConfig,
-        rng: &mut Rng,
-    ) -> Self {
+    fn fit(x: &[Vec<f64>], y: &[f64], idx: &[usize], cfg: &GbdtConfig, rng: &mut Rng) -> Self {
         let mut nodes = Vec::new();
         Self::build(x, y, idx, 0, cfg, rng, &mut nodes);
         RegressionTree { nodes }
@@ -75,15 +69,14 @@ impl RegressionTree {
         let n_features = x.first().map(|r| r.len()).unwrap_or(0);
         let base_score: f64 = idx.iter().map(|&i| (y[i] - mean).powi(2)).sum();
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        #[allow(clippy::needless_range_loop)] // `f` is a feature index used across rows
         for f in 0..n_features {
             if cfg.feature_subsample < 1.0 && !rng.chance(cfg.feature_subsample) {
                 continue;
             }
             // Sort samples by feature value.
             let mut order: Vec<usize> = idx.to_vec();
-            order.sort_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).expect("finite features")
-            });
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite features"));
             // Prefix sums for O(1) variance computation per split point.
             let mut prefix_sum = 0.0;
             let mut prefix_sq = 0.0;
@@ -218,12 +211,9 @@ mod tests {
         let (x, y) = make_data(600, 1);
         let model = Gbdt::fit(&x, &y, GbdtConfig::default()).unwrap();
         let (xt, yt) = make_data(200, 2);
-        let mse: f64 = xt
-            .iter()
-            .zip(&yt)
-            .map(|(xi, yi)| (model.predict(xi) - yi).powi(2))
-            .sum::<f64>()
-            / yt.len() as f64;
+        let mse: f64 =
+            xt.iter().zip(&yt).map(|(xi, yi)| (model.predict(xi) - yi).powi(2)).sum::<f64>()
+                / yt.len() as f64;
         let var = {
             let m = yt.iter().sum::<f64>() / yt.len() as f64;
             yt.iter().map(|v| (v - m).powi(2)).sum::<f64>() / yt.len() as f64
@@ -257,8 +247,7 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let (x, y) = make_data(100, 5);
-        let model =
-            Gbdt::fit(&x, &y, GbdtConfig { n_trees: 20, ..Default::default() }).unwrap();
+        let model = Gbdt::fit(&x, &y, GbdtConfig { n_trees: 20, ..Default::default() }).unwrap();
         let json = serde_json::to_string(&model).unwrap();
         let loaded: Gbdt = serde_json::from_str(&json).unwrap();
         // JSON prints shortest-round-trip floats; summation is identical but

@@ -275,8 +275,7 @@ mod tests {
         // is linear in the sum).
         let data: Vec<(TypedGraph, f64)> = (0..128)
             .map(|_| {
-                let leaves: Vec<f32> =
-                    (0..3).map(|_| rng.range(0.1..1.0) as f32).collect();
+                let leaves: Vec<f32> = (0..3).map(|_| rng.range(0.1..1.0) as f32).collect();
                 let sum: f32 = leaves.iter().sum();
                 (chain_graph(&leaves), (5.0 + 2.0 * sum as f64).exp())
             })

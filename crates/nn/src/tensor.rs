@@ -141,7 +141,11 @@ mod tests {
     #[test]
     fn matmul_transpose_variants_agree() {
         let a = Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = Tensor::from_vec(4, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = Tensor::from_vec(
+            4,
+            3,
+            vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 1.0, 1.0, 2.0, 2.0, 2.0],
+        );
         // a · bᵀ the slow way: transpose b manually.
         let mut bt = Tensor::zeros(3, 4);
         for r in 0..4 {

@@ -141,8 +141,11 @@ impl QueryGenerator {
                     break;
                 }
             }
-            let usage =
-                if rng.chance(cfg.udf_filter_prob) { UdfUsage::Filter } else { UdfUsage::Projection };
+            let usage = if rng.chance(cfg.udf_filter_prob) {
+                UdfUsage::Filter
+            } else {
+                UdfUsage::Projection
+            };
             (generated.map(Arc::new), usage)
         } else {
             (None, UdfUsage::Filter)
@@ -152,8 +155,7 @@ impl QueryGenerator {
             (Some(u), UdfUsage::Filter) => {
                 // Log-uniform selectivity in [1e-4, 1].
                 let target = 10f64.powf(rng.range(-4.0..0.0));
-                let (op, lit) =
-                    calibrate_literal(db, u, target, cfg.calibration_sample, rng)?;
+                let (op, lit) = calibrate_literal(db, u, target, cfg.calibration_sample, rng)?;
                 (op, lit, target)
             }
             _ => (CmpOp::Le, 0.0, 1.0),
@@ -188,7 +190,12 @@ fn fk_walk(db: &Database, want_joins: usize, rng: &mut Rng) -> Result<(String, V
     let mut edges: Vec<(String, String, String, String)> = Vec::new();
     for t in tables {
         for fk in &t.foreign_keys {
-            edges.push((t.name.clone(), fk.column.clone(), fk.ref_table.clone(), fk.ref_column.clone()));
+            edges.push((
+                t.name.clone(),
+                fk.column.clone(),
+                fk.ref_table.clone(),
+                fk.ref_column.clone(),
+            ));
         }
     }
     let start = tables[rng.range(0..tables.len())].name.clone();
@@ -286,11 +293,7 @@ fn calibrate_literal(
     if n == 0 {
         return Ok((CmpOp::Le, 0.0));
     }
-    let cols: Vec<_> = udf
-        .input_columns
-        .iter()
-        .map(|c| t.column(c))
-        .collect::<Result<Vec<_>>>()?;
+    let cols: Vec<_> = udf.input_columns.iter().map(|c| t.column(c)).collect::<Result<Vec<_>>>()?;
     let mut interp = Interpreter::default();
     let mut outputs: Vec<f64> = Vec::with_capacity(sample.min(n));
     for _ in 0..sample.min(n) {
@@ -330,11 +333,8 @@ fn gen_agg(
     for _ in 0..8 {
         let t = &bound[rng.range(0..bound.len())];
         if let Ok(table) = db.table(t) {
-            let numeric: Vec<_> = table
-                .columns()
-                .iter()
-                .filter(|c| c.data_type().is_numeric())
-                .collect();
+            let numeric: Vec<_> =
+                table.columns().iter().filter(|c| c.data_type().is_numeric()).collect();
             if !numeric.is_empty() {
                 let c = numeric[rng.range(0..numeric.len())];
                 let f = *rng.choose(&[AggFunc::Sum, AggFunc::Avg]);
@@ -464,8 +464,7 @@ mod tests {
                 continue; // need a coarse target for a 200-row check
             }
             let t = db.table(&u.table).unwrap();
-            let cols: Vec<_> =
-                u.input_columns.iter().map(|c| t.column(c).unwrap()).collect();
+            let cols: Vec<_> = u.input_columns.iter().map(|c| t.column(c).unwrap()).collect();
             let mut interp = Interpreter::default();
             let mut kept = 0usize;
             let mut total = 0usize;
@@ -489,10 +488,7 @@ mod tests {
             if sel == 0.0 || sel == 1.0 {
                 continue;
             }
-            assert!(
-                (sel - target).abs() < 0.35,
-                "selectivity {sel} too far from target {target}"
-            );
+            assert!((sel - target).abs() < 0.35, "selectivity {sel} too far from target {target}");
             return;
         }
     }

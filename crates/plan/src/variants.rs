@@ -95,8 +95,7 @@ pub fn build_plan(spec: &QuerySpec, placement: UdfPlacement) -> Result<Plan> {
     let scan_of = |ops: &mut Vec<PlanOp>, table: &str| -> usize {
         ops.push(PlanOp::new(PlanOpKind::Scan { table: table.to_string() }, vec![]));
         let mut top = ops.len() - 1;
-        let preds: Vec<_> =
-            spec.filters.iter().filter(|p| p.col.table == table).cloned().collect();
+        let preds: Vec<_> = spec.filters.iter().filter(|p| p.col.table == table).cloned().collect();
         if !preds.is_empty() {
             ops.push(PlanOp::new(PlanOpKind::Filter { preds }, vec![top]));
             top = ops.len() - 1;
@@ -130,11 +129,9 @@ pub fn build_plan(spec: &QuerySpec, placement: UdfPlacement) -> Result<Plan> {
         ops.len() - 1
     };
 
-    if udf_after_joins == Some(0) {
-        if udf_table.as_deref() == Some(spec.base_table.as_str()) {
-            current = place_udf(&mut ops, current);
-            udf_placed = true;
-        }
+    if udf_after_joins == Some(0) && udf_table.as_deref() == Some(spec.base_table.as_str()) {
+        current = place_udf(&mut ops, current);
+        udf_placed = true;
     }
     for (j, step) in spec.joins.iter().enumerate() {
         let mut right = scan_of(&mut ops, &step.table);
@@ -147,10 +144,7 @@ pub fn build_plan(spec: &QuerySpec, placement: UdfPlacement) -> Result<Plan> {
             udf_placed = true;
         }
         ops.push(PlanOp::new(
-            PlanOpKind::Join {
-                left_col: step.left_col.clone(),
-                right_col: step.right_col.clone(),
-            },
+            PlanOpKind::Join { left_col: step.left_col.clone(), right_col: step.right_col.clone() },
             vec![current, right],
         ));
         current = ops.len() - 1;
@@ -188,12 +182,12 @@ pub fn build_plan(spec: &QuerySpec, placement: UdfPlacement) -> Result<Plan> {
         (UdfUsage::Projection, Some(_)) => None, // aggregate the UDF output
         _ => spec.agg_col.clone(),
     };
-    let func = if agg_col.is_none() && !(spec.udf_usage == UdfUsage::Projection && spec.udf.is_some())
-    {
-        AggFunc::CountStar
-    } else {
-        spec.agg
-    };
+    let func =
+        if agg_col.is_none() && !(spec.udf_usage == UdfUsage::Projection && spec.udf.is_some()) {
+            AggFunc::CountStar
+        } else {
+            spec.agg
+        };
     ops.push(PlanOp::new(PlanOpKind::Agg { func, column: agg_col }, vec![current]));
     let root = ops.len() - 1;
     let plan = Plan { ops, root };

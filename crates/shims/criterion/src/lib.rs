@@ -1,0 +1,147 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion::bench_function` with a simple warm-up + timed-batch
+//! measurement loop and the `criterion_group!` / `criterion_main!` macros.
+//! No statistical analysis, plots or baselines — it reports mean ns/iter and
+//! iterations/second per benchmark, which is all the workspace's
+//! micro-benchmarks read off.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+        }
+        // Measurement: spread the budget over `sample_size` samples.
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        let meas_start = Instant::now();
+        let mut samples = 0usize;
+        while samples < self.sample_size || meas_start.elapsed() < self.measurement_time {
+            f(&mut b);
+            samples += 1;
+            if meas_start.elapsed() >= self.measurement_time && samples >= self.sample_size {
+                break;
+            }
+        }
+        let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("{name:<40} {ns:>14.1} ns/iter   {:>14.0} iters/s", 1e9 / ns.max(1e-9));
+        self
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated executions of `f`. The shim adaptively sizes the inner
+    /// batch so that per-batch timer overhead stays negligible.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for batches of roughly 1ms.
+        let probe_start = Instant::now();
+        std::hint::black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch + 1;
+        self.elapsed += probe;
+    }
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+}

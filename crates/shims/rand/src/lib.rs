@@ -1,0 +1,302 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The execution environment has no access to a crates.io mirror, so the
+//! workspace vendors the surface it needs: [`rngs::StdRng`] (xoshiro256**
+//! seeded via SplitMix64 — *not* the upstream ChaCha12, but every consumer in
+//! this repository only requires determinism given a seed, not upstream
+//! bit-compatibility), the [`Rng`]/[`SeedableRng`] traits with `gen`,
+//! `gen_range` and `gen_bool`, uniform sampling over primitive ranges, and
+//! `seq::SliceRandom::shuffle`.
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from explicit seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types sampleable uniformly from the generator's full output range.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// The user-facing convenience trait (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (xoshiro256** core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+pub mod distributions {
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Marker for primitives with a uniform range sampler.
+        pub trait SampleUniform: Sized {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        /// Ranges that can drive a single uniform sample.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_in(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform + Clone> SampleRange<T> for std::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_in(rng, self.start().clone(), self.end().clone(), true)
+            }
+        }
+
+        /// Uniform draw from `[0, span)` via 128-bit widening multiply.
+        fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty => $wide:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                        let (lo_w, hi_w) = (lo as $wide, hi as $wide);
+                        let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                        assert!(span > 0, "empty sample range");
+                        if span > u64::MAX as $wide {
+                            // Full-width range: any value works.
+                            return <$t>::sample_wrap(rng);
+                        }
+                        (lo_w + below(rng, span as u64) as $wide) as $t
+                    }
+                }
+                impl SampleWrap for $t {
+                    fn sample_wrap<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*};
+        }
+
+        trait SampleWrap: Sized {
+            fn sample_wrap<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+        }
+
+        impl_uniform_int!(
+            u8 => i128, u16 => i128, u32 => i128, u64 => i128, usize => i128,
+            i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+        );
+
+        macro_rules! impl_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                        assert!(hi >= lo, "empty sample range");
+                        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                        lo + (unit as $t) * (hi - lo)
+                    }
+                }
+            )*};
+        }
+
+        impl_uniform_float!(f32, f64);
+    }
+}
+
+pub mod seq {
+    use crate::distributions::uniform::{SampleRange, SampleUniform};
+    use crate::RngCore;
+
+    /// Slice shuffling (mirrors `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_single(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    // Silence unused-import lints when the module is used solely for shuffle.
+    #[allow(unused)]
+    fn _assert_bounds<T: SampleUniform>() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(0..10);
+            assert!(x < 10);
+            let y: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_nondegenerate() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+            lo |= u < 0.5;
+            hi |= u >= 0.5;
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+}

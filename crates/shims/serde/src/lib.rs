@@ -1,0 +1,352 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The real serde is generic over serializers; every consumer in this
+//! repository only ever round-trips models through `serde_json`, so the shim
+//! collapses the design to a single self-describing [`Content`] tree:
+//! [`Serialize`] renders a value *into* a `Content`, [`Deserialize`] rebuilds
+//! a value *from* one, and the `serde_json` shim handles `Content` ⇄ JSON
+//! text. The derive macros (re-exported from `serde_derive`) generate both
+//! impls for structs and enums, honouring `#[serde(skip)]` the same way
+//! upstream does (omitted on write, `Default::default()` on read).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the meeting point of both traits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    /// Signed integers (everything representable as `i64`).
+    Int(i64),
+    /// Unsigned integers that do not fit `i64`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key order is preserved (JSON objects round-trip stably).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Int(_) | Content::UInt(_) => "integer",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization into the [`Content`] model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] model.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Deserialization error (a plain message; the shim has no error taxonomy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub fn de_error(msg: impl Into<String>) -> DeError {
+    DeError(msg.into())
+}
+
+/// Look up a named struct field in a map during deserialization.
+pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => Err(de_error(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Int(i) => Ok(*i as $t),
+                    Content::UInt(u) => Ok(*u as $t),
+                    Content::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(de_error(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Content::Int(v as i64)
+                } else {
+                    Content::UInt(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Int(i) if *i >= 0 => Ok(*i as $t),
+                    Content::UInt(u) => Ok(*u as $t),
+                    Content::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    other => Err(de_error(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Float(f) => Ok(*f as $t),
+                    Content::Int(i) => Ok(*i as $t),
+                    Content::UInt(u) => Ok(*u as $t),
+                    other => Err(de_error(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(de_error(format!("expected bool, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(de_error(format!("expected string, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => {
+                Err(de_error(format!("expected single-char string, got {}", other.type_name())))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(de_error(format!("expected sequence, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c.as_seq().ok_or_else(|| de_error("expected tuple sequence"))?;
+                let expected = [$($n),+].len();
+                if seq.len() != expected {
+                    return Err(de_error(format!(
+                        "expected tuple of {expected}, got {} elements", seq.len()
+                    )));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+        let v: Vec<u32> = Vec::from_content(&vec![1u32, 2, 3].to_content()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn big_u64_uses_uint() {
+        let big = u64::MAX - 3;
+        assert_eq!(big.to_content(), Content::UInt(big));
+        assert_eq!(u64::from_content(&Content::UInt(big)).unwrap(), big);
+    }
+
+    #[test]
+    fn tuples_and_refs() {
+        let store = (1u32, "x".to_string());
+        let c = (&store.0, &store.1).to_content();
+        let back: (u32, String) = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, store);
+    }
+
+    #[test]
+    fn option_round_trips_via_null() {
+        assert_eq!(Option::<u32>::from_content(&None::<u32>.to_content()).unwrap(), None);
+        assert_eq!(Option::<u32>::from_content(&Some(5u32).to_content()).unwrap(), Some(5));
+    }
+}

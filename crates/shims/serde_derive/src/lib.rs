@@ -1,0 +1,404 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde shim.
+//!
+//! With no crates.io access there is no `syn`/`quote`, so this macro parses
+//! the item's token stream directly. It supports exactly the shapes the
+//! workspace derives on: non-generic structs with named fields (honouring
+//! `#[serde(skip)]`), tuple/newtype structs, unit structs, and non-generic
+//! enums with unit, tuple and struct variants (externally tagged, like
+//! upstream serde's default representation). Anything else panics at compile
+//! time with a clear message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    // Skip attributes / visibility until the `struct` / `enum` keyword.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum found in derive input"),
+        }
+    }
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim does not support generic type `{name}`");
+        }
+    }
+    let shape = if is_enum {
+        let body = expect_brace(&toks, i, &name);
+        Shape::Enum(parse_variants(body, &name))
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+fn expect_brace(toks: &[TokenTree], i: usize, name: &str) -> TokenStream {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected braced body for `{name}`, got {other:?}"),
+    }
+}
+
+/// Consume leading `#[...]` attributes; returns (next index, saw serde skip).
+fn take_attrs(toks: &[TokenTree], mut i: usize, ctx: &str) -> (usize, bool) {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let group = match toks.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute in {ctx}: {other:?}"),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                let args = match inner.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        g.stream()
+                    }
+                    other => panic!("serde_derive: malformed #[serde] in {ctx}: {other:?}"),
+                };
+                for t in args {
+                    match &t {
+                        TokenTree::Ident(a) if a.to_string() == "skip" => skip = true,
+                        TokenTree::Punct(p) if p.as_char() == ',' => {}
+                        other => panic!(
+                            "serde_derive shim only supports #[serde(skip)], found {other} in {ctx}"
+                        ),
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+fn parse_named_fields(stream: TokenStream, ctx: &str) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, skip) = take_attrs(&toks, i, ctx);
+        i = j;
+        if i >= toks.len() {
+            break;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name in {ctx}, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive: expected `:` after field `{name}` in {ctx}, got {other:?}")
+            }
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut in_segment = false;
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                in_segment = false;
+                continue;
+            }
+            _ => {}
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream, ctx: &str) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _skip) = take_attrs(&toks, i, ctx);
+        i = j;
+        if i >= toks.len() {
+            break;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name in {ctx}, got {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream(), ctx))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume a trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(__m)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), ::serde::Content::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_content(&self) -> ::serde::Content {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!("{0}: ::serde::field(__m, \"{0}\")?,\n", f.name));
+                }
+            }
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| ::serde::de_error(\"expected map for {name}\"))?;\n::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| ::serde::de_error(\"expected sequence for {name}\"))?;\nif __s.len() != {n} {{ return ::std::result::Result::Err(::serde::de_error(\"wrong tuple arity for {name}\")); }}\n::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_content(__v)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n    let __s = __v.as_seq().ok_or_else(|| ::serde::de_error(\"expected sequence for {name}::{vname}\"))?;\n    if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::de_error(\"wrong arity for {name}::{vname}\")); }}\n    ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{0}: ::serde::field(__mm, \"{0}\")?", f.name))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n    let __mm = __v.as_map().ok_or_else(|| ::serde::de_error(\"expected map for {name}::{vname}\"))?;\n    ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}__other => ::std::result::Result::Err(::serde::de_error(format!(\"unknown {name} variant {{__other}}\"))),\n}},\n::serde::Content::Map(__m) if __m.len() == 1 => {{\nlet (__k, __v) = &__m[0];\nmatch __k.as_str() {{\n{data_arms}__other => ::std::result::Result::Err(::serde::de_error(format!(\"unknown {name} variant {{__other}}\"))),\n}}\n}},\n_ => ::std::result::Result::Err(::serde::de_error(\"expected string or single-key map for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+}

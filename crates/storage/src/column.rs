@@ -184,11 +184,7 @@ mod tests {
     use super::*;
 
     fn int_col() -> Column {
-        Column::with_nulls(
-            "x",
-            ColumnData::Int(vec![1, 2, 3, 4]),
-            vec![false, true, false, false],
-        )
+        Column::with_nulls("x", ColumnData::Int(vec![1, 2, 3, 4]), vec![false, true, false, false])
     }
 
     #[test]

@@ -122,9 +122,26 @@ fn tbl(name: &str, base_rows: usize, columns: Vec<ColumnSpec>) -> TableSpec {
 
 /// The names of the 20 benchmark databases (Figure 5's x-axis).
 pub const DATASET_NAMES: [&str; 20] = [
-    "accidents", "airline", "baseball", "basketball", "carc", "consumer", "credit", "employee",
-    "fhnk", "financial", "geneea", "genome", "hepatitis", "imdb", "movielens", "seznam", "ssb",
-    "tournament", "tpc_h", "walmart",
+    "accidents",
+    "airline",
+    "baseball",
+    "basketball",
+    "carc",
+    "consumer",
+    "credit",
+    "employee",
+    "fhnk",
+    "financial",
+    "geneea",
+    "genome",
+    "hepatitis",
+    "imdb",
+    "movielens",
+    "seznam",
+    "ssb",
+    "tournament",
+    "tpc_h",
+    "walmart",
 ];
 
 /// Build the schema for one named dataset.
@@ -135,122 +152,631 @@ pub const DATASET_NAMES: [&str; 20] = [
 pub fn schema(name: &str) -> SchemaSpec {
     let tables = match name {
         "accidents" => vec![
-            tbl("region", 220, vec![serial("id"), text("name", 220, 0.3, 4, 12), float_u("area", 1.0, 500.0)]),
-            tbl("vehicle", 900, vec![serial("id"), text("model", 300, 0.9, 4, 14), int_u("year", 1980, 2020), float_u("weight", 600.0, 3500.0)]),
-            tbl("accident", 9000, vec![serial("id"), fk("region_id", "region", 1.1), fk("vehicle_id", "vehicle", 0.7), int_u("severity", 0, 4), float_n("damage", 4200.0, 1600.0), corr("claims", "severity", 900.0, 0.08), boolean("fatal", 0.06)]),
-            tbl("casualty", 12000, vec![serial("id"), fk("accident_id", "accident", 0.9), int_u("age", 1, 95), text("injury", 40, 1.0, 3, 10)]),
+            tbl(
+                "region",
+                220,
+                vec![serial("id"), text("name", 220, 0.3, 4, 12), float_u("area", 1.0, 500.0)],
+            ),
+            tbl(
+                "vehicle",
+                900,
+                vec![
+                    serial("id"),
+                    text("model", 300, 0.9, 4, 14),
+                    int_u("year", 1980, 2020),
+                    float_u("weight", 600.0, 3500.0),
+                ],
+            ),
+            tbl(
+                "accident",
+                9000,
+                vec![
+                    serial("id"),
+                    fk("region_id", "region", 1.1),
+                    fk("vehicle_id", "vehicle", 0.7),
+                    int_u("severity", 0, 4),
+                    float_n("damage", 4200.0, 1600.0),
+                    corr("claims", "severity", 900.0, 0.08),
+                    boolean("fatal", 0.06),
+                ],
+            ),
+            tbl(
+                "casualty",
+                12000,
+                vec![
+                    serial("id"),
+                    fk("accident_id", "accident", 0.9),
+                    int_u("age", 1, 95),
+                    text("injury", 40, 1.0, 3, 10),
+                ],
+            ),
         ],
         // Strong cross-column correlation + heavy fan-out skew: the paper's
         // problem child for learned cardinality estimation.
         "airline" => vec![
-            tbl("carrier", 140, vec![serial("id"), text("code", 140, 0.2, 2, 3), float_u("rating", 1.0, 5.0)]),
-            tbl("airport", 400, vec![serial("id"), text("iata", 400, 0.2, 3, 3), float_u("lat", -60.0, 70.0), float_u("lon", -180.0, 180.0)]),
-            tbl("flight", 14000, vec![serial("id"), fk("carrier_id", "carrier", 1.6), fk("origin_id", "airport", 1.4), fk("dest_id", "airport", 1.4), int_u("dep_delay", -10, 180), corr("arr_delay", "dep_delay", 1.0, 0.02), corr("taxi_time", "dep_delay", 0.3, 0.03), float_u("distance", 80.0, 5200.0)]),
-            tbl("booking", 20000, vec![serial("id"), fk("flight_id", "flight", 1.3), int_z("fare_class", 6, 1.2), float_n("price", 320.0, 140.0).nulls(0.04)]),
+            tbl(
+                "carrier",
+                140,
+                vec![serial("id"), text("code", 140, 0.2, 2, 3), float_u("rating", 1.0, 5.0)],
+            ),
+            tbl(
+                "airport",
+                400,
+                vec![
+                    serial("id"),
+                    text("iata", 400, 0.2, 3, 3),
+                    float_u("lat", -60.0, 70.0),
+                    float_u("lon", -180.0, 180.0),
+                ],
+            ),
+            tbl(
+                "flight",
+                14000,
+                vec![
+                    serial("id"),
+                    fk("carrier_id", "carrier", 1.6),
+                    fk("origin_id", "airport", 1.4),
+                    fk("dest_id", "airport", 1.4),
+                    int_u("dep_delay", -10, 180),
+                    corr("arr_delay", "dep_delay", 1.0, 0.02),
+                    corr("taxi_time", "dep_delay", 0.3, 0.03),
+                    float_u("distance", 80.0, 5200.0),
+                ],
+            ),
+            tbl(
+                "booking",
+                20000,
+                vec![
+                    serial("id"),
+                    fk("flight_id", "flight", 1.3),
+                    int_z("fare_class", 6, 1.2),
+                    float_n("price", 320.0, 140.0).nulls(0.04),
+                ],
+            ),
         ],
         // Correlated performance statistics; noted as hard in Figure 8.
         "baseball" => vec![
-            tbl("team", 120, vec![serial("id"), text("name", 120, 0.2, 5, 14), int_u("founded", 1880, 1995)]),
-            tbl("player", 2600, vec![serial("id"), fk("team_id", "team", 1.5), int_u("birth_year", 1950, 2002), float_u("height", 160.0, 205.0), corr("weight", "height", 0.55, 0.04)]),
-            tbl("batting", 16000, vec![serial("id"), fk("player_id", "player", 1.4), int_u("at_bats", 0, 650), corr("hits", "at_bats", 0.27, 0.03), corr("runs", "at_bats", 0.14, 0.04), int_z("hr", 60, 1.5)]),
-            tbl("pitching", 9000, vec![serial("id"), fk("player_id", "player", 1.8), float_u("era", 0.9, 9.8), corr("whip", "era", 0.14, 0.05), int_u("strikeouts", 0, 380)]),
+            tbl(
+                "team",
+                120,
+                vec![serial("id"), text("name", 120, 0.2, 5, 14), int_u("founded", 1880, 1995)],
+            ),
+            tbl(
+                "player",
+                2600,
+                vec![
+                    serial("id"),
+                    fk("team_id", "team", 1.5),
+                    int_u("birth_year", 1950, 2002),
+                    float_u("height", 160.0, 205.0),
+                    corr("weight", "height", 0.55, 0.04),
+                ],
+            ),
+            tbl(
+                "batting",
+                16000,
+                vec![
+                    serial("id"),
+                    fk("player_id", "player", 1.4),
+                    int_u("at_bats", 0, 650),
+                    corr("hits", "at_bats", 0.27, 0.03),
+                    corr("runs", "at_bats", 0.14, 0.04),
+                    int_z("hr", 60, 1.5),
+                ],
+            ),
+            tbl(
+                "pitching",
+                9000,
+                vec![
+                    serial("id"),
+                    fk("player_id", "player", 1.8),
+                    float_u("era", 0.9, 9.8),
+                    corr("whip", "era", 0.14, 0.05),
+                    int_u("strikeouts", 0, 380),
+                ],
+            ),
         ],
         "basketball" => vec![
             tbl("franchise", 90, vec![serial("id"), text("city", 90, 0.3, 4, 12)]),
-            tbl("athlete", 1800, vec![serial("id"), fk("franchise_id", "franchise", 0.8), float_u("height", 170.0, 225.0), int_u("draft_year", 1970, 2022)]),
-            tbl("game_stat", 14000, vec![serial("id"), fk("athlete_id", "athlete", 1.0), int_u("points", 0, 60), corr("minutes", "points", 0.55, 0.12), int_u("rebounds", 0, 25), int_u("assists", 0, 20)]),
+            tbl(
+                "athlete",
+                1800,
+                vec![
+                    serial("id"),
+                    fk("franchise_id", "franchise", 0.8),
+                    float_u("height", 170.0, 225.0),
+                    int_u("draft_year", 1970, 2022),
+                ],
+            ),
+            tbl(
+                "game_stat",
+                14000,
+                vec![
+                    serial("id"),
+                    fk("athlete_id", "athlete", 1.0),
+                    int_u("points", 0, 60),
+                    corr("minutes", "points", 0.55, 0.12),
+                    int_u("rebounds", 0, 25),
+                    int_u("assists", 0, 20),
+                ],
+            ),
         ],
         "carc" => vec![
-            tbl("compound", 500, vec![serial("id"), text("formula", 500, 0.4, 5, 16), float_u("mol_weight", 20.0, 900.0)]),
-            tbl("atom", 7000, vec![serial("id"), fk("compound_id", "compound", 0.6), text("element", 12, 1.1, 1, 2), float_u("charge", -2.0, 2.0)]),
-            tbl("bond", 10000, vec![serial("id"), fk("atom_id", "atom", 0.7), int_u("bond_type", 1, 3), boolean("aromatic", 0.3)]),
+            tbl(
+                "compound",
+                500,
+                vec![
+                    serial("id"),
+                    text("formula", 500, 0.4, 5, 16),
+                    float_u("mol_weight", 20.0, 900.0),
+                ],
+            ),
+            tbl(
+                "atom",
+                7000,
+                vec![
+                    serial("id"),
+                    fk("compound_id", "compound", 0.6),
+                    text("element", 12, 1.1, 1, 2),
+                    float_u("charge", -2.0, 2.0),
+                ],
+            ),
+            tbl(
+                "bond",
+                10000,
+                vec![
+                    serial("id"),
+                    fk("atom_id", "atom", 0.7),
+                    int_u("bond_type", 1, 3),
+                    boolean("aromatic", 0.3),
+                ],
+            ),
         ],
         "consumer" => vec![
-            tbl("household", 1600, vec![serial("id"), int_u("size", 1, 8), float_n("income", 58000.0, 21000.0)]),
-            tbl("product", 800, vec![serial("id"), text("category", 60, 1.0, 4, 12), float_u("unit_price", 0.5, 240.0)]),
-            tbl("purchase", 15000, vec![serial("id"), fk("household_id", "household", 0.9), fk("product_id", "product", 1.2), int_u("quantity", 1, 12), corr("total", "quantity", 18.0, 0.15)]),
+            tbl(
+                "household",
+                1600,
+                vec![serial("id"), int_u("size", 1, 8), float_n("income", 58000.0, 21000.0)],
+            ),
+            tbl(
+                "product",
+                800,
+                vec![
+                    serial("id"),
+                    text("category", 60, 1.0, 4, 12),
+                    float_u("unit_price", 0.5, 240.0),
+                ],
+            ),
+            tbl(
+                "purchase",
+                15000,
+                vec![
+                    serial("id"),
+                    fk("household_id", "household", 0.9),
+                    fk("product_id", "product", 1.2),
+                    int_u("quantity", 1, 12),
+                    corr("total", "quantity", 18.0, 0.15),
+                ],
+            ),
         ],
         "credit" => vec![
-            tbl("customer", 2400, vec![serial("id"), int_u("age", 18, 90), float_n("income", 52000.0, 18000.0), corr("limit", "income", 0.35, 0.06)]),
-            tbl("card", 4200, vec![serial("id"), fk("customer_id", "customer", 0.8), int_u("open_year", 2000, 2024), boolean("gold", 0.2)]),
-            tbl("txn", 18000, vec![serial("id"), fk("card_id", "card", 1.2), float_n("amount", 84.0, 60.0), int_z("merchant_cat", 40, 1.1), boolean("disputed", 0.02)]),
+            tbl(
+                "customer",
+                2400,
+                vec![
+                    serial("id"),
+                    int_u("age", 18, 90),
+                    float_n("income", 52000.0, 18000.0),
+                    corr("limit", "income", 0.35, 0.06),
+                ],
+            ),
+            tbl(
+                "card",
+                4200,
+                vec![
+                    serial("id"),
+                    fk("customer_id", "customer", 0.8),
+                    int_u("open_year", 2000, 2024),
+                    boolean("gold", 0.2),
+                ],
+            ),
+            tbl(
+                "txn",
+                18000,
+                vec![
+                    serial("id"),
+                    fk("card_id", "card", 1.2),
+                    float_n("amount", 84.0, 60.0),
+                    int_z("merchant_cat", 40, 1.1),
+                    boolean("disputed", 0.02),
+                ],
+            ),
         ],
         "employee" => vec![
             tbl("dept", 60, vec![serial("id"), text("name", 60, 0.2, 4, 14)]),
-            tbl("emp", 4000, vec![serial("id"), fk("dept_id", "dept", 1.0), int_u("hire_year", 1985, 2024), float_n("salary", 61000.0, 17000.0), corr("bonus", "salary", 0.08, 0.1).nulls(0.08)]),
-            tbl("assignment", 9000, vec![serial("id"), fk("emp_id", "emp", 0.9), int_u("hours", 1, 40), text("role", 30, 0.9, 3, 10)]),
+            tbl(
+                "emp",
+                4000,
+                vec![
+                    serial("id"),
+                    fk("dept_id", "dept", 1.0),
+                    int_u("hire_year", 1985, 2024),
+                    float_n("salary", 61000.0, 17000.0),
+                    corr("bonus", "salary", 0.08, 0.1).nulls(0.08),
+                ],
+            ),
+            tbl(
+                "assignment",
+                9000,
+                vec![
+                    serial("id"),
+                    fk("emp_id", "emp", 0.9),
+                    int_u("hours", 1, 40),
+                    text("role", 30, 0.9, 3, 10),
+                ],
+            ),
         ],
         "fhnk" => vec![
             tbl("hospital", 90, vec![serial("id"), text("name", 90, 0.2, 6, 16)]),
-            tbl("patient", 3200, vec![serial("id"), fk("hospital_id", "hospital", 1.2), int_u("age", 0, 99), boolean("chronic", 0.22)]),
-            tbl("stay", 11000, vec![serial("id"), fk("patient_id", "patient", 1.0), int_u("days", 1, 60), corr("cost", "days", 740.0, 0.1), int_z("ward", 14, 0.8)]),
-            tbl("procedure_rec", 14000, vec![serial("id"), fk("stay_id", "stay", 0.8), int_z("proc_code", 160, 1.3), float_u("duration", 0.2, 8.0)]),
+            tbl(
+                "patient",
+                3200,
+                vec![
+                    serial("id"),
+                    fk("hospital_id", "hospital", 1.2),
+                    int_u("age", 0, 99),
+                    boolean("chronic", 0.22),
+                ],
+            ),
+            tbl(
+                "stay",
+                11000,
+                vec![
+                    serial("id"),
+                    fk("patient_id", "patient", 1.0),
+                    int_u("days", 1, 60),
+                    corr("cost", "days", 740.0, 0.1),
+                    int_z("ward", 14, 0.8),
+                ],
+            ),
+            tbl(
+                "procedure_rec",
+                14000,
+                vec![
+                    serial("id"),
+                    fk("stay_id", "stay", 0.8),
+                    int_z("proc_code", 160, 1.3),
+                    float_u("duration", 0.2, 8.0),
+                ],
+            ),
         ],
         "financial" => vec![
             tbl("branch", 80, vec![serial("id"), text("district", 80, 0.3, 4, 12)]),
-            tbl("account", 3000, vec![serial("id"), fk("branch_id", "branch", 0.9), int_u("open_year", 1993, 2024), float_n("balance", 9400.0, 5200.0)]),
-            tbl("loan", 2600, vec![serial("id"), fk("account_id", "account", 0.4), float_u("amount", 500.0, 90000.0), corr("payments", "amount", 0.021, 0.04), int_u("months", 6, 120)]),
-            tbl("trans", 17000, vec![serial("id"), fk("account_id", "account", 1.3), float_n("amount", 410.0, 380.0), int_z("k_symbol", 9, 0.9)]),
+            tbl(
+                "account",
+                3000,
+                vec![
+                    serial("id"),
+                    fk("branch_id", "branch", 0.9),
+                    int_u("open_year", 1993, 2024),
+                    float_n("balance", 9400.0, 5200.0),
+                ],
+            ),
+            tbl(
+                "loan",
+                2600,
+                vec![
+                    serial("id"),
+                    fk("account_id", "account", 0.4),
+                    float_u("amount", 500.0, 90000.0),
+                    corr("payments", "amount", 0.021, 0.04),
+                    int_u("months", 6, 120),
+                ],
+            ),
+            tbl(
+                "trans",
+                17000,
+                vec![
+                    serial("id"),
+                    fk("account_id", "account", 1.3),
+                    float_n("amount", 410.0, 380.0),
+                    int_z("k_symbol", 9, 0.9),
+                ],
+            ),
         ],
         "geneea" => vec![
-            tbl("politician", 700, vec![serial("id"), text("party", 24, 1.0, 3, 9), int_u("born", 1940, 1992)]),
-            tbl("session", 260, vec![serial("id"), int_u("year", 2013, 2024), int_u("length_min", 30, 600)]),
-            tbl("vote", 16000, vec![serial("id"), fk("politician_id", "politician", 0.9), fk("session_id", "session", 0.9), int_u("choice", 0, 3), boolean("present", 0.88)]),
+            tbl(
+                "politician",
+                700,
+                vec![serial("id"), text("party", 24, 1.0, 3, 9), int_u("born", 1940, 1992)],
+            ),
+            tbl(
+                "session",
+                260,
+                vec![serial("id"), int_u("year", 2013, 2024), int_u("length_min", 30, 600)],
+            ),
+            tbl(
+                "vote",
+                16000,
+                vec![
+                    serial("id"),
+                    fk("politician_id", "politician", 0.9),
+                    fk("session_id", "session", 0.9),
+                    int_u("choice", 0, 3),
+                    boolean("present", 0.88),
+                ],
+            ),
         ],
         // Held-out dataset of the ablation study (Figure 7).
         "genome" => vec![
             tbl("chromosome", 48, vec![serial("id"), int_u("length_mb", 40, 250)]),
-            tbl("gene", 5200, vec![serial("id"), fk("chromosome_id", "chromosome", 0.8), int_u("start_pos", 0, 240_000), corr("end_pos", "start_pos", 1.0, 0.001), float_u("gc_content", 0.3, 0.7)]),
-            tbl("expression", 15000, vec![serial("id"), fk("gene_id", "gene", 1.1), float_n("level", 4.2, 2.1), int_z("tissue", 30, 1.0)]),
-            tbl("variant", 12000, vec![serial("id"), fk("gene_id", "gene", 1.5), int_u("position", 0, 240_000), text("allele", 4, 0.4, 1, 1)]),
+            tbl(
+                "gene",
+                5200,
+                vec![
+                    serial("id"),
+                    fk("chromosome_id", "chromosome", 0.8),
+                    int_u("start_pos", 0, 240_000),
+                    corr("end_pos", "start_pos", 1.0, 0.001),
+                    float_u("gc_content", 0.3, 0.7),
+                ],
+            ),
+            tbl(
+                "expression",
+                15000,
+                vec![
+                    serial("id"),
+                    fk("gene_id", "gene", 1.1),
+                    float_n("level", 4.2, 2.1),
+                    int_z("tissue", 30, 1.0),
+                ],
+            ),
+            tbl(
+                "variant",
+                12000,
+                vec![
+                    serial("id"),
+                    fk("gene_id", "gene", 1.5),
+                    int_u("position", 0, 240_000),
+                    text("allele", 4, 0.4, 1, 1),
+                ],
+            ),
         ],
         "hepatitis" => vec![
             tbl("patient_h", 1200, vec![serial("id"), int_u("age", 10, 85), boolean("sex", 0.5)]),
-            tbl("biopsy", 2600, vec![serial("id"), fk("patient_id", "patient_h", 0.6), int_u("fibros", 0, 4), corr("activity", "fibros", 0.8, 0.2)]),
-            tbl("lab", 14000, vec![serial("id"), fk("patient_id", "patient_h", 1.0), float_u("got", 10.0, 400.0), corr("gpt", "got", 1.1, 0.08), float_u("alb", 2.0, 5.5).nulls(0.05)]),
+            tbl(
+                "biopsy",
+                2600,
+                vec![
+                    serial("id"),
+                    fk("patient_id", "patient_h", 0.6),
+                    int_u("fibros", 0, 4),
+                    corr("activity", "fibros", 0.8, 0.2),
+                ],
+            ),
+            tbl(
+                "lab",
+                14000,
+                vec![
+                    serial("id"),
+                    fk("patient_id", "patient_h", 1.0),
+                    float_u("got", 10.0, 400.0),
+                    corr("gpt", "got", 1.1, 0.08),
+                    float_u("alb", 2.0, 5.5).nulls(0.05),
+                ],
+            ),
         ],
         // The running example of Figure 1 uses IMDB's movie_keyword / title /
         // movie_info_idx tables; keep those names so the motivating example
         // reads like the paper.
         "imdb" => vec![
-            tbl("title", 8000, vec![serial("id"), text("name", 8000, 0.9, 6, 24), int_u("production_year", 1930, 2024), int_z("kind_id", 7, 0.8), text("series_years", 70, 1.1, 4, 9)]),
-            tbl("movie_keyword", 26000, vec![serial("id"), fk("movie_id", "title", 1.3), int_z("keyword_id", 3000, 1.2)]),
-            tbl("movie_info_idx", 10000, vec![serial("id"), fk("movie_id", "title", 1.0), int_z("info_type_id", 24, 0.9), float_u("info", 1.0, 10.0)]),
-            tbl("cast_info", 30000, vec![serial("id"), fk("movie_id", "title", 1.5), int_z("role_id", 11, 1.0), int_u("nr_order", 0, 60)]),
+            tbl(
+                "title",
+                8000,
+                vec![
+                    serial("id"),
+                    text("name", 8000, 0.9, 6, 24),
+                    int_u("production_year", 1930, 2024),
+                    int_z("kind_id", 7, 0.8),
+                    text("series_years", 70, 1.1, 4, 9),
+                ],
+            ),
+            tbl(
+                "movie_keyword",
+                26000,
+                vec![serial("id"), fk("movie_id", "title", 1.3), int_z("keyword_id", 3000, 1.2)],
+            ),
+            tbl(
+                "movie_info_idx",
+                10000,
+                vec![
+                    serial("id"),
+                    fk("movie_id", "title", 1.0),
+                    int_z("info_type_id", 24, 0.9),
+                    float_u("info", 1.0, 10.0),
+                ],
+            ),
+            tbl(
+                "cast_info",
+                30000,
+                vec![
+                    serial("id"),
+                    fk("movie_id", "title", 1.5),
+                    int_z("role_id", 11, 1.0),
+                    int_u("nr_order", 0, 60),
+                ],
+            ),
         ],
         "movielens" => vec![
-            tbl("movie", 3600, vec![serial("id"), int_u("year", 1930, 2024), int_z("genre", 18, 0.9)]),
-            tbl("user_ml", 2400, vec![serial("id"), int_u("age", 14, 80), int_z("occupation", 20, 0.8)]),
-            tbl("rating", 24000, vec![serial("id"), fk("movie_id", "movie", 1.5), fk("user_id", "user_ml", 1.1), int_u("stars", 1, 5), int_u("ts", 0, 1_000_000)]),
-            tbl("tag", 9000, vec![serial("id"), fk("movie_id", "movie", 1.7), text("label", 400, 1.2, 3, 12)]),
+            tbl(
+                "movie",
+                3600,
+                vec![serial("id"), int_u("year", 1930, 2024), int_z("genre", 18, 0.9)],
+            ),
+            tbl(
+                "user_ml",
+                2400,
+                vec![serial("id"), int_u("age", 14, 80), int_z("occupation", 20, 0.8)],
+            ),
+            tbl(
+                "rating",
+                24000,
+                vec![
+                    serial("id"),
+                    fk("movie_id", "movie", 1.5),
+                    fk("user_id", "user_ml", 1.1),
+                    int_u("stars", 1, 5),
+                    int_u("ts", 0, 1_000_000),
+                ],
+            ),
+            tbl(
+                "tag",
+                9000,
+                vec![serial("id"), fk("movie_id", "movie", 1.7), text("label", 400, 1.2, 3, 12)],
+            ),
         ],
         "seznam" => vec![
             tbl("client", 2200, vec![serial("id"), int_z("region", 14, 0.7)]),
-            tbl("campaign", 5200, vec![serial("id"), fk("client_id", "client", 1.2), float_u("budget", 100.0, 60000.0)]),
-            tbl("impression", 22000, vec![serial("id"), fk("campaign_id", "campaign", 1.4), int_u("clicks", 0, 900), corr("cost", "clicks", 2.4, 0.1)]),
+            tbl(
+                "campaign",
+                5200,
+                vec![
+                    serial("id"),
+                    fk("client_id", "client", 1.2),
+                    float_u("budget", 100.0, 60000.0),
+                ],
+            ),
+            tbl(
+                "impression",
+                22000,
+                vec![
+                    serial("id"),
+                    fk("campaign_id", "campaign", 1.4),
+                    int_u("clicks", 0, 900),
+                    corr("cost", "clicks", 2.4, 0.1),
+                ],
+            ),
         ],
         "ssb" => vec![
-            tbl("supplier_s", 400, vec![serial("id"), text("region", 5, 0.3, 4, 10), text("nation", 25, 0.5, 4, 12)]),
-            tbl("customer_s", 1200, vec![serial("id"), text("region", 5, 0.3, 4, 10), int_z("segment", 5, 0.4)]),
-            tbl("part_s", 1600, vec![serial("id"), text("brand", 50, 0.6, 5, 9), int_u("size", 1, 50)]),
-            tbl("lineorder", 26000, vec![serial("id"), fk("cust_id", "customer_s", 0.8), fk("part_id", "part_s", 0.9), fk("supp_id", "supplier_s", 0.7), int_u("quantity", 1, 50), float_u("extendedprice", 90.0, 10_000.0), corr("revenue", "extendedprice", 0.95, 0.02), int_u("discount", 0, 10)]),
+            tbl(
+                "supplier_s",
+                400,
+                vec![serial("id"), text("region", 5, 0.3, 4, 10), text("nation", 25, 0.5, 4, 12)],
+            ),
+            tbl(
+                "customer_s",
+                1200,
+                vec![serial("id"), text("region", 5, 0.3, 4, 10), int_z("segment", 5, 0.4)],
+            ),
+            tbl(
+                "part_s",
+                1600,
+                vec![serial("id"), text("brand", 50, 0.6, 5, 9), int_u("size", 1, 50)],
+            ),
+            tbl(
+                "lineorder",
+                26000,
+                vec![
+                    serial("id"),
+                    fk("cust_id", "customer_s", 0.8),
+                    fk("part_id", "part_s", 0.9),
+                    fk("supp_id", "supplier_s", 0.7),
+                    int_u("quantity", 1, 50),
+                    float_u("extendedprice", 90.0, 10_000.0),
+                    corr("revenue", "extendedprice", 0.95, 0.02),
+                    int_u("discount", 0, 10),
+                ],
+            ),
         ],
         "tournament" => vec![
             tbl("club", 150, vec![serial("id"), text("country", 40, 0.8, 4, 12)]),
-            tbl("match_t", 8000, vec![serial("id"), fk("home_id", "club", 1.0), fk("away_id", "club", 1.0), int_u("home_goals", 0, 8), int_u("away_goals", 0, 8)]),
-            tbl("event_t", 16000, vec![serial("id"), fk("match_id", "match_t", 1.1), int_u("minute", 0, 95), int_z("kind", 9, 1.0)]),
+            tbl(
+                "match_t",
+                8000,
+                vec![
+                    serial("id"),
+                    fk("home_id", "club", 1.0),
+                    fk("away_id", "club", 1.0),
+                    int_u("home_goals", 0, 8),
+                    int_u("away_goals", 0, 8),
+                ],
+            ),
+            tbl(
+                "event_t",
+                16000,
+                vec![
+                    serial("id"),
+                    fk("match_id", "match_t", 1.1),
+                    int_u("minute", 0, 95),
+                    int_z("kind", 9, 1.0),
+                ],
+            ),
         ],
         "tpc_h" => vec![
             tbl("nation_t", 25, vec![serial("id"), text("name", 25, 0.2, 4, 12)]),
-            tbl("supplier_t", 500, vec![serial("id"), fk("nation_id", "nation_t", 0.4), float_u("acctbal", -900.0, 9900.0)]),
-            tbl("customer_t", 2000, vec![serial("id"), fk("nation_id", "nation_t", 0.5), float_u("acctbal", -900.0, 9900.0), int_z("mktsegment", 5, 0.3)]),
-            tbl("orders_t", 10000, vec![serial("id"), fk("cust_id", "customer_t", 1.0), float_u("totalprice", 900.0, 350_000.0), int_u("orderyear", 1992, 1998), int_z("priority", 5, 0.5)]),
-            tbl("lineitem_t", 30000, vec![serial("id"), fk("order_id", "orders_t", 0.9), fk("supp_id", "supplier_t", 0.8), int_u("quantity", 1, 50), float_u("price", 900.0, 95_000.0), corr("disc_price", "price", 0.95, 0.02), int_u("shipdelay", 1, 120)]),
+            tbl(
+                "supplier_t",
+                500,
+                vec![
+                    serial("id"),
+                    fk("nation_id", "nation_t", 0.4),
+                    float_u("acctbal", -900.0, 9900.0),
+                ],
+            ),
+            tbl(
+                "customer_t",
+                2000,
+                vec![
+                    serial("id"),
+                    fk("nation_id", "nation_t", 0.5),
+                    float_u("acctbal", -900.0, 9900.0),
+                    int_z("mktsegment", 5, 0.3),
+                ],
+            ),
+            tbl(
+                "orders_t",
+                10000,
+                vec![
+                    serial("id"),
+                    fk("cust_id", "customer_t", 1.0),
+                    float_u("totalprice", 900.0, 350_000.0),
+                    int_u("orderyear", 1992, 1998),
+                    int_z("priority", 5, 0.5),
+                ],
+            ),
+            tbl(
+                "lineitem_t",
+                30000,
+                vec![
+                    serial("id"),
+                    fk("order_id", "orders_t", 0.9),
+                    fk("supp_id", "supplier_t", 0.8),
+                    int_u("quantity", 1, 50),
+                    float_u("price", 900.0, 95_000.0),
+                    corr("disc_price", "price", 0.95, 0.02),
+                    int_u("shipdelay", 1, 120),
+                ],
+            ),
         ],
         "walmart" => vec![
-            tbl("store", 180, vec![serial("id"), int_z("store_type", 3, 0.4), int_u("sqft", 30_000, 220_000)]),
+            tbl(
+                "store",
+                180,
+                vec![serial("id"), int_z("store_type", 3, 0.4), int_u("sqft", 30_000, 220_000)],
+            ),
             tbl("dept_w", 420, vec![serial("id"), text("name", 90, 0.7, 4, 14)]),
-            tbl("sales", 24000, vec![serial("id"), fk("store_id", "store", 0.9), fk("dept_id", "dept_w", 1.1), float_n("weekly_sales", 16_000.0, 9000.0), boolean("holiday", 0.07), corr("markdown", "weekly_sales", 0.05, 0.2).nulls(0.1)]),
+            tbl(
+                "sales",
+                24000,
+                vec![
+                    serial("id"),
+                    fk("store_id", "store", 0.9),
+                    fk("dept_id", "dept_w", 1.1),
+                    float_n("weekly_sales", 16_000.0, 9000.0),
+                    boolean("holiday", 0.07),
+                    corr("markdown", "weekly_sales", 0.05, 0.2).nulls(0.1),
+                ],
+            ),
         ],
         other => panic!("unknown dataset name: {other}"),
     };
@@ -303,9 +829,7 @@ fn generate_table(
                 // low PKs (which would correlate with other serial columns).
                 let mut perm: Vec<i64> = (0..n as i64).collect();
                 crng.shuffle(&mut perm);
-                ColumnData::Int(
-                    (0..rows).map(|_| perm[sample_cdf(&mut crng, &cdf)]).collect(),
-                )
+                ColumnData::Int((0..rows).map(|_| perm[sample_cdf(&mut crng, &cdf)]).collect())
             }
             ColGen::IntUniform { lo, hi } => {
                 ColumnData::Int((0..rows).map(|_| crng.range(*lo..=*hi)).collect())
@@ -319,9 +843,7 @@ fn generate_table(
             }
             ColGen::FloatNormal { mean, std } => ColumnData::Float(
                 (0..rows)
-                    .map(|_| {
-                        crng.normal(*mean, *std).clamp(mean - 6.0 * std, mean + 6.0 * std)
-                    })
+                    .map(|_| crng.normal(*mean, *std).clamp(mean - 6.0 * std, mean + 6.0 * std))
                     .collect(),
             ),
             ColGen::Text { domain, skew, min_len, max_len } => {
@@ -331,9 +853,7 @@ fn generate_table(
                     (0..rows).map(|_| pool[sample_cdf(&mut crng, &cdf)].clone()).collect(),
                 )
             }
-            ColGen::Bool { p } => {
-                ColumnData::Bool((0..rows).map(|_| crng.chance(*p)).collect())
-            }
+            ColGen::Bool { p } => ColumnData::Bool((0..rows).map(|_| crng.chance(*p)).collect()),
             ColGen::Correlated { source, factor, noise } => {
                 let src = columns
                     .iter()
@@ -362,14 +882,13 @@ fn generate_table(
         };
         columns.push(Column::with_nulls(cspec.name.clone(), data, nulls));
     }
-    let mut table = Table::new(spec.name.clone(), columns).expect("generated columns are ragged-free");
+    let mut table =
+        Table::new(spec.name.clone(), columns).expect("generated columns are ragged-free");
     // First Serial column is the primary key; FKs registered from spec.
     for cspec in &spec.columns {
         match &cspec.gen {
-            ColGen::Serial => {
-                if table.primary_key.is_none() {
-                    table.set_primary_key(&cspec.name).expect("pk exists");
-                }
+            ColGen::Serial if table.primary_key.is_none() => {
+                table.set_primary_key(&cspec.name).expect("pk exists");
             }
             ColGen::Fk { table: parent, .. } => {
                 table.add_foreign_key(&cspec.name, parent, "id");
@@ -538,8 +1057,8 @@ mod tests {
             sxy += x * y;
         }
         let nf = n as f64;
-        let corr = (nf * sxy - sx * sy)
-            / ((nf * sxx - sx * sx).sqrt() * (nf * syy - sy * sy).sqrt());
+        let corr =
+            (nf * sxy - sx * sy) / ((nf * sxx - sx * sx).sqrt() * (nf * syy - sy * sy).sqrt());
         assert!(corr > 0.9, "corr={corr}");
     }
 

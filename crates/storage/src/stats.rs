@@ -157,11 +157,16 @@ impl ColumnStats {
         }
         let non_null = counts.values().map(|(_, c)| *c).sum::<usize>().max(1);
         let ndv = counts.len();
-        let mut freq: Vec<(Value, f64)> = counts
-            .into_values()
-            .map(|(v, c)| (v, c as f64 / non_null as f64))
-            .collect();
-        freq.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite freq"));
+        let mut freq: Vec<(Value, f64)> =
+            counts.into_values().map(|(v, c)| (v, c as f64 / non_null as f64)).collect();
+        // Tie-break equal frequencies on the value itself: `counts` is a
+        // HashMap, so without a total order the MCV list would depend on
+        // iteration order and ANALYZE would be nondeterministic run-to-run.
+        freq.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite freq")
+                .then_with(|| a.0.compare(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+        });
         freq.truncate(MCV_ENTRIES);
         let (min, max) = if numeric.is_empty() {
             (0.0, 0.0)
@@ -271,10 +276,7 @@ mod tests {
 
     #[test]
     fn text_stats() {
-        let col = Column::new(
-            "s",
-            ColumnData::Text(vec!["ab".into(), "abcd".into(), "ab".into()]),
-        );
+        let col = Column::new("s", ColumnData::Text(vec!["ab".into(), "abcd".into(), "ab".into()]));
         let s = ColumnStats::compute(&col);
         assert_eq!(s.ndv, 2);
         assert!((s.avg_text_len - 8.0 / 3.0).abs() < 1e-12);

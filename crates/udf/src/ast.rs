@@ -120,15 +120,37 @@ pub enum Expr {
     Str(String),
     Bool(bool),
     NoneLit,
-    Unary { op: UnOp, operand: Box<Expr> },
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
-    Compare { op: CmpOp, left: Box<Expr>, right: Box<Expr> },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Compare {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Short-circuit `and` / `or`.
-    BoolOp { is_and: bool, left: Box<Expr>, right: Box<Expr> },
+    BoolOp {
+        is_and: bool,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Library / builtin call (`math.sqrt(x)`, `len(s)`, `int(x)`, ...).
-    Call { func: LibFn, args: Vec<Expr> },
+    Call {
+        func: LibFn,
+        args: Vec<Expr>,
+    },
     /// String method call (`s.upper()`, `s.replace(a, b)`, ...).
-    Method { func: LibFn, recv: Box<Expr>, args: Vec<Expr> },
+    Method {
+        func: LibFn,
+        recv: Box<Expr>,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
@@ -151,10 +173,8 @@ impl Expr {
     /// Collect every `Name` referenced in this expression.
     pub fn names(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Name(n) => {
-                if !out.contains(n) {
-                    out.push(n.clone());
-                }
+            Expr::Name(n) if !out.contains(n) => {
+                out.push(n.clone());
             }
             Expr::Unary { operand, .. } => operand.names(out),
             Expr::Binary { left, right, .. }
@@ -290,7 +310,9 @@ impl UdfDef {
         fn stmts(body: &[Stmt]) -> usize {
             body.iter()
                 .map(|s| match s {
-                    Stmt::If { then_body, else_body, .. } => 1 + stmts(then_body) + stmts(else_body),
+                    Stmt::If { then_body, else_body, .. } => {
+                        1 + stmts(then_body) + stmts(else_body)
+                    }
                     Stmt::For { body, .. } | Stmt::While { body, .. } => stmts(body),
                     _ => 0,
                 })

@@ -135,8 +135,9 @@ impl CostCounter {
     }
 
     pub fn add_invocation(&mut self, w: &CostWeights, n_args: usize, text_chars: usize) {
-        self.total +=
-            w.invoke_base + w.invoke_per_arg * n_args as f64 + w.invoke_text_per_char * text_chars as f64;
+        self.total += w.invoke_base
+            + w.invoke_per_arg * n_args as f64
+            + w.invoke_text_per_char * text_chars as f64;
     }
 
     pub fn add_return(&mut self, w: &CostWeights) {

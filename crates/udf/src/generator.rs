@@ -118,7 +118,7 @@ impl UdfGenerator {
         let candidates: Vec<&str> = db
             .tables()
             .iter()
-            .filter(|t| numeric_value_columns(db, &t.name).len() >= 1)
+            .filter(|t| !numeric_value_columns(db, &t.name).is_empty())
             .map(|t| t.name.as_str())
             .collect();
         if candidates.is_empty() {
@@ -151,9 +151,8 @@ impl UdfGenerator {
             .into_iter()
             .map(|i| numeric_cols[i].clone())
             .collect();
-        let use_string = !text_cols.is_empty()
-            && chosen.len() < cfg.max_params
-            && rng.chance(cfg.string_prob);
+        let use_string =
+            !text_cols.is_empty() && chosen.len() < cfg.max_params && rng.chance(cfg.string_prob);
         if use_string {
             chosen.push(text_cols[rng.range(0..text_cols.len())].clone());
         }
@@ -542,11 +541,7 @@ fn text_value_columns(db: &Database, table: &str) -> Vec<String> {
         Ok(t) => t,
         Err(_) => return Vec::new(),
     };
-    t.columns()
-        .iter()
-        .filter(|c| c.data_type() == DataType::Text)
-        .map(|c| c.name.clone())
-        .collect()
+    t.columns().iter().filter(|c| c.data_type() == DataType::Text).map(|c| c.name.clone()).collect()
 }
 
 /// Apply a set of adaptation actions to a database.
@@ -612,13 +607,12 @@ mod tests {
             let u = g.generate(&db, &mut rng).unwrap();
             apply_adaptations(&mut db, &u.adaptations).unwrap();
             let table = db.table(&u.table).unwrap();
-            let cols: Vec<_> =
-                u.input_columns.iter().map(|c| table.column(c).unwrap()).collect();
+            let cols: Vec<_> = u.input_columns.iter().map(|c| table.column(c).unwrap()).collect();
             for row in 0..table.num_rows().min(25) {
                 let args: Vec<Value> = cols.iter().map(|c| c.value(row)).collect();
-                let out = interp.eval(&u.def, &args).unwrap_or_else(|e| {
-                    panic!("udf #{k} failed on row {row}: {e}\n{}", u.source)
-                });
+                let out = interp
+                    .eval(&u.def, &args)
+                    .unwrap_or_else(|e| panic!("udf #{k} failed on row {row}: {e}\n{}", u.source));
                 assert!(out.cost.total > 0.0);
             }
         }
@@ -642,8 +636,7 @@ mod tests {
                     "expected a ReplaceNulls adaptation"
                 );
                 apply_adaptations(&mut db, &u.adaptations).unwrap();
-                let frac =
-                    db.table("sales").unwrap().column("markdown").unwrap().null_fraction();
+                let frac = db.table("sales").unwrap().column("markdown").unwrap().null_fraction();
                 assert_eq!(frac, 0.0);
                 return;
             }
@@ -664,7 +657,7 @@ mod tests {
             total += ops;
         }
         let avg = total / 40;
-        assert!(avg >= 10 && avg <= 200, "avg ops {avg} outside Table II range");
+        assert!((10..=200).contains(&avg), "avg ops {avg} outside Table II range");
     }
 
     #[test]

@@ -6,16 +6,23 @@
 //! a query reflects exactly the code paths the data took — branch by branch,
 //! iteration by iteration).
 //!
+//! Variables are resolved through a precomputed [`SlotTable`] shared with the
+//! bytecode compiler ([`crate::bytecode`]): the scratch scope is a dense
+//! `Vec` indexed by slot, so the per-row path neither hashes nor clones
+//! variable names (the old implementation rebuilt a `String`-keyed `HashMap`
+//! for every tuple). Scalar semantics live in [`crate::ops`], shared with the
+//! batch VM so both backends agree bit-for-bit on values and costs.
+//!
 //! NULL semantics follow what DuckDB's Python UDFs see in practice: NULL
 //! propagates through arithmetic and library calls, comparisons against NULL
 //! are false, and a NULL branch condition takes the `else` side.
 
-use crate::ast::{BinOp, CmpOp, Expr, Stmt, UdfDef, UnOp};
+use crate::ast::{Expr, Stmt, UdfDef, UnOp};
+use crate::bytecode::SlotTable;
 use crate::costs::{CostCounter, CostWeights};
-use crate::libfns::LibFn;
+use crate::ops;
 use graceful_common::{GracefulError, Result};
 use graceful_storage::Value;
-use std::collections::HashMap;
 
 /// Hard cap on `while` iterations, so malformed UDFs cannot hang the engine.
 pub const MAX_WHILE_ITERS: u64 = 100_000;
@@ -29,12 +36,45 @@ pub struct EvalOutcome {
     pub cost: CostCounter,
 }
 
-/// A reusable interpreter (holds the cost weights and a scratch scope map so
-/// per-row evaluation does not allocate a fresh `HashMap`).
+/// Slot table prepared for one specific UDF, with enough identity recorded
+/// to detect (practically) when the interpreter is handed a different one.
+#[derive(Debug)]
+struct PreparedUdf {
+    /// Address of the `UdfDef` the table was built from. Address equality is
+    /// the fast-path check; the fields below guard against an allocator
+    /// placing a *different* UDF at a recycled address. The guards are a
+    /// heuristic, but a mis-hit is harmless: every scope access (including
+    /// argument binding in `eval`) resolves by *name* through the table, so
+    /// a stale table can only produce an "undefined variable" error — never
+    /// a silently wrong binding.
+    addr: usize,
+    name: String,
+    n_params: usize,
+    body_len: usize,
+    table: SlotTable,
+}
+
+impl PreparedUdf {
+    fn matches(&self, udf: &UdfDef) -> bool {
+        self.addr == udf as *const UdfDef as usize
+            && self.n_params == udf.params.len()
+            && self.body_len == udf.body.len()
+            && self.name == udf.name
+    }
+}
+
+/// A reusable interpreter: holds the cost weights, the slot-indexed scratch
+/// scope, and the slot table of the most recent UDF (so evaluating the same
+/// UDF row after row — the execution engine's access pattern — does no
+/// per-row name resolution setup at all).
 #[derive(Debug)]
 pub struct Interpreter {
     weights: CostWeights,
-    scope: HashMap<String, Value>,
+    prepared: Option<PreparedUdf>,
+    /// Scratch scope, indexed by slot.
+    slots: Vec<Value>,
+    /// Which slots hold a value this row (params start defined).
+    defined: Vec<bool>,
 }
 
 impl Default for Interpreter {
@@ -45,7 +85,7 @@ impl Default for Interpreter {
 
 impl Interpreter {
     pub fn new(weights: CostWeights) -> Self {
-        Interpreter { weights, scope: HashMap::new() }
+        Interpreter { weights, prepared: None, slots: Vec::new(), defined: Vec::new() }
     }
 
     pub fn weights(&self) -> &CostWeights {
@@ -65,17 +105,76 @@ impl Interpreter {
                 args.len()
             )));
         }
+        if !self.prepared.as_ref().is_some_and(|p| p.matches(udf)) {
+            crate::bytecode::check_params(udf)?;
+            self.prepared = Some(PreparedUdf {
+                addr: udf as *const UdfDef as usize,
+                name: udf.name.clone(),
+                n_params: udf.params.len(),
+                body_len: udf.body.len(),
+                table: SlotTable::build(udf),
+            });
+        }
+        let prepared = self.prepared.as_ref().expect("just prepared");
+        let n_slots = prepared.table.len();
         let mut cost = CostCounter::new();
-        let text_chars: usize =
-            args.iter().map(|v| v.as_str().map_or(0, |s| s.len())).sum();
+        let text_chars: usize = args.iter().map(|v| v.as_str().map_or(0, |s| s.len())).sum();
         cost.add_invocation(&self.weights, args.len(), text_chars);
-        self.scope.clear();
+        // Reset the scratch scope: parameters defined, locals not. Stale
+        // values stay in place (reads are gated on `defined`), so the row
+        // loop allocates nothing.
+        if self.slots.len() < n_slots {
+            self.slots.resize(n_slots, Value::Null);
+        }
+        if self.defined.len() < n_slots {
+            self.defined.resize(n_slots, false);
+        }
+        for d in self.defined.iter_mut().take(n_slots) {
+            *d = false;
+        }
+        // Bind arguments BY NAME, not by position: every scope access goes
+        // through the table's name lookup, so even if the cache heuristics
+        // in `PreparedUdf::matches` ever mis-hit (recycled address with
+        // matching guards), the worst outcome is a loud "undefined variable"
+        // error — never a silently mis-bound value.
         for (p, v) in udf.params.iter().zip(args.iter()) {
-            self.scope.insert(p.clone(), v.clone());
+            let slot = prepared
+                .table
+                .slot_of(p)
+                .ok_or_else(|| GracefulError::Eval(format!("undefined variable {p}")))?
+                as usize;
+            self.slots[slot] = v.clone();
+            self.defined[slot] = true;
         }
         let ret = self.run_block(&udf.body, &mut cost)?;
         cost.add_return(&self.weights);
         Ok(EvalOutcome { value: ret.unwrap_or(Value::Null), cost })
+    }
+
+    fn slot_of(&self, name: &str) -> Result<usize> {
+        self.prepared
+            .as_ref()
+            .expect("eval prepared the table")
+            .table
+            .slot_of(name)
+            .map(|s| s as usize)
+            .ok_or_else(|| GracefulError::Eval(format!("undefined variable {name}")))
+    }
+
+    fn read_var(&self, name: &str) -> Result<Value> {
+        let slot = self.slot_of(name)?;
+        if self.defined[slot] {
+            Ok(self.slots[slot].clone())
+        } else {
+            Err(GracefulError::Eval(format!("undefined variable {name}")))
+        }
+    }
+
+    fn write_var(&mut self, name: &str, v: Value) -> Result<()> {
+        let slot = self.slot_of(name)?;
+        self.slots[slot] = v;
+        self.defined[slot] = true;
+        Ok(())
     }
 
     /// Execute a block; `Some(v)` means a `return` fired.
@@ -86,7 +185,7 @@ impl Interpreter {
                 Stmt::Assign { target, expr } => {
                     let v = self.eval_expr(expr, cost)?;
                     cost.add_assign(&self.weights);
-                    self.scope.insert(target.clone(), v);
+                    self.write_var(target, v)?;
                 }
                 Stmt::If { cond, then_body, else_body } => {
                     let c = self.eval_expr(cond, cost)?;
@@ -98,14 +197,10 @@ impl Interpreter {
                     }
                 }
                 Stmt::For { var, count, body } => {
-                    let n = self
-                        .eval_expr(count, cost)?
-                        .as_i64()
-                        .unwrap_or(0)
-                        .max(0) as u64;
+                    let n = self.eval_expr(count, cost)?.as_i64().unwrap_or(0).max(0) as u64;
                     for i in 0..n {
                         cost.add_loop_iter(&self.weights);
-                        self.scope.insert(var.clone(), Value::Int(i as i64));
+                        self.write_var(var, Value::Int(i as i64))?;
                         if let Some(v) = self.run_block(body, cost)? {
                             return Ok(Some(v));
                         }
@@ -121,9 +216,7 @@ impl Interpreter {
                         cost.add_loop_iter(&self.weights);
                         iters += 1;
                         if iters > MAX_WHILE_ITERS {
-                            return Err(GracefulError::Eval(format!(
-                                "while loop exceeded {MAX_WHILE_ITERS} iterations"
-                            )));
+                            return Err(GracefulError::IterationLimit { limit: MAX_WHILE_ITERS });
                         }
                         if let Some(v) = self.run_block(body, cost)? {
                             return Ok(Some(v));
@@ -141,11 +234,7 @@ impl Interpreter {
 
     fn eval_expr(&mut self, expr: &Expr, cost: &mut CostCounter) -> Result<Value> {
         match expr {
-            Expr::Name(n) => self
-                .scope
-                .get(n)
-                .cloned()
-                .ok_or_else(|| GracefulError::Eval(format!("undefined variable {n}"))),
+            Expr::Name(n) => self.read_var(n),
             Expr::Int(i) => Ok(Value::Int(*i)),
             Expr::Float(f) => Ok(Value::Float(*f)),
             Expr::Str(s) => Ok(Value::Text(s.clone())),
@@ -166,13 +255,13 @@ impl Interpreter {
             Expr::Binary { op, left, right } => {
                 let l = self.eval_expr(left, cost)?;
                 let r = self.eval_expr(right, cost)?;
-                self.apply_binary(*op, l, r, cost)
+                ops::apply_binary(&self.weights, *op, &l, &r, cost)
             }
             Expr::Compare { op, left, right } => {
                 let l = self.eval_expr(left, cost)?;
                 let r = self.eval_expr(right, cost)?;
                 cost.add_compare(&self.weights);
-                Ok(Value::Bool(compare(*op, &l, &r)))
+                Ok(Value::Bool(ops::compare(*op, &l, &r)))
             }
             Expr::BoolOp { is_and, left, right } => {
                 let l = self.eval_expr(left, cost)?;
@@ -198,7 +287,7 @@ impl Interpreter {
                 for a in args {
                     vals.push(self.eval_expr(a, cost)?);
                 }
-                self.apply_lib(*func, None, &vals, cost)
+                ops::apply_lib(&self.weights, *func, None, &vals, cost)
             }
             Expr::Method { func, recv, args } => {
                 let r = self.eval_expr(recv, cost)?;
@@ -206,253 +295,17 @@ impl Interpreter {
                 for a in args {
                     vals.push(self.eval_expr(a, cost)?);
                 }
-                self.apply_lib(*func, Some(r), &vals, cost)
+                ops::apply_lib(&self.weights, *func, Some(&r), &vals, cost)
             }
         }
-    }
-
-    fn apply_binary(
-        &mut self,
-        op: BinOp,
-        l: Value,
-        r: Value,
-        cost: &mut CostCounter,
-    ) -> Result<Value> {
-        // String concatenation.
-        if op == BinOp::Add {
-            if let (Value::Text(a), Value::Text(b)) = (&l, &r) {
-                cost.add_string(&self.weights, a.len() + b.len());
-                return Ok(Value::Text(format!("{a}{b}")));
-            }
-        }
-        // String repetition `s * n`.
-        if op == BinOp::Mul {
-            if let (Value::Text(a), Value::Int(n)) = (&l, &r) {
-                let n = (*n).clamp(0, 64) as usize;
-                cost.add_string(&self.weights, a.len() * n);
-                return Ok(Value::Text(a.repeat(n)));
-            }
-        }
-        let slow = matches!(op, BinOp::Pow | BinOp::FloorDiv | BinOp::Mod);
-        cost.add_arith(&self.weights, slow);
-        if l.is_null() || r.is_null() {
-            return Ok(Value::Null);
-        }
-        // Integer fast path keeps int-typed data int-typed.
-        if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
-            let (a, b) = (*a, *b);
-            return Ok(match op {
-                BinOp::Add => Value::Int(a.wrapping_add(b)),
-                BinOp::Sub => Value::Int(a.wrapping_sub(b)),
-                BinOp::Mul => Value::Int(a.wrapping_mul(b)),
-                BinOp::Div => {
-                    if b == 0 {
-                        Value::Null
-                    } else {
-                        Value::Float(a as f64 / b as f64)
-                    }
-                }
-                BinOp::Mod => {
-                    if b == 0 {
-                        Value::Null
-                    } else {
-                        Value::Int(a.rem_euclid(b))
-                    }
-                }
-                BinOp::FloorDiv => {
-                    if b == 0 {
-                        Value::Null
-                    } else {
-                        Value::Int(a.div_euclid(b))
-                    }
-                }
-                BinOp::Pow => {
-                    if (0..=16).contains(&b) {
-                        Value::Int(a.saturating_pow(b as u32))
-                    } else {
-                        Value::Float((a as f64).powf(b as f64))
-                    }
-                }
-            });
-        }
-        let (a, b) = match (l.as_f64(), r.as_f64()) {
-            (Some(a), Some(b)) => (a, b),
-            _ => return Ok(Value::Null),
-        };
-        let out = match op {
-            BinOp::Add => a + b,
-            BinOp::Sub => a - b,
-            BinOp::Mul => a * b,
-            BinOp::Div => {
-                if b == 0.0 {
-                    return Ok(Value::Null);
-                }
-                a / b
-            }
-            BinOp::Mod => {
-                if b == 0.0 {
-                    return Ok(Value::Null);
-                }
-                a.rem_euclid(b)
-            }
-            BinOp::FloorDiv => {
-                if b == 0.0 {
-                    return Ok(Value::Null);
-                }
-                (a / b).floor()
-            }
-            BinOp::Pow => sanitize(a.powf(b)),
-        };
-        Ok(Value::Float(sanitize(out)))
-    }
-
-    fn apply_lib(
-        &mut self,
-        f: LibFn,
-        recv: Option<Value>,
-        args: &[Value],
-        cost: &mut CostCounter,
-    ) -> Result<Value> {
-        use LibFn::*;
-        cost.add_lib_call(f);
-        // NULL propagation: any NULL input yields NULL (cheap early exit,
-        // mirroring how adapters skip the Python call for NULL rows).
-        if recv.as_ref().is_some_and(Value::is_null) || args.iter().any(Value::is_null) {
-            return Ok(Value::Null);
-        }
-        let num = |i: usize| args.get(i).and_then(Value::as_f64);
-        let out = match f {
-            MathSqrt | NpSqrt => num(0).map(|x| Value::Float(sanitize(x.abs().sqrt()))),
-            MathPow | NpPower => match (num(0), num(1)) {
-                (Some(a), Some(b)) => Some(Value::Float(sanitize(a.powf(b)))),
-                _ => None,
-            },
-            MathLog | NpLog => num(0).map(|x| Value::Float(sanitize(x.abs().max(1e-12).ln()))),
-            MathExp | NpExp => num(0).map(|x| Value::Float(sanitize(x.min(700.0).exp()))),
-            MathSin => num(0).map(|x| Value::Float(x.sin())),
-            MathCos => num(0).map(|x| Value::Float(x.cos())),
-            MathAtan => num(0).map(|x| Value::Float(x.atan())),
-            MathFloor => num(0).map(|x| Value::Int(x.floor() as i64)),
-            MathCeil => num(0).map(|x| Value::Int(x.ceil() as i64)),
-            MathFabs | NpAbs => num(0).map(|x| Value::Float(x.abs())),
-            NpMinimum => match (num(0), num(1)) {
-                (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
-                _ => None,
-            },
-            NpMaximum => match (num(0), num(1)) {
-                (Some(a), Some(b)) => Some(Value::Float(a.max(b))),
-                _ => None,
-            },
-            NpClip => match (num(0), num(1), num(2)) {
-                (Some(x), Some(lo), Some(hi)) => Some(Value::Float(x.clamp(lo, hi.max(lo)))),
-                _ => None,
-            },
-            NpSign => num(0).map(|x| Value::Float(x.signum())),
-            NpRound | BuiltinRound => num(0).map(|x| Value::Float(x.round())),
-            BuiltinAbs => match args.first() {
-                Some(Value::Int(i)) => Some(Value::Int(i.abs())),
-                Some(v) => v.as_f64().map(|x| Value::Float(x.abs())),
-                None => None,
-            },
-            BuiltinInt => num(0).map(|x| Value::Int(x as i64)),
-            BuiltinFloat => num(0).map(Value::Float),
-            BuiltinMin => match (num(0), num(1)) {
-                (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
-                _ => None,
-            },
-            BuiltinMax => match (num(0), num(1)) {
-                (Some(a), Some(b)) => Some(Value::Float(a.max(b))),
-                _ => None,
-            },
-            BuiltinLen => match args.first() {
-                Some(Value::Text(s)) => {
-                    cost.add_string(&self.weights, 0);
-                    Some(Value::Int(s.len() as i64))
-                }
-                _ => None,
-            },
-            BuiltinStr => {
-                let s = args.first().map(|v| match v {
-                    Value::Text(t) => t.clone(),
-                    other => other.to_string(),
-                });
-                s.map(|s| {
-                    cost.add_string(&self.weights, s.len());
-                    Value::Text(s)
-                })
-            }
-            // String methods (receiver required).
-            StrUpper | StrLower | StrStrip | StrReplace | StrStartswith | StrEndswith
-            | StrFind | StrSplitCount => {
-                let s = match recv {
-                    Some(Value::Text(s)) => s,
-                    _ => return Ok(Value::Null),
-                };
-                cost.add_string(&self.weights, s.len());
-                let arg_str = |i: usize| args.get(i).and_then(|v| v.as_str().map(str::to_string));
-                match f {
-                    StrUpper => Some(Value::Text(s.to_uppercase())),
-                    StrLower => Some(Value::Text(s.to_lowercase())),
-                    StrStrip => Some(Value::Text(s.trim().to_string())),
-                    StrReplace => match (arg_str(0), arg_str(1)) {
-                        (Some(from), Some(to)) if !from.is_empty() => {
-                            Some(Value::Text(s.replace(&from, &to)))
-                        }
-                        _ => Some(Value::Text(s)),
-                    },
-                    StrStartswith => arg_str(0).map(|p| Value::Bool(s.starts_with(&p))),
-                    StrEndswith => arg_str(0).map(|p| Value::Bool(s.ends_with(&p))),
-                    StrFind => arg_str(0).map(|p| {
-                        Value::Int(s.find(&p).map(|i| i as i64).unwrap_or(-1))
-                    }),
-                    StrSplitCount => arg_str(0).map(|p| {
-                        let count = if p.is_empty() { 1 } else { s.matches(&p).count() + 1 };
-                        Value::Int(count as i64)
-                    }),
-                    _ => unreachable!("string method match is exhaustive"),
-                }
-            }
-        };
-        Ok(out.unwrap_or(Value::Null))
-    }
-}
-
-/// SQL/Python-style comparison: NULL never compares true.
-fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
-    use std::cmp::Ordering::*;
-    match l.compare(r) {
-        None => false,
-        Some(ord) => match op {
-            CmpOp::Lt => ord == Less,
-            CmpOp::Le => ord != Greater,
-            CmpOp::Gt => ord == Greater,
-            CmpOp::Ge => ord != Less,
-            CmpOp::Eq => ord == Equal,
-            CmpOp::Ne => ord != Equal,
-        },
-    }
-}
-
-/// Replace NaN/inf (from overflowing powf etc.) with large-but-finite values
-/// so downstream filters and aggregates stay well-defined.
-fn sanitize(x: f64) -> f64 {
-    if x.is_nan() {
-        0.0
-    } else if x.is_infinite() {
-        if x > 0.0 {
-            1e300
-        } else {
-            -1e300
-        }
-    } else {
-        x
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::Expr as E;
+    use crate::ast::{BinOp, CmpOp, Expr as E};
+    use crate::libfns::LibFn;
 
     fn udf(body: Vec<Stmt>) -> UdfDef {
         UdfDef { name: "f".into(), params: vec!["x".into(), "y".into()], body }
@@ -556,12 +409,13 @@ mod tests {
     }
 
     #[test]
-    fn runaway_while_is_capped() {
+    fn runaway_while_is_capped_with_typed_error() {
         let u = udf(vec![Stmt::While {
             cond: E::Bool(true),
             body: vec![Stmt::Assign { target: "z".into(), expr: E::Int(1) }],
         }]);
         let err = Interpreter::default().eval(&u, &[Value::Int(0), Value::Int(0)]).unwrap_err();
+        assert_eq!(err, GracefulError::IterationLimit { limit: MAX_WHILE_ITERS });
         assert!(err.to_string().contains("iterations"));
     }
 
@@ -590,6 +444,65 @@ mod tests {
     fn wrong_arity_errors() {
         let u = udf(vec![Stmt::Return(E::Int(1))]);
         assert!(Interpreter::default().eval(&u, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn params_bind_by_name_across_udfs_sharing_an_interpreter() {
+        // Two UDFs with the same name, arity and body length but swapped
+        // parameter order, evaluated back-to-back on one interpreter (boxed
+        // and dropped so the allocator may recycle the address — the exact
+        // shape that could fool the prepared-table cache heuristics). The
+        // by-name argument binding must return the right value either way.
+        let make = |params: [&str; 2]| {
+            Box::new(UdfDef {
+                name: "f".into(),
+                params: params.iter().map(|s| s.to_string()).collect(),
+                body: vec![Stmt::Return(E::name("a"))],
+            })
+        };
+        let mut interp = Interpreter::default();
+        let u1 = make(["a", "b"]);
+        assert_eq!(interp.eval(&u1, &[Value::Int(1), Value::Int(2)]).unwrap().value, Value::Int(1));
+        drop(u1);
+        let u2 = make(["b", "a"]);
+        assert_eq!(
+            interp.eval(&u2, &[Value::Int(1), Value::Int(2)]).unwrap().value,
+            Value::Int(2),
+            "swapped parameter order must bind by name"
+        );
+    }
+
+    #[test]
+    fn duplicate_params_rejected_identically_by_both_backends() {
+        let dup = UdfDef {
+            name: "f".into(),
+            params: vec!["x".into(), "x".into()],
+            body: vec![Stmt::Return(E::name("x"))],
+        };
+        let tree_err =
+            Interpreter::default().eval(&dup, &[Value::Int(1), Value::Int(2)]).unwrap_err();
+        let vm_err = crate::bytecode::compile(&dup).unwrap_err();
+        assert_eq!(tree_err, vm_err);
+        assert!(tree_err.to_string().contains("duplicate parameter x"), "{tree_err}");
+    }
+
+    #[test]
+    fn undefined_variable_is_an_error_not_a_stale_read() {
+        // One interpreter, two UDFs: a local assigned while running the first
+        // must not be visible when the second reads the same name without
+        // assigning it.
+        let assigns = udf(vec![
+            Stmt::Assign { target: "z".into(), expr: E::Int(42) },
+            Stmt::Return(E::name("z")),
+        ]);
+        let reads = udf(vec![Stmt::Return(E::name("z"))]);
+        let mut interp = Interpreter::default();
+        assert_eq!(
+            interp.eval(&assigns, &[Value::Int(0), Value::Int(0)]).unwrap().value,
+            Value::Int(42)
+        );
+        let err = interp.eval(&reads, &[Value::Int(0), Value::Int(0)]).unwrap_err();
+        assert!(err.to_string().contains("undefined variable z"), "{err}");
     }
 
     #[test]

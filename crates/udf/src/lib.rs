@@ -14,24 +14,35 @@
 //!   into deterministic simulated nanoseconds,
 //! * [`interp`] — a tree-walking interpreter that both *computes* the UDF
 //!   result for a row and *accounts* every operation it executes,
+//! * [`bytecode`] / [`vm`] — a register-based bytecode compiler (variables
+//!   resolved to numeric slots at compile time) and a batch VM that evaluates
+//!   compiled UDFs over whole row batches with zero per-row allocation while
+//!   producing bit-identical values and costs to the tree-walker,
+//! * [`ops`] — the scalar kernels both backends share (the mechanism behind
+//!   that bit-identical guarantee),
 //! * [`generator`] — the synthetic UDF generator of Section V (0–3 branches,
 //!   0–3 loops, 10–150 ops, library calls, data-adaptation actions).
 
 pub mod ast;
+pub mod bytecode;
 pub mod costs;
 pub mod generator;
 pub mod interp;
 pub mod lexer;
 pub mod libfns;
+pub mod ops;
 pub mod parser;
 pub mod printer;
 pub mod typecheck;
+pub mod vm;
 
 pub use ast::{BinOp, CmpOp, Expr, Stmt, UdfDef, UnOp};
+pub use bytecode::{compile, Program, SlotTable};
 pub use costs::{CostCounter, CostWeights};
 pub use generator::{AdaptAction, GeneratedUdf, UdfGenConfig, UdfGenerator};
-pub use interp::{EvalOutcome, Interpreter};
+pub use interp::{EvalOutcome, Interpreter, MAX_WHILE_ITERS};
 pub use libfns::LibFn;
 pub use parser::parse_udf;
 pub use printer::print_udf;
 pub use typecheck::infer_return_type;
+pub use vm::Vm;

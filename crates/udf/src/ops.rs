@@ -1,0 +1,298 @@
+//! Scalar operation kernels shared by the tree-walking interpreter and the
+//! bytecode VM.
+//!
+//! Both backends must produce **bit-identical** values *and* bit-identical
+//! [`CostCounter`] totals for every UDF (the differential property suite
+//! enforces this over the generated corpus). The only way to guarantee that
+//! is to have exactly one implementation of each scalar operation, with the
+//! cost-accounting calls baked into it in a fixed order — so the kernels
+//! live here and the backends only differ in *how they traverse* the UDF.
+
+use crate::ast::{BinOp, CmpOp};
+use crate::costs::{CostCounter, CostWeights};
+use crate::libfns::LibFn;
+use graceful_common::Result;
+use graceful_storage::Value;
+
+/// Apply a binary operator, accounting its work.
+///
+/// String concatenation (`Text + Text`) and repetition (`Text * Int`) charge
+/// string costs; every other combination charges an arithmetic op (slow-path
+/// surcharge for `**`, `//`, `%`) and follows NULL-propagation semantics.
+pub fn apply_binary(
+    w: &CostWeights,
+    op: BinOp,
+    l: &Value,
+    r: &Value,
+    cost: &mut CostCounter,
+) -> Result<Value> {
+    // String concatenation.
+    if op == BinOp::Add {
+        if let (Value::Text(a), Value::Text(b)) = (l, r) {
+            cost.add_string(w, a.len() + b.len());
+            return Ok(Value::Text(format!("{a}{b}")));
+        }
+    }
+    // String repetition `s * n`.
+    if op == BinOp::Mul {
+        if let (Value::Text(a), Value::Int(n)) = (l, r) {
+            let n = (*n).clamp(0, 64) as usize;
+            cost.add_string(w, a.len() * n);
+            return Ok(Value::Text(a.repeat(n)));
+        }
+    }
+    let slow = matches!(op, BinOp::Pow | BinOp::FloorDiv | BinOp::Mod);
+    cost.add_arith(w, slow);
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer fast path keeps int-typed data int-typed.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        let (a, b) = (*a, *b);
+        return Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+            BinOp::Div => {
+                if b == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(a as f64 / b as f64)
+                }
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.rem_euclid(b))
+                }
+            }
+            BinOp::FloorDiv => {
+                if b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.div_euclid(b))
+                }
+            }
+            BinOp::Pow => {
+                if (0..=16).contains(&b) {
+                    Value::Int(a.saturating_pow(b as u32))
+                } else {
+                    Value::Float((a as f64).powf(b as f64))
+                }
+            }
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Ok(Value::Null),
+    };
+    let out = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a / b
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a.rem_euclid(b)
+        }
+        BinOp::FloorDiv => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            (a / b).floor()
+        }
+        BinOp::Pow => sanitize(a.powf(b)),
+    };
+    Ok(Value::Float(sanitize(out)))
+}
+
+/// Apply a library/builtin function (or string method when `recv` is set),
+/// accounting its work.
+pub fn apply_lib(
+    w: &CostWeights,
+    f: LibFn,
+    recv: Option<&Value>,
+    args: &[Value],
+    cost: &mut CostCounter,
+) -> Result<Value> {
+    use LibFn::*;
+    cost.add_lib_call(f);
+    // NULL propagation: any NULL input yields NULL (cheap early exit,
+    // mirroring how adapters skip the Python call for NULL rows).
+    if recv.is_some_and(Value::is_null) || args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let num = |i: usize| args.get(i).and_then(Value::as_f64);
+    let out = match f {
+        MathSqrt | NpSqrt => num(0).map(|x| Value::Float(sanitize(x.abs().sqrt()))),
+        MathPow | NpPower => match (num(0), num(1)) {
+            (Some(a), Some(b)) => Some(Value::Float(sanitize(a.powf(b)))),
+            _ => None,
+        },
+        MathLog | NpLog => num(0).map(|x| Value::Float(sanitize(x.abs().max(1e-12).ln()))),
+        MathExp | NpExp => num(0).map(|x| Value::Float(sanitize(x.min(700.0).exp()))),
+        MathSin => num(0).map(|x| Value::Float(x.sin())),
+        MathCos => num(0).map(|x| Value::Float(x.cos())),
+        MathAtan => num(0).map(|x| Value::Float(x.atan())),
+        MathFloor => num(0).map(|x| Value::Int(x.floor() as i64)),
+        MathCeil => num(0).map(|x| Value::Int(x.ceil() as i64)),
+        MathFabs | NpAbs => num(0).map(|x| Value::Float(x.abs())),
+        NpMinimum => match (num(0), num(1)) {
+            (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
+            _ => None,
+        },
+        NpMaximum => match (num(0), num(1)) {
+            (Some(a), Some(b)) => Some(Value::Float(a.max(b))),
+            _ => None,
+        },
+        NpClip => match (num(0), num(1), num(2)) {
+            (Some(x), Some(lo), Some(hi)) => Some(Value::Float(x.clamp(lo, hi.max(lo)))),
+            _ => None,
+        },
+        NpSign => num(0).map(|x| Value::Float(x.signum())),
+        NpRound | BuiltinRound => num(0).map(|x| Value::Float(x.round())),
+        BuiltinAbs => match args.first() {
+            Some(Value::Int(i)) => Some(Value::Int(i.abs())),
+            Some(v) => v.as_f64().map(|x| Value::Float(x.abs())),
+            None => None,
+        },
+        BuiltinInt => num(0).map(|x| Value::Int(x as i64)),
+        BuiltinFloat => num(0).map(Value::Float),
+        BuiltinMin => match (num(0), num(1)) {
+            (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
+            _ => None,
+        },
+        BuiltinMax => match (num(0), num(1)) {
+            (Some(a), Some(b)) => Some(Value::Float(a.max(b))),
+            _ => None,
+        },
+        BuiltinLen => match args.first() {
+            Some(Value::Text(s)) => {
+                cost.add_string(w, 0);
+                Some(Value::Int(s.len() as i64))
+            }
+            _ => None,
+        },
+        BuiltinStr => {
+            let s = args.first().map(|v| match v {
+                Value::Text(t) => t.clone(),
+                other => other.to_string(),
+            });
+            s.map(|s| {
+                cost.add_string(w, s.len());
+                Value::Text(s)
+            })
+        }
+        // String methods (receiver required).
+        StrUpper | StrLower | StrStrip | StrReplace | StrStartswith | StrEndswith | StrFind
+        | StrSplitCount => {
+            let s = match recv {
+                Some(Value::Text(s)) => s,
+                _ => return Ok(Value::Null),
+            };
+            cost.add_string(w, s.len());
+            let arg_str = |i: usize| args.get(i).and_then(|v| v.as_str().map(str::to_string));
+            match f {
+                StrUpper => Some(Value::Text(s.to_uppercase())),
+                StrLower => Some(Value::Text(s.to_lowercase())),
+                StrStrip => Some(Value::Text(s.trim().to_string())),
+                StrReplace => match (arg_str(0), arg_str(1)) {
+                    (Some(from), Some(to)) if !from.is_empty() => {
+                        Some(Value::Text(s.replace(&from, &to)))
+                    }
+                    _ => Some(Value::Text(s.clone())),
+                },
+                StrStartswith => arg_str(0).map(|p| Value::Bool(s.starts_with(&p))),
+                StrEndswith => arg_str(0).map(|p| Value::Bool(s.ends_with(&p))),
+                StrFind => {
+                    arg_str(0).map(|p| Value::Int(s.find(&p).map(|i| i as i64).unwrap_or(-1)))
+                }
+                StrSplitCount => arg_str(0).map(|p| {
+                    let count = if p.is_empty() { 1 } else { s.matches(&p).count() + 1 };
+                    Value::Int(count as i64)
+                }),
+                _ => unreachable!("string method match is exhaustive"),
+            }
+        }
+    };
+    Ok(out.unwrap_or(Value::Null))
+}
+
+/// SQL/Python-style comparison: NULL never compares true.
+pub fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    match l.compare(r) {
+        None => false,
+        Some(ord) => match op {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+        },
+    }
+}
+
+/// Replace NaN/inf (from overflowing powf etc.) with large-but-finite values
+/// so downstream filters and aggregates stay well-defined.
+pub fn sanitize(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else if x.is_infinite() {
+        if x > 0.0 {
+            1e300
+        } else {
+            -1e300
+        }
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_string_paths_charge_string_costs() {
+        let w = CostWeights::default();
+        let mut c = CostCounter::new();
+        let out = apply_binary(
+            &w,
+            BinOp::Add,
+            &Value::Text("ab".into()),
+            &Value::Text("cd".into()),
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(out, Value::Text("abcd".into()));
+        assert_eq!(c.string_ops, 1);
+        assert_eq!(c.arith_ops, 0);
+    }
+
+    #[test]
+    fn lib_null_propagation_still_charges_the_call() {
+        let w = CostWeights::default();
+        let mut c = CostCounter::new();
+        let out = apply_lib(&w, LibFn::MathSqrt, None, &[Value::Null], &mut c).unwrap();
+        assert_eq!(out, Value::Null);
+        assert_eq!(c.lib_calls, 1);
+    }
+
+    #[test]
+    fn sanitize_bounds() {
+        assert_eq!(sanitize(f64::NAN), 0.0);
+        assert_eq!(sanitize(f64::INFINITY), 1e300);
+        assert_eq!(sanitize(f64::NEG_INFINITY), -1e300);
+        assert_eq!(sanitize(1.25), 1.25);
+    }
+}

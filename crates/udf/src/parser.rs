@@ -96,7 +96,13 @@ impl Parser {
         let mut params = Vec::new();
         if !matches!(self.peek(), Tok::RParen) {
             loop {
-                params.push(self.expect_ident()?);
+                let p = self.expect_ident()?;
+                // Python rejects duplicate argument names; so do we, and it
+                // keeps parameter slots unambiguous for both UDF backends.
+                if params.contains(&p) {
+                    return Err(self.err(format!("duplicate parameter {p}")));
+                }
+                params.push(p);
                 if matches!(self.peek(), Tok::Comma) {
                     self.bump();
                 } else {
@@ -360,7 +366,8 @@ impl Parser {
             }
             Tok::Ident(name) => {
                 // `module.func(args)` — library call.
-                if matches!(self.peek(), Tok::Dot) && (name == "math" || name == "np" || name == "numpy")
+                if matches!(self.peek(), Tok::Dot)
+                    && (name == "math" || name == "np" || name == "numpy")
                 {
                     self.bump();
                     let fn_name = self.expect_ident()?;
@@ -446,6 +453,12 @@ def f(x):
     }
 
     #[test]
+    fn duplicate_parameters_are_a_parse_error() {
+        let err = parse_udf("def f(x, x):\n    return x\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate parameter x"), "{err}");
+    }
+
+    #[test]
     fn precedence() {
         let udf = parse_udf("def f(x):\n    return 1 + 2 * 3 ** 2\n").unwrap();
         // 1 + (2 * (3 ** 2)) = 19
@@ -498,12 +511,15 @@ def f(x):
 
     #[test]
     fn rejects_non_range_for() {
-        assert!(parse_udf("def f(x):\n    for i in items(x):\n        y = 1\n    return 0\n").is_err());
+        assert!(
+            parse_udf("def f(x):\n    for i in items(x):\n        y = 1\n    return 0\n").is_err()
+        );
     }
 
     #[test]
     fn boolean_operators() {
-        let src = "def f(x, y):\n    if x < 1 and not y > 2 or x == 5:\n        return 1\n    return 0\n";
+        let src =
+            "def f(x, y):\n    if x < 1 and not y > 2 or x == 5:\n        return 1\n    return 0\n";
         let udf = parse_udf(src).unwrap();
         assert_eq!(udf.branch_count(), 1);
     }

@@ -131,12 +131,7 @@ fn print_prec(e: &Expr) -> String {
                 format!("{} ** {}", child(prec, left, true), child(prec, right, false))
             } else {
                 // Left associative: parenthesize right on tie.
-                format!(
-                    "{} {} {}",
-                    child(prec, left, false),
-                    op.symbol(),
-                    child(prec, right, true)
-                )
+                format!("{} {} {}", child(prec, left, false), op.symbol(), child(prec, right, true))
             }
         }
         Expr::Compare { op, left, right } => {
@@ -201,7 +196,9 @@ mod tests {
 
     #[test]
     fn round_trips_while() {
-        round_trip("def f(x):\n    i = 0\n    while i < x and i < 100:\n        i = i + 1\n    return i\n");
+        round_trip(
+            "def f(x):\n    i = 0\n    while i < x and i < 100:\n        i = i + 1\n    return i\n",
+        );
     }
 
     #[test]
@@ -209,11 +206,7 @@ mod tests {
         let udf = crate::ast::UdfDef {
             name: "f".into(),
             params: vec!["x".into()],
-            body: vec![Stmt::Return(Expr::bin(
-                BinOp::Sub,
-                Expr::name("x"),
-                Expr::Int(-5),
-            ))],
+            body: vec![Stmt::Return(Expr::bin(BinOp::Sub, Expr::name("x"), Expr::Int(-5)))],
         };
         let printed = print_udf(&udf);
         assert!(printed.contains("(-5)"), "{printed}");

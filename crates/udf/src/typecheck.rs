@@ -96,8 +96,7 @@ fn walk_block(body: &[Stmt], env: &mut HashMap<String, Ty>, returns: &mut Vec<Ty
                 walk_block(then_body, &mut then_env, returns);
                 walk_block(else_body, &mut else_env, returns);
                 // Join: unify per variable across both arms.
-                let keys: Vec<String> =
-                    then_env.keys().chain(else_env.keys()).cloned().collect();
+                let keys: Vec<String> = then_env.keys().chain(else_env.keys()).cloned().collect();
                 for k in keys {
                     let a = *then_env.get(&k).unwrap_or(&Ty::None);
                     let b = *else_env.get(&k).unwrap_or(&Ty::None);
@@ -195,22 +194,13 @@ mod tests {
 
     #[test]
     fn integer_arithmetic_stays_int() {
-        assert_eq!(
-            infer("def f(x):\n    return x + 2\n", &[DataType::Int]),
-            DataType::Int
-        );
-        assert_eq!(
-            infer("def f(x):\n    return x * 2 - 1\n", &[DataType::Int]),
-            DataType::Int
-        );
+        assert_eq!(infer("def f(x):\n    return x + 2\n", &[DataType::Int]), DataType::Int);
+        assert_eq!(infer("def f(x):\n    return x * 2 - 1\n", &[DataType::Int]), DataType::Int);
     }
 
     #[test]
     fn division_promotes_to_float() {
-        assert_eq!(
-            infer("def f(x):\n    return x / 2\n", &[DataType::Int]),
-            DataType::Float
-        );
+        assert_eq!(infer("def f(x):\n    return x / 2\n", &[DataType::Int]), DataType::Float);
     }
 
     #[test]
@@ -227,14 +217,8 @@ mod tests {
 
     #[test]
     fn string_methods_are_text() {
-        assert_eq!(
-            infer("def f(s):\n    return s.upper()\n", &[DataType::Text]),
-            DataType::Text
-        );
-        assert_eq!(
-            infer("def f(s):\n    return len(s)\n", &[DataType::Text]),
-            DataType::Int
-        );
+        assert_eq!(infer("def f(s):\n    return s.upper()\n", &[DataType::Text]), DataType::Text);
+        assert_eq!(infer("def f(s):\n    return len(s)\n", &[DataType::Text]), DataType::Int);
         assert_eq!(
             infer("def f(s):\n    return s.startswith('a')\n", &[DataType::Text]),
             DataType::Bool

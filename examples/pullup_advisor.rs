@@ -69,12 +69,26 @@ def udf(movie_id, keyword_id):
     let mut pu = build_plan(&spec, UdfPlacement::PullUp).unwrap();
     let pd_run = exec.run_and_annotate(&mut pd, 1).unwrap();
     let pu_run = exec.run_and_annotate(&mut pu, 1).unwrap();
-    println!("push-down: {:8.2} ms  (UDF on {:>7} rows)", pd_run.runtime_ns * 1e-6, pd_run.udf_input_rows);
-    println!("pull-up:   {:8.2} ms  (UDF on {:>7} rows)", pu_run.runtime_ns * 1e-6, pu_run.udf_input_rows);
+    println!(
+        "push-down: {:8.2} ms  (UDF on {:>7} rows)",
+        pd_run.runtime_ns * 1e-6,
+        pd_run.udf_input_rows
+    );
+    println!(
+        "pull-up:   {:8.2} ms  (UDF on {:>7} rows)",
+        pu_run.runtime_ns * 1e-6,
+        pu_run.udf_input_rows
+    );
     println!("speedup from pull-up: {:.1}x\n", pd_run.runtime_ns / pu_run.runtime_ns);
 
     // Train a model on two *other* databases (zero-shot for IMDB).
-    let cfg = ScaleConfig { data_scale: 0.08, queries_per_db: 40, epochs: 12, hidden: 24, ..ScaleConfig::default() };
+    let cfg = ScaleConfig {
+        data_scale: 0.08,
+        queries_per_db: 40,
+        epochs: 12,
+        hidden: 24,
+        ..ScaleConfig::default()
+    };
     println!("training advisor model on tpc_h + financial (imdb unseen)...");
     let train = vec![
         build_corpus("tpc_h", &cfg, 21).unwrap(),
@@ -83,7 +97,8 @@ def udf(movie_id, keyword_id):
     let model = train_graceful(&train, &cfg, Featurizer::full());
     let advisor = PullUpAdvisor::new(&model);
     let est = DataDrivenCard::build(&db, 9);
-    for strat in [Strategy::Conservative, Strategy::AreaUnderCurve, Strategy::UpperBoundCardinality] {
+    for strat in [Strategy::Conservative, Strategy::AreaUnderCurve, Strategy::UpperBoundCardinality]
+    {
         let d = advisor.decide(&db, &spec, &est, strat, None).unwrap();
         let truth = pu_run.runtime_ns < pd_run.runtime_ns;
         println!(

@@ -17,7 +17,12 @@ use std::sync::Arc;
 fn main() {
     // 1. A database: the synthetic IMDB stand-in at small scale.
     let db = generate(&schema("imdb"), 0.1, 42);
-    println!("database `{}`: {} tables, {} rows total", db.name, db.tables().len(), db.total_rows());
+    println!(
+        "database `{}`: {} tables, {} rows total",
+        db.name,
+        db.tables().len(),
+        db.total_rows()
+    );
 
     // 2. A scalar UDF, written as Python-like source and parsed for real.
     let udf_src = "\
@@ -31,7 +36,13 @@ def score(production_year, kind_id):
     return z
 ";
     let def = parse_udf(udf_src).expect("UDF parses");
-    println!("\nparsed UDF `{}` ({} ops, {} branches, {} loops)", def.name, def.op_count(), def.branch_count(), def.loop_count());
+    println!(
+        "\nparsed UDF `{}` ({} ops, {} branches, {} loops)",
+        def.name,
+        def.op_count(),
+        def.branch_count(),
+        def.loop_count()
+    );
     let udf = Arc::new(GeneratedUdf {
         source: print_udf(&def),
         def,
@@ -59,7 +70,13 @@ def score(production_year, kind_id):
     println!("measured runtime: {:.3} ms ({} rows kept)", run.runtime_ns * 1e-6, run.out_rows[1]);
 
     // 4. Train a small model on a generated workload over the same database.
-    let cfg = ScaleConfig { data_scale: 0.1, queries_per_db: 40, epochs: 12, hidden: 24, ..ScaleConfig::default() };
+    let cfg = ScaleConfig {
+        data_scale: 0.1,
+        queries_per_db: 40,
+        epochs: 12,
+        hidden: 24,
+        ..ScaleConfig::default()
+    };
     let corpus = build_corpus("imdb", &cfg, 42).expect("corpus builds");
     println!("\ntraining on {} labelled queries...", corpus.queries.len());
     let model = train_graceful(std::slice::from_ref(&corpus), &cfg, Featurizer::full());
@@ -89,5 +106,10 @@ def score(production_year, kind_id):
     let _ = ColRef::new("title", "id"); // (ColRef is part of the public plan API)
     let pred = model.predict(&corpus.db, &spec, &plan2, &est).expect("prediction");
     let q = q_error(pred, run.runtime_ns);
-    println!("\npredicted {:.3} ms vs measured {:.3} ms  (Q-error {:.2})", pred * 1e-6, run.runtime_ns * 1e-6, q);
+    println!(
+        "\npredicted {:.3} ms vs measured {:.3} ms  (Q-error {:.2})",
+        pred * 1e-6,
+        run.runtime_ns * 1e-6,
+        q
+    );
 }

@@ -24,8 +24,14 @@ def func(x, y):
     println!("source:\n{}", print_udf(&udf));
 
     // Figure 2 steps 2-3: CFG -> transformed single-statement DAG.
-    let dag = build_dag(&udf, &[DataType::Int, DataType::Int], DataType::Float, DagConfig::default());
-    println!("transformed DAG: {} nodes, {} edges, depth {}", dag.len(), dag.edges.len(), dag.depth());
+    let dag =
+        build_dag(&udf, &[DataType::Int, DataType::Int], DataType::Float, DagConfig::default());
+    println!(
+        "transformed DAG: {} nodes, {} edges, depth {}",
+        dag.len(),
+        dag.edges.len(),
+        dag.depth()
+    );
     for (i, n) in dag.nodes.iter().enumerate() {
         let extra = match n.kind {
             UdfNodeKind::Loop => format!(" nr_iter={}", n.nr_iter),

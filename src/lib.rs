@@ -53,7 +53,7 @@ pub mod prelude {
     pub use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
     pub use graceful_storage::datagen::{generate, schema, DATASET_NAMES};
     pub use graceful_storage::{DataType, Database, Value};
-    pub use graceful_udf::{parse_udf, print_udf, Interpreter, UdfGenerator};
+    pub use graceful_udf::{compile, parse_udf, print_udf, Interpreter, UdfGenerator, Vm};
 }
 
 #[cfg(test)]

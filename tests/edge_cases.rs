@@ -51,10 +51,7 @@ fn udf_filter_over_empty_input_is_free_and_correct() {
                 },
                 vec![0],
             ),
-            PlanOp::new(
-                PlanOpKind::UdfFilter { udf, op: CmpOp::Ge, literal: 0.0 },
-                vec![1],
-            ),
+            PlanOp::new(PlanOpKind::UdfFilter { udf, op: CmpOp::Ge, literal: 0.0 }, vec![1]),
             PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![2]),
         ],
         root: 3,
@@ -81,10 +78,7 @@ fn scale_above_udf_extremes() {
     let mut plan = Plan {
         ops: vec![
             PlanOp::new(PlanOpKind::Scan { table: "orders_t".into() }, vec![]),
-            PlanOp::new(
-                PlanOpKind::UdfFilter { udf, op: CmpOp::Le, literal: 0.0 },
-                vec![0],
-            ),
+            PlanOp::new(PlanOpKind::UdfFilter { udf, op: CmpOp::Le, literal: 0.0 }, vec![0]),
             PlanOp::new(
                 PlanOpKind::Join {
                     left_col: ColRef::new("orders_t", "cust_id"),
@@ -112,23 +106,15 @@ fn scale_above_udf_extremes() {
 fn projection_udf_queries_execute_and_featurize() {
     let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 30, ..ScaleConfig::default() };
     let corpus = build_corpus("consumer", &cfg, 11).unwrap();
-    let proj = corpus
-        .queries
-        .iter()
-        .find(|q| q.has_udf() && q.spec.udf_usage == UdfUsage::Projection);
+    let proj =
+        corpus.queries.iter().find(|q| q.has_udf() && q.spec.udf_usage == UdfUsage::Projection);
     let Some(q) = proj else { return };
     // UDF_PROJECT op exists, aggregate consumed its output.
-    assert!(q
-        .plan
-        .ops
-        .iter()
-        .any(|o| matches!(o.kind, PlanOpKind::UdfProject { .. })));
+    assert!(q.plan.ops.iter().any(|o| matches!(o.kind, PlanOpKind::UdfProject { .. })));
     let est = ActualCard::new(&corpus.db);
     let mut plan = q.plan.clone();
     est.annotate(&mut plan).unwrap();
-    let g = Featurizer::full()
-        .featurize(&corpus.db, &q.spec, &plan, &est)
-        .unwrap();
+    let g = Featurizer::full().featurize(&corpus.db, &q.spec, &plan, &est).unwrap();
     assert!(g.len() > plan.ops.len());
 }
 
@@ -151,10 +137,7 @@ fn interpreter_string_edge_cases() {
 #[test]
 fn hit_ratio_with_contradictory_prefilter_is_zero_ish() {
     let db = generate(&schema("tpc_h"), 0.05, 5);
-    let def = parse_udf(
-        "def f(x0):\n    if x0 > 40:\n        return 1\n    return 0\n",
-    )
-    .unwrap();
+    let def = parse_udf("def f(x0):\n    if x0 > 40:\n        return 1\n    return 0\n").unwrap();
     let udf = GeneratedUdf {
         source: print_udf(&def),
         def,
@@ -166,11 +149,7 @@ fn hit_ratio_with_contradictory_prefilter_is_zero_ish() {
     let hr = HitRatioEstimator::new(&actual);
     // Pre-filter keeps only quantity <= 10, branch needs > 40: impossible.
     let pre = vec![Pred::new("lineitem_t", "quantity", CmpOp::Le, Value::Int(10))];
-    let cond = graceful::cfg::BranchCondInfo {
-        param: "x0".into(),
-        op: CmpOp::Gt,
-        literal: 40.0,
-    };
+    let cond = graceful::cfg::BranchCondInfo { param: "x0".into(), op: CmpOp::Gt, literal: 40.0 };
     let p = hr.path_probability(&udf, &pre, &[(Some(cond), true)]);
     assert!(p < 1e-6, "impossible path got probability {p}");
 }
@@ -197,11 +176,8 @@ fn type_inference_agrees_with_interpreter_on_generated_udfs() {
         let u = gen.generate(&db, &mut rng).unwrap();
         graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
         let table = db.table(&u.table).unwrap();
-        let types: Vec<DataType> = u
-            .input_columns
-            .iter()
-            .map(|c| table.column_type(c).unwrap())
-            .collect();
+        let types: Vec<DataType> =
+            u.input_columns.iter().map(|c| table.column_type(c).unwrap()).collect();
         let inferred = infer_return_type(&u.def, &types);
         let cols: Vec<_> = u.input_columns.iter().map(|c| table.column(c).unwrap()).collect();
         for row in 0..table.num_rows().min(5) {

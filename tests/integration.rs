@@ -16,10 +16,8 @@ fn tiny_cfg() -> ScaleConfig {
 #[test]
 fn end_to_end_corpus_train_predict() {
     let cfg = tiny_cfg();
-    let train = vec![
-        build_corpus("tpc_h", &cfg, 1).unwrap(),
-        build_corpus("ssb", &cfg, 2).unwrap(),
-    ];
+    let train =
+        vec![build_corpus("tpc_h", &cfg, 1).unwrap(), build_corpus("ssb", &cfg, 2).unwrap()];
     let test = build_corpus("imdb", &cfg, 3).unwrap();
     let model = train_graceful(&train, &cfg, Featurizer::full());
     let recs = evaluate_model(&model, &test, EstimatorKind::Actual, 1);

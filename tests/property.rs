@@ -108,6 +108,64 @@ proptest! {
         }
     }
 
+    /// The bytecode VM is a drop-in replacement for the tree-walker: for
+    /// every generator-produced UDF and every row, the evaluated value AND
+    /// the accounted cost (every counter, bit-for-bit totals) must match.
+    #[test]
+    fn vm_matches_tree_walker_on_generated_corpus(seed in 0u64..5_000) {
+        let mut db = generate(&schema("tpc_h"), 0.02, 6);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+        let table = db.table(&u.table).unwrap();
+        let cols: Vec<_> = u.input_columns.iter().map(|c| table.column(c).unwrap()).collect();
+        let prog = compile(&u.def).expect("generated UDF compiles");
+        let mut interp = Interpreter::default();
+        let mut vm = Vm::default();
+        for row in 0..table.num_rows().min(16) {
+            let args: Vec<Value> = cols.iter().map(|c| c.value(row)).collect();
+            let reference = interp.eval(&u.def, &args).expect("tree-walker evaluates");
+            let out = vm.eval(&prog, &args).expect("VM evaluates");
+            prop_assert_eq!(&out.value, &reference.value, "row {} value", row);
+            prop_assert_eq!(&out.cost, &reference.cost, "row {} cost", row);
+        }
+    }
+
+    /// Batch evaluation equals row-at-a-time evaluation: same outputs in
+    /// order, and the batch cost counter equals the row costs merged in row
+    /// order (so the engine's work accounting is batch-size independent).
+    #[test]
+    fn vm_batches_equal_rows(seed in 0u64..5_000) {
+        let mut db = generate(&schema("ssb"), 0.02, 8);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+        let table = db.table(&u.table).unwrap();
+        let cols: Vec<_> = u.input_columns.iter().map(|c| table.column(c).unwrap()).collect();
+        let rows = table.num_rows().min(24);
+        let col_data: Vec<Vec<Value>> = cols
+            .iter()
+            .map(|c| (0..rows).map(|r| c.value(r)).collect())
+            .collect();
+        let prog = compile(&u.def).unwrap();
+        let mut vm = Vm::default();
+        let slices: Vec<&[Value]> = col_data.iter().map(|c| c.as_slice()).collect();
+        let mut batch_out = Vec::new();
+        let mut batch_cost = graceful::udf::CostCounter::new();
+        vm.eval_batch(&prog, &slices, &mut batch_out, &mut batch_cost).unwrap();
+        prop_assert_eq!(batch_out.len(), rows);
+        let mut merged = graceful::udf::CostCounter::new();
+        for r in 0..rows {
+            let args: Vec<Value> = col_data.iter().map(|c| c[r].clone()).collect();
+            let one = vm.eval(&prog, &args).unwrap();
+            prop_assert_eq!(&one.value, &batch_out[r]);
+            merged.merge(&one.cost);
+        }
+        prop_assert_eq!(merged, batch_cost);
+    }
+
     /// Q-error is symmetric and >= 1 for all positive pairs.
     #[test]
     fn q_error_properties(a in 1e-6f64..1e12, b in 1e-6f64..1e12) {
@@ -151,4 +209,22 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&s), "{} returned {s}", est.name());
         }
     }
+}
+
+/// A pathological `while True` UDF must be cut off by the typed
+/// [`GracefulError::IterationLimit`] — and both backends must report the
+/// exact same error.
+#[test]
+fn iteration_limit_reported_identically_by_both_backends() {
+    use graceful_common::GracefulError;
+    let udf =
+        parse_udf("def f(x0):\n    z = 0\n    while x0 < 1:\n        z = z + 1\n    return z\n")
+            .unwrap();
+    let args = [Value::Int(0)];
+    let tree_err = Interpreter::default().eval(&udf, &args).unwrap_err();
+    let prog = compile(&udf).unwrap();
+    let vm_err = Vm::default().eval(&prog, &args).unwrap_err();
+    assert_eq!(tree_err, GracefulError::IterationLimit { limit: graceful::udf::MAX_WHILE_ITERS });
+    assert_eq!(tree_err, vm_err);
+    assert_eq!(tree_err.to_string(), vm_err.to_string());
 }
