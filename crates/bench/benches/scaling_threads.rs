@@ -1,0 +1,95 @@
+//! Thread-scaling of the corpus-labelling loop — the paper's 142-hour
+//! bottleneck, and the first perf-trajectory measurement of the morsel
+//! runtime.
+//!
+//! Labels all 20 databases on pools of 1, 2, 4, … workers (capped at the
+//! machine), verifies every label is bit-identical to the single-threaded
+//! run, prints the speedups, and writes the machine-readable record of the
+//! run (overwriting any previous one) to `BENCH_scaling.json` at the repo
+//! root. Acceptance bar: ≥ 2.5× end-to-end at 4 threads.
+//!
+//! Scale knobs apply as everywhere (`GRACEFUL_SCALE`,
+//! `GRACEFUL_QUERIES_PER_DB`, …); thread counts are pinned per run, so
+//! `GRACEFUL_THREADS` is deliberately ignored here.
+
+use graceful_bench::announce;
+use graceful_common::config::default_threads;
+use graceful_common::metrics::par;
+use graceful_core::corpus::{build_all_corpora_on, DatasetCorpus};
+use graceful_runtime::Pool;
+use std::time::Instant;
+
+fn label_fingerprint(corpora: &[DatasetCorpus]) -> Vec<u64> {
+    corpora.iter().flat_map(|c| c.queries.iter().map(|q| q.runtime_ns.to_bits())).collect()
+}
+
+fn main() {
+    let cfg = announce("scaling_threads: corpus labelling, 1..N worker threads");
+    let hw = default_threads();
+    if hw < 4 {
+        println!(
+            "note: this machine reports {hw} hardware thread(s); speedups above {hw} \
+             workers measure scheduling overhead, not scaling\n"
+        );
+    }
+    let max = hw.clamp(4, 8);
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        counts.push(t);
+        t *= 2;
+    }
+
+    let mut baseline_s = 0.0f64;
+    let mut baseline_labels: Vec<u64> = Vec::new();
+    let mut rows = Vec::new();
+    for &threads in &counts {
+        let pool = Pool::new(threads);
+        let before = par::snapshot();
+        let started = Instant::now();
+        let corpora = build_all_corpora_on(&pool, &cfg);
+        let seconds = started.elapsed().as_secs_f64();
+        let after = par::snapshot();
+        let labels = label_fingerprint(&corpora);
+        let n_queries: usize = corpora.iter().map(|c| c.queries.len()).sum();
+        if threads == 1 {
+            baseline_s = seconds;
+            baseline_labels = labels;
+        } else {
+            assert_eq!(labels, baseline_labels, "labels changed at {threads} threads");
+        }
+        let speedup = baseline_s / seconds.max(1e-9);
+        println!(
+            "threads {threads:>2}: {seconds:>7.2}s for {n_queries} labelled queries \
+             ({speedup:.2}x vs 1 thread; +{} pool regions, +{} worker launches)",
+            after.regions - before.regions,
+            after.worker_launches - before.worker_launches,
+        );
+        rows.push((threads, seconds, speedup));
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(threads, seconds, speedup)| {
+            format!("{{\"threads\":{threads},\"seconds\":{seconds:.4},\"speedup\":{speedup:.4}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"scaling_threads\",\"seed\":{},\"data_scale\":{},\"queries_per_db\":{},\
+         \"hardware_threads\":{},\"results\":[{}]}}\n",
+        cfg.seed,
+        cfg.data_scale,
+        cfg.queries_per_db,
+        hw,
+        json_rows.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    if let Some(&(threads, _, speedup)) = rows.iter().find(|(t, _, _)| *t == 4) {
+        println!("speedup at {threads} threads: {speedup:.2}x (bar: 2.5x)");
+    }
+}

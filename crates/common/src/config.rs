@@ -15,6 +15,16 @@
 //! | `GRACEFUL_SEED`           | global seed | `20250331` (the arXiv date) |
 //! | `GRACEFUL_UDF_BACKEND`    | UDF execution backend: `treewalk` or `vm` | `treewalk` |
 //! | `GRACEFUL_UDF_BATCH`      | rows per batch fed to the UDF VM | `1024` |
+//! | `GRACEFUL_THREADS`        | worker threads of the morsel-driven runtime (`graceful-runtime`) | all cores |
+//! | `GRACEFUL_MORSEL`         | rows per morsel in parallel operators | `2048` |
+//!
+//! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_THREADS` and `GRACEFUL_MORSEL` are
+//! validated strictly: an unknown backend name or a non-positive/unparsable
+//! thread or morsel count is a hard error (listing the valid options), not a
+//! silent fallback — a typo in an experiment environment must not silently
+//! re-run the wrong configuration. Results never depend on either knob: the
+//! runtime merges per-morsel work in morsel-index order, so every output is
+//! bit-identical for any thread count.
 
 /// Which UDF evaluation backend the execution engine uses.
 ///
@@ -32,17 +42,33 @@ pub enum UdfBackend {
 }
 
 impl UdfBackend {
-    /// Resolve from `GRACEFUL_UDF_BACKEND` (`treewalk` | `vm`, case
-    /// insensitive); unknown values fall back to the default.
-    pub fn from_env() -> Self {
-        match std::env::var("GRACEFUL_UDF_BACKEND") {
-            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-                "vm" | "bytecode" => UdfBackend::Vm,
-                "treewalk" | "tree_walk" | "interp" => UdfBackend::TreeWalk,
-                _ => UdfBackend::default(),
-            },
-            Err(_) => UdfBackend::default(),
+    /// Parse a backend name (`treewalk` | `vm`, case insensitive, plus the
+    /// aliases below). Unknown names are an error listing the valid options.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "vm" | "bytecode" => Ok(UdfBackend::Vm),
+            "treewalk" | "tree_walk" | "interp" => Ok(UdfBackend::TreeWalk),
+            other => Err(format!(
+                "invalid GRACEFUL_UDF_BACKEND `{other}`: valid values are \
+                 `treewalk` (aliases `tree_walk`, `interp`) and `vm` (alias `bytecode`)"
+            )),
         }
+    }
+
+    /// Resolve from `GRACEFUL_UDF_BACKEND`; unset means the default, an
+    /// unknown value is an error (see [`UdfBackend::parse`]).
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var("GRACEFUL_UDF_BACKEND") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => Ok(UdfBackend::default()),
+        }
+    }
+
+    /// [`UdfBackend::try_from_env`], panicking on invalid values — a
+    /// misconfigured experiment must fail loudly at startup, not silently
+    /// run the wrong backend.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -50,6 +76,67 @@ impl UdfBackend {
 /// clamped to at least 1).
 pub fn udf_batch_from_env() -> usize {
     env_parse::<usize>("GRACEFUL_UDF_BATCH").unwrap_or(1024).max(1)
+}
+
+/// Rows per morsel when none is configured.
+pub const DEFAULT_MORSEL_ROWS: usize = 2048;
+
+/// The machine's thread budget: `available_parallelism`, or 1 when the
+/// platform cannot report it.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Parse a `GRACEFUL_THREADS` value: an integer ≥ 1.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid GRACEFUL_THREADS `{}`: expected an integer >= 1 \
+             (worker threads; unset means all cores)",
+            value.trim()
+        )),
+    }
+}
+
+/// Parse a `GRACEFUL_MORSEL` value: an integer ≥ 1 (rows per morsel).
+pub fn parse_morsel(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid GRACEFUL_MORSEL `{}`: expected an integer >= 1 \
+             (rows per morsel; unset means {DEFAULT_MORSEL_ROWS})",
+            value.trim()
+        )),
+    }
+}
+
+/// Resolve the worker-thread count from `GRACEFUL_THREADS` (default: all
+/// cores); an invalid value is an error.
+pub fn try_threads_from_env() -> Result<usize, String> {
+    match std::env::var("GRACEFUL_THREADS") {
+        Ok(v) => parse_threads(&v),
+        Err(_) => Ok(default_threads()),
+    }
+}
+
+/// [`try_threads_from_env`], panicking on invalid values.
+pub fn threads_from_env() -> usize {
+    try_threads_from_env().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Resolve the morsel size from `GRACEFUL_MORSEL` (default
+/// [`DEFAULT_MORSEL_ROWS`]); an invalid value is an error.
+pub fn try_morsel_from_env() -> Result<usize, String> {
+    match std::env::var("GRACEFUL_MORSEL") {
+        Ok(v) => parse_morsel(&v),
+        Err(_) => Ok(DEFAULT_MORSEL_ROWS),
+    }
+}
+
+/// [`try_morsel_from_env`], panicking on invalid values.
+pub fn morsel_from_env() -> usize {
+    try_morsel_from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Scaling configuration resolved from the environment with sane defaults.
@@ -123,5 +210,32 @@ mod tests {
     fn rows_floor() {
         let c = ScaleConfig { data_scale: 0.001, ..ScaleConfig::default() };
         assert_eq!(c.rows(1000), 16);
+    }
+
+    // Env-knob validation is tested through the pure parsers: the resolver
+    // functions only add `std::env::var`, and mutating the environment from
+    // tests would race the rest of the (multi-threaded) suite.
+
+    #[test]
+    fn backend_parses_known_names_and_rejects_unknown() {
+        assert_eq!(UdfBackend::parse("vm"), Ok(UdfBackend::Vm));
+        assert_eq!(UdfBackend::parse(" ByteCode "), Ok(UdfBackend::Vm));
+        assert_eq!(UdfBackend::parse("treewalk"), Ok(UdfBackend::TreeWalk));
+        assert_eq!(UdfBackend::parse("interp"), Ok(UdfBackend::TreeWalk));
+        let err = UdfBackend::parse("fast").unwrap_err();
+        assert!(err.contains("treewalk") && err.contains("vm"), "lists options: {err}");
+    }
+
+    #[test]
+    fn thread_and_morsel_knobs_reject_invalid_values() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_morsel(" 512 "), Ok(512));
+        for bad in ["0", "-2", "many", "", "1.5"] {
+            assert!(parse_threads(bad).is_err(), "threads accepted {bad:?}");
+            assert!(parse_morsel(bad).is_err(), "morsel accepted {bad:?}");
+        }
+        assert!(parse_threads("0").unwrap_err().contains("GRACEFUL_THREADS"));
+        assert!(parse_morsel("x").unwrap_err().contains("GRACEFUL_MORSEL"));
+        assert!(default_threads() >= 1);
     }
 }

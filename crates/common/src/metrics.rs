@@ -105,6 +105,56 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
+/// Process-wide counters fed by the morsel-driven runtime
+/// (`graceful-runtime`). Observability only: nothing reads them on a result
+/// path, so they never affect determinism. The scaling benches report them to
+/// show how much work actually went through the pool.
+pub mod par {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static REGIONS: AtomicU64 = AtomicU64::new(0);
+    static INLINE_REGIONS: AtomicU64 = AtomicU64::new(0);
+    static MORSELS: AtomicU64 = AtomicU64::new(0);
+    static WORKER_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+
+    /// A parallel region ran on `workers` scoped threads over `morsels`
+    /// morsels.
+    pub fn record_region(morsels: u64, workers: u64) {
+        REGIONS.fetch_add(1, Ordering::Relaxed);
+        MORSELS.fetch_add(morsels, Ordering::Relaxed);
+        WORKER_LAUNCHES.fetch_add(workers, Ordering::Relaxed);
+    }
+
+    /// A region ran inline on the calling thread (single-thread pool, a
+    /// single morsel, or nested inside another region).
+    pub fn record_inline(morsels: u64) {
+        INLINE_REGIONS.fetch_add(1, Ordering::Relaxed);
+        MORSELS.fetch_add(morsels, Ordering::Relaxed);
+    }
+
+    /// Point-in-time view of the counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct ParSnapshot {
+        /// Regions that actually forked worker threads.
+        pub regions: u64,
+        /// Regions that ran inline on the caller.
+        pub inline_regions: u64,
+        /// Morsels dispatched across all regions.
+        pub morsels: u64,
+        /// Scoped worker threads launched in total.
+        pub worker_launches: u64,
+    }
+
+    pub fn snapshot() -> ParSnapshot {
+        ParSnapshot {
+            regions: REGIONS.load(Ordering::Relaxed),
+            inline_regions: INLINE_REGIONS.load(Ordering::Relaxed),
+            morsels: MORSELS.load(Ordering::Relaxed),
+            worker_launches: WORKER_LAUNCHES.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +211,19 @@ mod tests {
         assert_eq!(speedup(10.0, 5.0), 2.0);
         let g = geometric_mean(&[1.0, 4.0]);
         assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn par_counters_accumulate() {
+        // Counters are process-global and other tests may record
+        // concurrently, so only assert lower bounds on the deltas.
+        let before = par::snapshot();
+        par::record_region(8, 4);
+        par::record_inline(3);
+        let after = par::snapshot();
+        assert!(after.regions > before.regions);
+        assert!(after.inline_regions > before.inline_regions);
+        assert!(after.morsels >= before.morsels + 11);
+        assert!(after.worker_launches >= before.worker_launches + 4);
     }
 }

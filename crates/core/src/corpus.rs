@@ -12,6 +12,7 @@ use graceful_common::rng::Rng;
 use graceful_common::Result;
 use graceful_exec::Executor;
 use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
+use graceful_runtime::Pool;
 use graceful_storage::datagen::{generate, schema, DATASET_NAMES};
 use graceful_storage::Database;
 use graceful_udf::generator::apply_adaptations;
@@ -124,38 +125,22 @@ pub fn build_corpus_with(
     Ok(DatasetCorpus { name: dataset.to_string(), db, queries, skipped })
 }
 
-/// Build all 20 corpora (Figure 5 order). Uses two worker threads — the
-/// build is embarrassingly parallel and dominated by query execution.
+/// Build all 20 corpora (Figure 5 order) on the morsel pool sized from
+/// `GRACEFUL_THREADS` — the build is embarrassingly parallel and dominated
+/// by query execution, the paper's 142-hour bottleneck.
 pub fn build_all_corpora(cfg: &ScaleConfig) -> Vec<DatasetCorpus> {
-    let names: Vec<&str> = DATASET_NAMES.to_vec();
-    let mut out: Vec<Option<DatasetCorpus>> = (0..names.len()).map(|_| None).collect();
-    let chunk = names.len().div_ceil(2);
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (w, block) in names.chunks(chunk).enumerate() {
-            let cfg = *cfg;
-            let block: Vec<&str> = block.to_vec();
-            handles.push((
-                w,
-                s.spawn(move || {
-                    block
-                        .iter()
-                        .enumerate()
-                        .map(|(i, name)| {
-                            let seed = cfg.seed.wrapping_add(((w * chunk + i) as u64) * 7919);
-                            build_corpus(name, &cfg, seed).expect("corpus build failed")
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (w, h) in handles {
-            for (i, c) in h.join().expect("corpus worker panicked").into_iter().enumerate() {
-                out[w * chunk + i] = Some(c);
-            }
-        }
-    });
-    out.into_iter().map(|c| c.expect("all corpora built")).collect()
+    build_all_corpora_on(&Pool::from_env(), cfg)
+}
+
+/// [`build_all_corpora`] on an explicit pool. Each dataset is one morsel and
+/// its seed derives from its index, so the labels are bit-identical for any
+/// pool size (the `scaling_threads` bench and the determinism suite pin
+/// thread counts through this entry point).
+pub fn build_all_corpora_on(pool: &Pool, cfg: &ScaleConfig) -> Vec<DatasetCorpus> {
+    pool.ordered_map(&DATASET_NAMES, |i, name| {
+        let seed = cfg.seed.wrapping_add((i as u64) * 7919);
+        build_corpus(name, cfg, seed).expect("corpus build failed")
+    })
 }
 
 /// Table II summary statistics over a set of corpora.

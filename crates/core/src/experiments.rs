@@ -13,6 +13,7 @@ use graceful_common::metrics::QErrorSummary;
 use graceful_common::Result;
 use graceful_exec::Executor;
 use graceful_plan::{build_plan, UdfPlacement, UdfUsage};
+use graceful_runtime::Pool;
 use graceful_storage::Database;
 
 /// The cardinality-annotation ladder of Table III.
@@ -77,8 +78,9 @@ pub struct Fold {
 /// reduced scale we partition the datasets into `cfg.folds` groups; each
 /// group's model is trained on all *other* datasets and evaluated zero-shot
 /// on every dataset in the group, so all 20 datasets are still evaluated
-/// unseen. `GRACEFUL_FOLDS=20` recovers exact leave-one-out. Folds train on
-/// two worker threads.
+/// unseen. `GRACEFUL_FOLDS=20` recovers exact leave-one-out. Fold trainings
+/// run on the `GRACEFUL_THREADS` morsel pool (one fold per morsel; every
+/// fold seeds its own model, so results are pool-size independent).
 pub fn cross_validate(
     corpora: &[DatasetCorpus],
     cfg: &ScaleConfig,
@@ -88,44 +90,25 @@ pub fn cross_validate(
     let folds = cfg.folds.clamp(1, n);
     let groups: Vec<Vec<usize>> =
         (0..folds).map(|f| (0..n).filter(|i| i % folds == f).collect()).collect();
-    let mut out: Vec<Option<Fold>> = (0..folds).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (f, group) in groups.iter().enumerate() {
-            let group = group.clone();
-            let cfg = *cfg;
-            handles.push((
-                f,
-                s.spawn(move || {
-                    let train: Vec<&DatasetCorpus> = corpora
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| !group.contains(i))
-                        .map(|(_, c)| c)
-                        .collect();
-                    let mut model = GracefulModel::new(featurizer, cfg.hidden, cfg.seed + f as u64);
-                    let tcfg = TrainConfig {
-                        epochs: cfg.epochs,
-                        seed: cfg.seed,
-                        ..TrainConfig::default()
-                    };
-                    // A single-fold setup has no training partner; train on the
-                    // test group itself (degenerate but still useful smoke mode).
-                    if train.is_empty() {
-                        let all: Vec<&DatasetCorpus> = corpora.iter().collect();
-                        model.train(&all, &tcfg).expect("training succeeds");
-                    } else {
-                        model.train(&train, &tcfg).expect("training succeeds");
-                    }
-                    Fold { model, test_indices: group }
-                }),
-            ));
+    Pool::from_env().ordered_map(&groups, |f, group| {
+        let train: Vec<&DatasetCorpus> = corpora
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !group.contains(i))
+            .map(|(_, c)| c)
+            .collect();
+        let mut model = GracefulModel::new(featurizer, cfg.hidden, cfg.seed + f as u64);
+        let tcfg = TrainConfig { epochs: cfg.epochs, seed: cfg.seed, ..TrainConfig::default() };
+        // A single-fold setup has no training partner; train on the
+        // test group itself (degenerate but still useful smoke mode).
+        if train.is_empty() {
+            let all: Vec<&DatasetCorpus> = corpora.iter().collect();
+            model.train(&all, &tcfg).expect("training succeeds");
+        } else {
+            model.train(&train, &tcfg).expect("training succeeds");
         }
-        for (f, h) in handles {
-            out[f] = Some(h.join().expect("fold training panicked"));
-        }
-    });
-    out.into_iter().map(|f| f.expect("all folds trained")).collect()
+        Fold { model, test_indices: group.clone() }
+    })
 }
 
 /// One evaluated query.

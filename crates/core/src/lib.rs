@@ -44,6 +44,8 @@ pub mod featurize;
 pub mod model;
 
 pub use advisor::{AdvisorDecision, PullUpAdvisor, Strategy};
-pub use corpus::{build_all_corpora, build_corpus, DatasetCorpus, LabeledQuery};
+pub use corpus::{
+    build_all_corpora, build_all_corpora_on, build_corpus, DatasetCorpus, LabeledQuery,
+};
 pub use featurize::Featurizer;
 pub use model::GracefulModel;

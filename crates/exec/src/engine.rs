@@ -1,8 +1,22 @@
 //! Plan execution with exact work accounting.
+//!
+//! # Parallelism
+//!
+//! Filter and the UDF operators run on the morsel-driven pool of
+//! `graceful-runtime`: scanned rows are split into `morsel_rows`-row
+//! morsels (`GRACEFUL_MORSEL`), workers pull morsels from a shared queue, and
+//! per-morsel results — kept rows, projected values, accounted work — merge
+//! in morsel-index order. Work totals are grouped *per morsel* regardless of
+//! the thread count, so every `QueryRun` field is **bit-identical for any
+//! `GRACEFUL_THREADS` value** (enforced by `tests/parallel_determinism.rs`).
+//! Each worker owns its UDF evaluation state: one tree-walking interpreter,
+//! or one batch VM whose register file is preallocated once ([`Vm::warm`])
+//! and reused across all morsels the worker pulls.
 
-use graceful_common::config::{udf_batch_from_env, UdfBackend};
+use graceful_common::config::{self, udf_batch_from_env, UdfBackend};
 use graceful_common::{GracefulError, Result};
 use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind};
+use graceful_runtime::Pool;
 use graceful_storage::{Database, Table, Value};
 use graceful_udf::{compile, CostCounter, CostWeights, Interpreter, Vm};
 use std::collections::HashMap;
@@ -58,6 +72,14 @@ pub struct ExecConfig {
     /// Rows per batch fed to the UDF VM (ignored by the tree-walker).
     /// Defaults from `GRACEFUL_UDF_BATCH`.
     pub udf_batch_size: usize,
+    /// Worker threads for the morsel-driven operator paths. Defaults from
+    /// `GRACEFUL_THREADS` (all cores). Never changes results — only
+    /// wall-clock time.
+    pub threads: usize,
+    /// Rows per morsel for the parallel operator paths. Defaults from
+    /// `GRACEFUL_MORSEL`. Fixes the work-accounting float grouping, so runs
+    /// with the same morsel size are bit-identical at any thread count.
+    pub morsel_rows: usize,
 }
 
 impl Default for ExecConfig {
@@ -69,14 +91,28 @@ impl Default for ExecConfig {
             max_intermediate_rows: 20_000_000,
             udf_backend: UdfBackend::from_env(),
             udf_batch_size: udf_batch_from_env(),
+            threads: config::threads_from_env(),
+            morsel_rows: config::morsel_from_env(),
         }
     }
 }
 
-/// The per-run UDF evaluation state of the chosen backend.
-enum UdfEval {
-    Tree(Interpreter),
-    Vm(Vm),
+/// Per-worker UDF evaluation state: every pool worker owns one backend
+/// instance plus the scratch buffers of its morsel loop, so parallel
+/// evaluation never contends and never reallocates per row.
+enum UdfWorker {
+    Tree {
+        interp: Interpreter,
+        /// Argument gather buffer, reused across rows.
+        args: Vec<Value>,
+    },
+    Vm {
+        vm: Vm,
+        /// Columnar gather buffers, one per UDF parameter.
+        col_bufs: Vec<Vec<Value>>,
+        /// Batch output buffer.
+        outs: Vec<Value>,
+    },
 }
 
 /// Result of executing one plan.
@@ -151,12 +187,6 @@ impl<'a> Executor<'a> {
         let mut out_rows = vec![0usize; plan.ops.len()];
         let mut op_work = vec![0f64; plan.ops.len()];
         let mut udf_input_rows = 0usize;
-        let mut udf_eval = match self.config.udf_backend {
-            UdfBackend::TreeWalk => {
-                UdfEval::Tree(Interpreter::new(self.config.udf_weights.clone()))
-            }
-            UdfBackend::Vm => UdfEval::Vm(Vm::new(self.config.udf_weights.clone())),
-        };
         let mut agg_value = 0.0;
         let mut results: Vec<Option<Inter>> = (0..plan.ops.len()).map(|_| None).collect();
         for idx in 0..plan.ops.len() {
@@ -166,6 +196,10 @@ impl<'a> Executor<'a> {
                     let t = self.db.table(table)?;
                     let n = t.num_rows();
                     op_work[idx] += n as f64 * self.config.weights.scan_row;
+                    // The scan's row-id materialization is an identity fill —
+                    // memory-bound, nothing to compute — so it stays
+                    // sequential; morsel parallelism starts at the first
+                    // operator that consumes these rows (filter/UDF below).
                     Inter {
                         tables: vec![table.clone()],
                         rows: (0..n as u32).collect(),
@@ -184,19 +218,12 @@ impl<'a> Executor<'a> {
                 PlanOpKind::UdfFilter { udf, op: cmp, literal } => {
                     let child = results[op.children[0]].take().expect("child executed");
                     udf_input_rows = child.n_rows();
-                    self.exec_udf_filter(
-                        udf,
-                        *cmp,
-                        *literal,
-                        child,
-                        &mut udf_eval,
-                        &mut op_work[idx],
-                    )?
+                    self.exec_udf_filter(udf, *cmp, *literal, child, &mut op_work[idx])?
                 }
                 PlanOpKind::UdfProject { udf } => {
                     let child = results[op.children[0]].take().expect("child executed");
                     udf_input_rows = child.n_rows();
-                    self.exec_udf_project(udf, child, &mut udf_eval, &mut op_work[idx])?
+                    self.exec_udf_project(udf, child, &mut op_work[idx])?
                 }
                 PlanOpKind::Agg { func, column } => {
                     let child = results[op.children[0]].take().expect("child executed");
@@ -234,6 +261,13 @@ impl<'a> Executor<'a> {
         self.db.table(name)
     }
 
+    /// The morsel pool for this executor's thread budget. `Pool` is a
+    /// trivial handle, so building it per parallel region keeps it in sync
+    /// with the (public, mutable) config.
+    fn pool(&self) -> Pool {
+        Pool::new(self.config.threads)
+    }
+
     fn exec_filter(
         &self,
         preds: &[graceful_plan::Pred],
@@ -251,14 +285,30 @@ impl<'a> Executor<'a> {
             })?;
             resolved.push((p, pos, self.table(&p.col.table)?));
         }
-        let mut rows = Vec::new();
-        for r in 0..n {
-            let keep =
-                resolved.iter().all(|(p, pos, t)| p.matches(t, child.row_id(r, *pos) as usize));
-            if keep {
-                rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
-            }
-        }
+        // Evaluate predicates morsel-parallel; concatenating per-morsel
+        // keep-lists in morsel order reproduces the sequential row order.
+        let morsel = self.config.morsel_rows.max(1);
+        let rows = self.pool().ordered_reduce(
+            Pool::morsel_count(n, morsel),
+            || (),
+            |_, m| {
+                let mut kept = Vec::new();
+                for r in Pool::morsel_range(m, n, morsel) {
+                    let keep = resolved
+                        .iter()
+                        .all(|(p, pos, t)| p.matches(t, child.row_id(r, *pos) as usize));
+                    if keep {
+                        kept.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
+                    }
+                }
+                kept
+            },
+            Vec::new(),
+            |mut acc: Vec<u32>, kept| {
+                acc.extend_from_slice(&kept);
+                acc
+            },
+        );
         Ok(Inter { tables: child.tables, rows, computed: None })
     }
 
@@ -335,65 +385,104 @@ impl<'a> Executor<'a> {
     }
 
     /// Evaluate `udf` over every row of `child`, invoking `consume(row, value)`
-    /// for each output. `per_row_overhead` is the operator's own per-row work
-    /// (comparison against the filter literal, projection bookkeeping).
+    /// for each output in row order. `per_row_overhead` is the operator's own
+    /// per-row work (comparison against the filter literal, projection
+    /// bookkeeping).
     ///
-    /// Tree-walk backend: one interpretation per row. VM backend: the UDF is
-    /// compiled once, rows are gathered into columnar batches of
-    /// `udf_batch_size` and fed to the batch VM. Both account identical UDF
-    /// work; only the float summation *grouping* differs (per row vs per
-    /// batch), which changes `op_work` by at most rounding in the last ulps.
+    /// Rows are split into `morsel_rows`-row morsels executed on the pool;
+    /// each worker owns one backend instance (tree-walking interpreter, or
+    /// batch VM warmed once and reused across its morsels). Work is summed
+    /// per morsel and merged in morsel-index order, so the accounted totals
+    /// are bit-identical for any thread count. The two backends still only
+    /// differ in float summation *grouping* (per row vs per batch within a
+    /// morsel), which changes `op_work` by at most rounding in the last ulps.
     fn exec_udf_rows(
         &self,
         udf: &graceful_udf::GeneratedUdf,
         child: &Inter,
-        udf_eval: &mut UdfEval,
         work: &mut f64,
         per_row_overhead: f64,
         mut consume: impl FnMut(usize, Value),
     ) -> Result<()> {
         let (pos, cols) = self.udf_args(udf, child)?;
         let n = child.n_rows();
-        match udf_eval {
-            UdfEval::Tree(interp) => {
-                let mut args: Vec<Value> = Vec::with_capacity(cols.len());
-                for r in 0..n {
-                    let rid = child.row_id(r, pos) as usize;
-                    args.clear();
-                    args.extend(cols.iter().map(|c| c.value(rid)));
-                    let out = interp.eval(&udf.def, &args)?;
-                    *work += out.cost.total + per_row_overhead;
-                    consume(r, out.value);
-                }
-            }
-            UdfEval::Vm(vm) => {
-                let prog = compile(&udf.def)?;
-                let batch = self.config.udf_batch_size.max(1);
-                let mut col_bufs: Vec<Vec<Value>> =
-                    cols.iter().map(|_| Vec::with_capacity(batch.min(n))).collect();
-                let mut outs: Vec<Value> = Vec::with_capacity(batch.min(n));
-                let mut start = 0usize;
-                while start < n {
-                    let end = (start + batch).min(n);
-                    for buf in &mut col_bufs {
-                        buf.clear();
+        let backend = self.config.udf_backend;
+        let prog = match backend {
+            UdfBackend::Vm => Some(compile(&udf.def)?),
+            UdfBackend::TreeWalk => None,
+        };
+        let prog = prog.as_ref();
+        let batch = self.config.udf_batch_size.max(1);
+        let morsel = self.config.morsel_rows.max(1);
+        let weights = &self.config.udf_weights;
+        let parts: Vec<Result<(f64, Vec<Value>)>> = self.pool().map_init(
+            Pool::morsel_count(n, morsel),
+            || match backend {
+                UdfBackend::TreeWalk => UdfWorker::Tree {
+                    interp: Interpreter::new(weights.clone()),
+                    args: Vec::with_capacity(cols.len()),
+                },
+                UdfBackend::Vm => {
+                    let mut vm = Vm::new(weights.clone());
+                    vm.warm(prog.expect("program compiled for VM backend"));
+                    UdfWorker::Vm {
+                        vm,
+                        col_bufs: cols.iter().map(|_| Vec::with_capacity(batch)).collect(),
+                        outs: Vec::with_capacity(batch),
                     }
-                    for r in start..end {
-                        let rid = child.row_id(r, pos) as usize;
-                        for (buf, col) in col_bufs.iter_mut().zip(cols.iter()) {
-                            buf.push(col.value(rid));
+                }
+            },
+            |worker, m| {
+                let range = Pool::morsel_range(m, n, morsel);
+                let mut morsel_work = 0.0f64;
+                let mut values = Vec::with_capacity(range.len());
+                match worker {
+                    UdfWorker::Tree { interp, args } => {
+                        for r in range {
+                            let rid = child.row_id(r, pos) as usize;
+                            args.clear();
+                            args.extend(cols.iter().map(|c| c.value(rid)));
+                            let out = interp.eval(&udf.def, args)?;
+                            morsel_work += out.cost.total + per_row_overhead;
+                            values.push(out.value);
                         }
                     }
-                    outs.clear();
-                    let mut cost = CostCounter::new();
-                    let col_slices: Vec<&[Value]> = col_bufs.iter().map(|b| b.as_slice()).collect();
-                    vm.eval_batch(&prog, &col_slices, &mut outs, &mut cost)?;
-                    *work += cost.total + (end - start) as f64 * per_row_overhead;
-                    for (i, value) in outs.drain(..).enumerate() {
-                        consume(start + i, value);
+                    UdfWorker::Vm { vm, col_bufs, outs } => {
+                        let prog = prog.expect("program compiled for VM backend");
+                        let mut start = range.start;
+                        while start < range.end {
+                            let end = (start + batch).min(range.end);
+                            for buf in col_bufs.iter_mut() {
+                                buf.clear();
+                            }
+                            for r in start..end {
+                                let rid = child.row_id(r, pos) as usize;
+                                for (buf, col) in col_bufs.iter_mut().zip(cols.iter()) {
+                                    buf.push(col.value(rid));
+                                }
+                            }
+                            outs.clear();
+                            let mut cost = CostCounter::new();
+                            let col_slices: Vec<&[Value]> =
+                                col_bufs.iter().map(|b| b.as_slice()).collect();
+                            vm.eval_batch(prog, &col_slices, outs, &mut cost)?;
+                            morsel_work += cost.total + (end - start) as f64 * per_row_overhead;
+                            values.append(outs);
+                            start = end;
+                        }
                     }
-                    start = end;
                 }
+                Ok((morsel_work, values))
+            },
+        );
+        // Ordered merge: work totals and output rows in morsel-index order
+        // (== row order); the first failing morsel wins deterministically.
+        for (m, part) in parts.into_iter().enumerate() {
+            let (morsel_work, values) = part?;
+            *work += morsel_work;
+            let base = m * morsel;
+            for (j, value) in values.into_iter().enumerate() {
+                consume(base + j, value);
             }
         }
         Ok(())
@@ -405,27 +494,19 @@ impl<'a> Executor<'a> {
         cmp: graceful_udf::ast::CmpOp,
         literal: f64,
         child: Inter,
-        udf_eval: &mut UdfEval,
         work: &mut f64,
     ) -> Result<Inter> {
         let stride = child.tables.len();
         let mut rows = Vec::new();
-        self.exec_udf_rows(
-            udf,
-            &child,
-            udf_eval,
-            work,
-            self.config.weights.udf_compare,
-            |r, value| {
-                let keep = match value.as_f64() {
-                    Some(v) => cmp_f64(cmp, v, literal),
-                    None => false, // NULL and text outputs never pass the filter
-                };
-                if keep {
-                    rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
-                }
-            },
-        )?;
+        self.exec_udf_rows(udf, &child, work, self.config.weights.udf_compare, |r, value| {
+            let keep = match value.as_f64() {
+                Some(v) => cmp_f64(cmp, v, literal),
+                None => false, // NULL and text outputs never pass the filter
+            };
+            if keep {
+                rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
+            }
+        })?;
         Ok(Inter { tables: child.tables, rows, computed: None })
     }
 
@@ -433,19 +514,13 @@ impl<'a> Executor<'a> {
         &self,
         udf: &graceful_udf::GeneratedUdf,
         child: Inter,
-        udf_eval: &mut UdfEval,
         work: &mut f64,
     ) -> Result<Inter> {
         let n = child.n_rows();
         let mut computed = Vec::with_capacity(n);
-        self.exec_udf_rows(
-            udf,
-            &child,
-            udf_eval,
-            work,
-            self.config.weights.project_row,
-            |_, value| computed.push(value),
-        )?;
+        self.exec_udf_rows(udf, &child, work, self.config.weights.project_row, |_, value| {
+            computed.push(value)
+        })?;
         Ok(Inter { tables: child.tables, rows: child.rows, computed: Some(computed) })
     }
 

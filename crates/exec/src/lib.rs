@@ -9,10 +9,15 @@
 //! "Actual" cardinality annotation oracle and as ground truth for evaluating
 //! the other estimators.
 //!
-//! The engine is intentionally single-threaded and row-at-a-time: the paper's
-//! effects (UDF cost ∝ rows × code path, join cost ∝ input sizes, pull-up
-//! crossovers) do not depend on vectorization, and a simple engine keeps the
-//! work accounting exact.
+//! Filter and the UDF operators run morsel-parallel on the
+//! `graceful-runtime` pool (`GRACEFUL_THREADS` workers, `GRACEFUL_MORSEL`
+//! rows per morsel); scans (an identity row-id fill), joins and aggregates
+//! stay sequential. Work accounting
+//! is grouped per morsel and merged in morsel-index order, so results and
+//! accounted runtimes are **bit-identical for any thread count** — the
+//! paper's effects (UDF cost ∝ rows × code path, join cost ∝ input sizes,
+//! pull-up crossovers) and the experiment labels never depend on the
+//! machine's parallelism.
 
 pub mod engine;
 

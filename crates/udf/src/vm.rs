@@ -106,6 +106,14 @@ impl Vm {
         Ok(())
     }
 
+    /// Preallocate the register file and definedness bits for `prog` without
+    /// evaluating anything. Parallel executors call this once per worker VM
+    /// so the subsequent morsel loop is allocation-free from the first row
+    /// (otherwise the first `eval`/`eval_batch` pays the resize).
+    pub fn warm(&mut self, prog: &Program) {
+        self.reset(prog);
+    }
+
     /// Size the register file for `prog` and reset definedness: parameters
     /// defined, locals not. Register *contents* from previous rows are left
     /// in place (they are dead — every read is either dominated by a write

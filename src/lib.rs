@@ -30,6 +30,7 @@ pub use graceful_exec as exec;
 pub use graceful_gbdt as gbdt;
 pub use graceful_nn as nn;
 pub use graceful_plan as plan;
+pub use graceful_runtime as runtime;
 pub use graceful_storage as storage;
 pub use graceful_udf as udf;
 
@@ -43,7 +44,9 @@ pub mod prelude {
     pub use graceful_common::metrics::{q_error, QErrorSummary};
     pub use graceful_common::rng::Rng;
     pub use graceful_core::advisor::{PullUpAdvisor, Strategy};
-    pub use graceful_core::corpus::{build_all_corpora, build_corpus, DatasetCorpus};
+    pub use graceful_core::corpus::{
+        build_all_corpora, build_all_corpora_on, build_corpus, DatasetCorpus,
+    };
     pub use graceful_core::experiments::{
         cross_validate, evaluate_actual, evaluate_model, summarize, train_graceful, EstimatorKind,
     };
@@ -51,6 +54,7 @@ pub mod prelude {
     pub use graceful_core::model::{GracefulModel, TrainConfig};
     pub use graceful_exec::Executor;
     pub use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
+    pub use graceful_runtime::Pool;
     pub use graceful_storage::datagen::{generate, schema, DATASET_NAMES};
     pub use graceful_storage::{DataType, Database, Value};
     pub use graceful_udf::{compile, parse_udf, print_udf, Interpreter, UdfGenerator, Vm};

@@ -1,0 +1,99 @@
+//! Determinism of the morsel-driven parallel runtime.
+//!
+//! The acceptance bar for `graceful-runtime`: for a fixed seed, everything
+//! the experiments consume — `QueryRun` outputs, accounted cost totals,
+//! corpus labels — is **bit-identical for any thread count**, under both UDF
+//! backends. Thread counts are pinned programmatically (`ExecConfig.threads`
+//! / `Pool::new`) rather than through `GRACEFUL_THREADS`, because mutating
+//! the environment would race the rest of the multi-threaded test suite.
+
+use graceful::common::config::UdfBackend;
+use graceful::exec::{ExecConfig, Executor};
+use graceful::prelude::*;
+use graceful::udf::generator::apply_adaptations;
+use proptest::prelude::*;
+
+/// Small morsels and an awkward VM batch size so even the test-scale tables
+/// split into many morsels with ragged boundaries.
+fn exec_cfg(backend: UdfBackend, threads: usize) -> ExecConfig {
+    ExecConfig {
+        udf_backend: backend,
+        udf_batch_size: 37,
+        threads,
+        morsel_rows: 64,
+        ..ExecConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// `QueryRun` is bit-identical across thread counts {1, 2, 4} for both
+    /// UDF backends, over generated queries in every valid UDF placement.
+    #[test]
+    fn query_runs_bit_identical_across_thread_counts(seed in 0u64..5_000) {
+        let mut db = generate(&schema("tpc_h"), 0.02, 3);
+        let g = QueryGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let spec = match g.generate(&db, seed, &mut rng) {
+            Ok(s) => s,
+            Err(_) => return Ok(()), // rejected draw; not a determinism case
+        };
+        if let Some(u) = &spec.udf {
+            prop_assume!(apply_adaptations(&mut db, &u.adaptations).is_ok());
+        }
+        for placement in graceful::plan::valid_placements(&spec) {
+            let plan = match build_plan(&spec, placement) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            for backend in [UdfBackend::TreeWalk, UdfBackend::Vm] {
+                let exec = Executor::with_config(&db, exec_cfg(backend, 1));
+                let reference = exec.run(&plan, seed).expect("single-thread run succeeds");
+                for threads in [2usize, 4] {
+                    let exec = Executor::with_config(&db, exec_cfg(backend, threads));
+                    let run = exec.run(&plan, seed).expect("parallel run succeeds");
+                    prop_assert_eq!(
+                        run.runtime_ns.to_bits(),
+                        reference.runtime_ns.to_bits(),
+                        "runtime differs at {} threads ({:?}): {} vs {}",
+                        threads, backend, run.runtime_ns, reference.runtime_ns
+                    );
+                    prop_assert_eq!(run.agg_value.to_bits(), reference.agg_value.to_bits());
+                    prop_assert_eq!(&run.out_rows, &reference.out_rows);
+                    prop_assert_eq!(run.udf_input_rows, reference.udf_input_rows);
+                    prop_assert_eq!(run.op_work.len(), reference.op_work.len());
+                    for (a, b) in run.op_work.iter().zip(reference.op_work.iter()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits(), "op_work differs: {} vs {}", a, b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Corpus labels — the paper's 142-hour bottleneck, and the training data of
+/// every experiment — are bit-identical whether the 20 datasets are labelled
+/// on one worker or four.
+#[test]
+fn corpus_labels_bit_identical_across_pool_sizes() {
+    let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 5, ..ScaleConfig::default() };
+    let single = build_all_corpora_on(&Pool::new(1), &cfg);
+    let parallel = build_all_corpora_on(&Pool::new(4), &cfg);
+    assert_eq!(single.len(), parallel.len());
+    for (a, b) in single.iter().zip(parallel.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.queries.len(), b.queries.len(), "{}: query counts differ", a.name);
+        for (x, y) in a.queries.iter().zip(b.queries.iter()) {
+            assert_eq!(x.runtime_ns.to_bits(), y.runtime_ns.to_bits(), "{}: labels differ", a.name);
+            assert_eq!(x.udf_work_ns.to_bits(), y.udf_work_ns.to_bits());
+            assert_eq!(x.udf_input_rows, y.udf_input_rows);
+            assert_eq!(x.placement, y.placement);
+            assert_eq!(x.plan.ops.len(), y.plan.ops.len());
+            for (p, q) in x.plan.ops.iter().zip(y.plan.ops.iter()) {
+                assert_eq!(p.actual_out_rows.to_bits(), q.actual_out_rows.to_bits());
+            }
+        }
+    }
+}
