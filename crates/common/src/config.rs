@@ -13,7 +13,7 @@
 //! | `GRACEFUL_EPOCHS`         | GNN training epochs | `14` |
 //! | `GRACEFUL_HIDDEN`         | GNN hidden width | `32` |
 //! | `GRACEFUL_SEED`           | global seed | `20250331` (the arXiv date) |
-//! | `GRACEFUL_UDF_BACKEND`    | UDF execution backend: `treewalk` or `vm` | `treewalk` |
+//! | `GRACEFUL_UDF_BACKEND`    | UDF execution backend: `treewalk`, `vm` or `simd` | `treewalk` |
 //! | `GRACEFUL_UDF_BATCH`      | rows per batch fed to the UDF VM | `1024` |
 //! | `GRACEFUL_THREADS`        | worker threads of the morsel-driven runtime (`graceful-runtime`) | all cores |
 //! | `GRACEFUL_MORSEL`         | rows per morsel in parallel operators | `2048` |
@@ -39,18 +39,25 @@ pub enum UdfBackend {
     TreeWalk,
     /// Bytecode compiler + vectorized batch VM (`graceful-udf::vm`).
     Vm,
+    /// Batch VM with the typed columnar fast path (`graceful-udf::simd`):
+    /// straight-line numeric segments execute column-at-a-time over unboxed
+    /// lanes; diverging or non-numeric rows fall back to the per-row VM.
+    Simd,
 }
 
 impl UdfBackend {
-    /// Parse a backend name (`treewalk` | `vm`, case insensitive, plus the
-    /// aliases below). Unknown names are an error listing the valid options.
+    /// Parse a backend name (`treewalk` | `vm` | `simd`, case insensitive,
+    /// plus the aliases below). Unknown names are an error listing the valid
+    /// options.
     pub fn parse(value: &str) -> Result<Self, String> {
         match value.trim().to_ascii_lowercase().as_str() {
             "vm" | "bytecode" => Ok(UdfBackend::Vm),
             "treewalk" | "tree_walk" | "interp" => Ok(UdfBackend::TreeWalk),
+            "simd" | "columnar" => Ok(UdfBackend::Simd),
             other => Err(format!(
                 "invalid GRACEFUL_UDF_BACKEND `{other}`: valid values are \
-                 `treewalk` (aliases `tree_walk`, `interp`) and `vm` (alias `bytecode`)"
+                 `treewalk` (aliases `tree_walk`, `interp`), `vm` (alias `bytecode`) \
+                 and `simd` (alias `columnar`)"
             )),
         }
     }
@@ -222,8 +229,13 @@ mod tests {
         assert_eq!(UdfBackend::parse(" ByteCode "), Ok(UdfBackend::Vm));
         assert_eq!(UdfBackend::parse("treewalk"), Ok(UdfBackend::TreeWalk));
         assert_eq!(UdfBackend::parse("interp"), Ok(UdfBackend::TreeWalk));
+        assert_eq!(UdfBackend::parse("simd"), Ok(UdfBackend::Simd));
+        assert_eq!(UdfBackend::parse(" Columnar "), Ok(UdfBackend::Simd));
         let err = UdfBackend::parse("fast").unwrap_err();
-        assert!(err.contains("treewalk") && err.contains("vm"), "lists options: {err}");
+        assert!(
+            err.contains("treewalk") && err.contains("vm") && err.contains("simd"),
+            "lists options: {err}"
+        );
     }
 
     #[test]

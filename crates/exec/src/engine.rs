@@ -17,8 +17,9 @@ use graceful_common::config::{self, udf_batch_from_env, UdfBackend};
 use graceful_common::{GracefulError, Result};
 use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind};
 use graceful_runtime::Pool;
-use graceful_storage::{Database, Table, Value};
-use graceful_udf::{compile, CostCounter, CostWeights, Interpreter, Vm};
+use graceful_storage::{ColumnData, Database, Table, Value};
+use graceful_udf::simd::{self, TypedCol};
+use graceful_udf::{compile, CostCounter, CostWeights, Interpreter, SimdShape, Vm};
 use std::collections::HashMap;
 
 /// Per-row work-unit weights of the relational operators (≈ simulated
@@ -110,6 +111,17 @@ enum UdfWorker {
         vm: Vm,
         /// Columnar gather buffers, one per UDF parameter.
         col_bufs: Vec<Vec<Value>>,
+        /// Batch output buffer.
+        outs: Vec<Value>,
+    },
+    /// The typed columnar fast path: batches gather straight from the
+    /// storage columns' typed slices into unboxed lane buffers — no `Value`
+    /// boxing on the way in. Rows the columnar executor cannot carry fall
+    /// back to the per-row VM inside `simd::eval_batch_typed`.
+    Simd {
+        vm: Vm,
+        /// Unboxed gather buffers, one per UDF parameter.
+        typed_bufs: Vec<TypedCol>,
         /// Batch output buffer.
         outs: Vec<Value>,
     },
@@ -408,10 +420,27 @@ impl<'a> Executor<'a> {
         let n = child.n_rows();
         let backend = self.config.udf_backend;
         let prog = match backend {
-            UdfBackend::Vm => Some(compile(&udf.def)?),
+            UdfBackend::Vm | UdfBackend::Simd => Some(compile(&udf.def)?),
             UdfBackend::TreeWalk => None,
         };
         let prog = prog.as_ref();
+        // Columnar eligibility, decided once per operator: the program needs
+        // a vectorizable path and every input column a typed (non-Text)
+        // storage slice. Ineligible operators run the plain batch VM — the
+        // two produce bit-identical values and costs either way.
+        let simd_shape: Option<SimdShape> = if backend == UdfBackend::Simd {
+            let t = self.table(&udf.table)?;
+            let typed = udf.input_columns.iter().all(|c| {
+                matches!(
+                    t.column_typed(c),
+                    Ok((ColumnData::Int(_) | ColumnData::Float(_) | ColumnData::Bool(_), _))
+                )
+            });
+            prog.map(|p| p.simd_shape()).filter(|s| s.has_fast_path && typed)
+        } else {
+            None
+        };
+        let simd_shape = simd_shape.as_ref();
         let batch = self.config.udf_batch_size.max(1);
         let morsel = self.config.morsel_rows.max(1);
         let weights = &self.config.udf_weights;
@@ -422,7 +451,22 @@ impl<'a> Executor<'a> {
                     interp: Interpreter::new(weights.clone()),
                     args: Vec::with_capacity(cols.len()),
                 },
-                UdfBackend::Vm => {
+                UdfBackend::Simd if simd_shape.is_some() => {
+                    let mut vm = Vm::new(weights.clone());
+                    vm.warm(prog.expect("program compiled for SIMD backend"));
+                    UdfWorker::Simd {
+                        vm,
+                        typed_bufs: cols
+                            .iter()
+                            .map(|c| {
+                                TypedCol::for_type(c.data_type(), batch)
+                                    .expect("eligibility checked non-Text")
+                            })
+                            .collect(),
+                        outs: Vec::with_capacity(batch),
+                    }
+                }
+                UdfBackend::Vm | UdfBackend::Simd => {
                     let mut vm = Vm::new(weights.clone());
                     vm.warm(prog.expect("program compiled for VM backend"));
                     UdfWorker::Vm {
@@ -466,6 +510,26 @@ impl<'a> Executor<'a> {
                             let col_slices: Vec<&[Value]> =
                                 col_bufs.iter().map(|b| b.as_slice()).collect();
                             vm.eval_batch(prog, &col_slices, outs, &mut cost)?;
+                            morsel_work += cost.total + (end - start) as f64 * per_row_overhead;
+                            values.append(outs);
+                            start = end;
+                        }
+                    }
+                    UdfWorker::Simd { vm, typed_bufs, outs } => {
+                        let prog = prog.expect("program compiled for SIMD backend");
+                        let shape = simd_shape.expect("shape checked for SIMD worker");
+                        let mut start = range.start;
+                        while start < range.end {
+                            let end = (start + batch).min(range.end);
+                            for (buf, col) in typed_bufs.iter_mut().zip(cols.iter()) {
+                                buf.fill_from_column(
+                                    col,
+                                    (start..end).map(|r| child.row_id(r, pos) as usize),
+                                )?;
+                            }
+                            outs.clear();
+                            let mut cost = CostCounter::new();
+                            simd::eval_batch_typed(vm, prog, shape, typed_bufs, outs, &mut cost)?;
                             morsel_work += cost.total + (end - start) as f64 * per_row_overhead;
                             values.append(outs);
                             start = end;
@@ -790,6 +854,67 @@ mod tests {
                 let rel = (a.runtime_ns - b.runtime_ns).abs() / a.runtime_ns.max(1.0);
                 assert!(rel < 1e-9, "runtimes diverge: {} vs {}", a.runtime_ns, b.runtime_ns);
                 checked += 1;
+            }
+        }
+        assert!(checked >= 10, "only {checked} UDF plans compared");
+    }
+
+    #[test]
+    fn simd_backend_matches_vm_bit_exactly_on_generated_queries() {
+        // The columnar fast path merges the same per-row costs in the same
+        // order as the batch VM, so the whole QueryRun — runtime included —
+        // must be bit-identical, not merely close.
+        let mut database = db();
+        let g = QueryGenerator::default();
+        let mut rng = Rng::seed(31);
+        let mut checked = 0;
+        for id in 0..60 {
+            let spec = g.generate(&database, id, &mut rng).unwrap();
+            if !spec.has_udf() {
+                continue;
+            }
+            if let Some(u) = &spec.udf {
+                apply_adaptations(&mut database, &u.adaptations).unwrap();
+            }
+            for batch in [7usize, 1024] {
+                let vm = Executor::with_config(
+                    &database,
+                    ExecConfig {
+                        udf_backend: UdfBackend::Vm,
+                        udf_batch_size: batch,
+                        ..ExecConfig::default()
+                    },
+                );
+                let simd = Executor::with_config(
+                    &database,
+                    ExecConfig {
+                        udf_backend: UdfBackend::Simd,
+                        udf_batch_size: batch,
+                        ..ExecConfig::default()
+                    },
+                );
+                for placement in graceful_plan::valid_placements(&spec) {
+                    let plan = build_plan(&spec, placement).unwrap();
+                    let a = vm.run(&plan, id).unwrap();
+                    let b = simd.run(&plan, id).unwrap();
+                    assert_eq!(a.out_rows, b.out_rows, "cardinalities differ (query {id})");
+                    assert_eq!(
+                        a.agg_value.to_bits(),
+                        b.agg_value.to_bits(),
+                        "answers differ (query {id})"
+                    );
+                    assert_eq!(
+                        a.runtime_ns.to_bits(),
+                        b.runtime_ns.to_bits(),
+                        "runtimes differ (query {id}): {} vs {}",
+                        a.runtime_ns,
+                        b.runtime_ns
+                    );
+                    for (x, y) in a.op_work.iter().zip(b.op_work.iter()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "op_work differs (query {id})");
+                    }
+                    checked += 1;
+                }
             }
         }
         assert!(checked >= 10, "only {checked} UDF plans compared");

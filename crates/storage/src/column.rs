@@ -133,6 +133,33 @@ impl Column {
         }
     }
 
+    /// Dense `i64` data slice for Int columns, `None` otherwise. Together
+    /// with the [`Column::nulls`] bitmap this is the unboxed view the
+    /// columnar UDF fast path gathers batches from — no per-row `Value`
+    /// boxing.
+    pub fn int_data(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Dense `f64` data slice for Float columns, `None` otherwise.
+    pub fn float_data(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Dense `bool` data slice for Bool columns, `None` otherwise.
+    pub fn bool_data(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Fraction of NULL rows.
     pub fn null_fraction(&self) -> f64 {
         if self.nulls.is_empty() {

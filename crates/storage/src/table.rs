@@ -92,6 +92,14 @@ impl Table {
         Ok(self.column(name)?.data_type())
     }
 
+    /// Typed view of a named column: the dense data storage plus the null
+    /// bitmap. The engine's columnar UDF path uses this to check type
+    /// eligibility and gather unboxed batches without materializing `Value`s.
+    pub fn column_typed(&self, name: &str) -> Result<(&crate::column::ColumnData, &[bool])> {
+        let c = self.column(name)?;
+        Ok((&c.data, &c.nulls))
+    }
+
     /// Mark the primary key column (must exist).
     pub fn set_primary_key(&mut self, column: &str) -> Result<()> {
         let idx = self

@@ -592,6 +592,115 @@ fn contains_boolop(e: &Expr) -> bool {
 /// callers that match on [`GracefulError::IterationLimit`]).
 pub const WHILE_ITERATION_LIMIT: u64 = MAX_WHILE_ITERS;
 
+// -- shape analysis for the columnar (SIMD) executor --------------------------
+
+/// How the columnar executor in [`crate::simd`] treats one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrClass {
+    /// Executes column-at-a-time over the whole selection (numeric
+    /// arithmetic, comparisons, copies, cost markers, unconditional jumps).
+    /// Operand *types* are still checked at run time — a `Vector`-class
+    /// binary op over a string register bails the selection.
+    Vector,
+    /// Conditional jump: splits the selection vector by the condition
+    /// column's truthiness (branch divergence).
+    Split,
+    /// Terminates a selection's rows with a value.
+    Return,
+    /// Not vectorizable (loops, string/length builtins): rows that reach it
+    /// leave the fast path and fall back to the per-row [`crate::vm::Vm`].
+    Bail,
+}
+
+/// Result of [`Program::simd_shape`]: per-instruction classes plus the
+/// verdict on whether attempting columnar execution can pay off at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdShape {
+    /// `class[pc]` for every instruction of the program.
+    pub class: Vec<InstrClass>,
+    /// True when at least one entry→`Return` path exists that touches only
+    /// `Vector`/`Split` instructions — i.e. some rows *can* complete on the
+    /// fast path. When false the columnar executor is pure overhead (every
+    /// selection would bail) and callers should go straight to the batch VM.
+    pub has_fast_path: bool,
+}
+
+impl Program {
+    /// Classify every instruction for the columnar executor and decide
+    /// whether the program has any all-vectorizable path from entry to a
+    /// `Return`.
+    ///
+    /// This is a *shape* analysis: it looks only at opcodes and control
+    /// flow, never at value types (those are concrete per selection at run
+    /// time — an `Int` column stays `Int` for every row of a batch). String
+    /// *methods* and the string-only builtins are `Bail` by shape; numeric
+    /// ops that merely *could* see a string-typed register stay `Vector` and
+    /// are rejected per-selection by the executor's type checks.
+    pub fn simd_shape(&self) -> SimdShape {
+        use LibFn::*;
+        let class: Vec<InstrClass> = self
+            .instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Copy { .. }
+                | Instr::Unary { .. }
+                | Instr::Binary { .. }
+                | Instr::Compare { .. }
+                | Instr::CastBool { .. }
+                | Instr::MarkDef { .. }
+                | Instr::Cost(_)
+                | Instr::Jump { .. } => InstrClass::Vector,
+                // Definedness is path-determined, and the columnar executor
+                // follows concrete paths: it tracks `MarkDef` per selection
+                // and bails only the selections whose rows would actually
+                // error (the scalar VM then reports the exact per-row error).
+                Instr::CheckDef { .. } => InstrClass::Vector,
+                Instr::Call { func, .. } => match func {
+                    // String receivers/outputs and the allocation-bound
+                    // builtins stay on the scalar path.
+                    BuiltinLen | BuiltinStr | StrUpper | StrLower | StrStrip | StrReplace
+                    | StrStartswith | StrEndswith | StrFind | StrSplitCount => InstrClass::Bail,
+                    _ => InstrClass::Vector,
+                },
+                Instr::JumpIfFalse { .. } | Instr::JumpIfTrue { .. } => InstrClass::Split,
+                Instr::Return { .. } | Instr::ReturnNull => InstrClass::Return,
+                // Loops re-enter their body with data-dependent trip counts —
+                // per-row state the columnar model does not carry.
+                Instr::ForInit { .. }
+                | Instr::ForNext { .. }
+                | Instr::WhileInit { .. }
+                | Instr::WhileIter { .. } => InstrClass::Bail,
+            })
+            .collect();
+        // DFS over the CFG restricted to Vector/Split/Return instructions.
+        let mut visited = vec![false; class.len()];
+        let mut stack = vec![0usize];
+        let mut has_fast_path = false;
+        while let Some(pc) = stack.pop() {
+            if pc >= class.len() || visited[pc] {
+                continue;
+            }
+            visited[pc] = true;
+            match class[pc] {
+                InstrClass::Bail => {}
+                InstrClass::Return => {
+                    has_fast_path = true;
+                    break;
+                }
+                InstrClass::Vector | InstrClass::Split => match &self.instrs[pc] {
+                    Instr::Jump { target } => stack.push(*target as usize),
+                    Instr::JumpIfFalse { target, .. } | Instr::JumpIfTrue { target, .. } => {
+                        stack.push(*target as usize);
+                        stack.push(pc + 1);
+                    }
+                    _ => stack.push(pc + 1),
+                },
+            }
+        }
+        SimdShape { class, has_fast_path }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +828,69 @@ mod tests {
         );
         let p = compile(&u).unwrap();
         assert!(!p.instrs.iter().any(|i| matches!(i, Instr::CheckDef { .. })));
+    }
+
+    #[test]
+    fn simd_shape_classifies_straightline_numeric_as_fast() {
+        let u = udf(
+            &["x", "y"],
+            vec![Stmt::Return(Expr::bin(BinOp::Add, Expr::name("x"), Expr::name("y")))],
+        );
+        let shape = compile(&u).unwrap().simd_shape();
+        assert!(shape.has_fast_path);
+        assert!(shape.class.iter().all(|c| *c != InstrClass::Bail));
+    }
+
+    #[test]
+    fn simd_shape_marks_loops_as_bail_but_keeps_branchy_fast_paths() {
+        // One branch returns straight-line, the other loops: the program
+        // still has a fast path (the loop-free branch).
+        let u = udf(
+            &["x"],
+            vec![
+                Stmt::If {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::name("x"), Expr::Int(0)),
+                    then_body: vec![Stmt::Return(Expr::name("x"))],
+                    else_body: vec![Stmt::For {
+                        var: "i".into(),
+                        count: Expr::Int(3),
+                        body: vec![Stmt::Assign { target: "z".into(), expr: Expr::name("i") }],
+                    }],
+                },
+                Stmt::Return(Expr::Int(0)),
+            ],
+        );
+        let p = compile(&u).unwrap();
+        let shape = p.simd_shape();
+        assert!(shape.has_fast_path);
+        assert!(shape.class.contains(&InstrClass::Bail), "loop instructions classified Bail");
+        assert!(shape.class.contains(&InstrClass::Split), "branch classified Split");
+    }
+
+    #[test]
+    fn simd_shape_rejects_programs_with_no_vectorizable_path() {
+        // Every path runs through a while loop: nothing to vectorize.
+        let u = udf(
+            &["x"],
+            vec![
+                Stmt::While {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::name("x"), Expr::Int(0)),
+                    body: vec![Stmt::Assign { target: "x".into(), expr: Expr::Int(0) }],
+                },
+                Stmt::Return(Expr::name("x")),
+            ],
+        );
+        assert!(!compile(&u).unwrap().simd_shape().has_fast_path);
+        // String methods bail too.
+        let s = udf(
+            &["s"],
+            vec![Stmt::Return(Expr::Method {
+                func: crate::libfns::LibFn::StrUpper,
+                recv: Box::new(Expr::name("s")),
+                args: vec![],
+            })],
+        );
+        assert!(!compile(&s).unwrap().simd_shape().has_fast_path);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! propagates through arithmetic and library calls, comparisons against NULL
 //! are false, and a NULL branch condition takes the `else` side.
 
-use crate::ast::{Expr, Stmt, UdfDef, UnOp};
+use crate::ast::{Expr, Stmt, UdfDef};
 use crate::bytecode::SlotTable;
 use crate::costs::{CostCounter, CostWeights};
 use crate::ops;
@@ -242,15 +242,7 @@ impl Interpreter {
             Expr::NoneLit => Ok(Value::Null),
             Expr::Unary { op, operand } => {
                 let v = self.eval_expr(operand, cost)?;
-                cost.add_arith(&self.weights, false);
-                Ok(match op {
-                    UnOp::Neg => match v {
-                        Value::Int(i) => Value::Int(-i),
-                        Value::Float(f) => Value::Float(-f),
-                        _ => Value::Null,
-                    },
-                    UnOp::Not => Value::Bool(!v.truthy()),
-                })
+                Ok(ops::apply_unary(&self.weights, *op, &v, cost))
             }
             Expr::Binary { op, left, right } => {
                 let l = self.eval_expr(left, cost)?;

@@ -20,6 +20,10 @@
 //!   producing bit-identical values and costs to the tree-walker,
 //! * [`ops`] — the scalar kernels both backends share (the mechanism behind
 //!   that bit-identical guarantee),
+//! * [`simd`] — a typed columnar execution path over the compiled bytecode:
+//!   straight-line numeric segments run column-at-a-time over unboxed lanes
+//!   with selection-vector branch divergence, falling back per row to the
+//!   VM, with values and costs bit-identical to both backends,
 //! * [`generator`] — the synthetic UDF generator of Section V (0–3 branches,
 //!   0–3 loops, 10–150 ops, library calls, data-adaptation actions).
 
@@ -33,16 +37,18 @@ pub mod libfns;
 pub mod ops;
 pub mod parser;
 pub mod printer;
+pub mod simd;
 pub mod typecheck;
 pub mod vm;
 
 pub use ast::{BinOp, CmpOp, Expr, Stmt, UdfDef, UnOp};
-pub use bytecode::{compile, Program, SlotTable};
+pub use bytecode::{compile, InstrClass, Program, SimdShape, SlotTable};
 pub use costs::{CostCounter, CostWeights};
 pub use generator::{AdaptAction, GeneratedUdf, UdfGenConfig, UdfGenerator};
 pub use interp::{EvalOutcome, Interpreter, MAX_WHILE_ITERS};
 pub use libfns::LibFn;
 pub use parser::parse_udf;
 pub use printer::print_udf;
+pub use simd::TypedCol;
 pub use typecheck::infer_return_type;
 pub use vm::Vm;

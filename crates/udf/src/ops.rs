@@ -8,11 +8,63 @@
 //! cost-accounting calls baked into it in a fixed order — so the kernels
 //! live here and the backends only differ in *how they traverse* the UDF.
 
-use crate::ast::{BinOp, CmpOp};
+use crate::ast::{BinOp, CmpOp, UnOp};
 use crate::costs::{CostCounter, CostWeights};
 use crate::libfns::LibFn;
 use graceful_common::Result;
 use graceful_storage::Value;
+
+/// Apply a unary operator, accounting one (fast) arithmetic op.
+///
+/// Negation of `i64::MIN` is pinned to `i64::MIN` (two's-complement wrap, the
+/// release-mode behaviour) instead of the debug-only overflow panic `-i` hits.
+pub fn apply_unary(w: &CostWeights, op: UnOp, v: &Value, cost: &mut CostCounter) -> Value {
+    cost.add_arith(w, false);
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(i) => Value::Int(i.wrapping_neg()),
+            Value::Float(f) => Value::Float(-f),
+            _ => Value::Null,
+        },
+        UnOp::Not => Value::Bool(!v.truthy()),
+    }
+}
+
+/// `np.sign` semantics: `0.0` for ±0 (where `f64::signum` returns ±1),
+/// `±1.0` for everything else of that sign, `NaN` passed through.
+pub fn np_sign(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x.signum()
+    }
+}
+
+/// `np.clip(x, lo, hi)` with a well-ordered upper bound and **no panic**:
+/// `f64::clamp` aborts when a bound is NaN, which a pathological UDF can
+/// feed it (e.g. `math.sin` of an overflowed power). Identical to
+/// `x.clamp(lo, hi.max(lo))` for every non-NaN bound — NaN `x` passes
+/// through unchanged — while a NaN bound is pinned to "absent" (the other
+/// bound still applies) instead of aborting the query.
+pub fn np_clip(x: f64, lo: f64, hi: f64) -> f64 {
+    let hi = hi.max(lo);
+    let mut v = x;
+    if v < lo {
+        v = lo;
+    }
+    if v > hi {
+        v = hi;
+    }
+    v
+}
+
+/// The float→int conversion used by `math.floor` / `math.ceil` / `int(..)`:
+/// Rust's saturating `as` cast — `NaN → 0`, values beyond the `i64` range
+/// (±inf included) clamp to `i64::MIN`/`i64::MAX`. Routed through one helper
+/// so every backend (tree-walker, VM, columnar) pins the same edge semantics.
+pub fn f64_to_i64(x: f64) -> i64 {
+    x as i64
+}
 
 /// Apply a binary operator, accounting its work.
 ///
@@ -64,14 +116,20 @@ pub fn apply_binary(
                 if b == 0 {
                     Value::Null
                 } else {
-                    Value::Int(a.rem_euclid(b))
+                    // checked: `i64::MIN.rem_euclid(-1)` overflows (panics in
+                    // debug builds). Pinned result for that single pair is 0,
+                    // the mathematical remainder.
+                    Value::Int(a.checked_rem_euclid(b).unwrap_or(0))
                 }
             }
             BinOp::FloorDiv => {
                 if b == 0 {
                     Value::Null
                 } else {
-                    Value::Int(a.div_euclid(b))
+                    // checked: `i64::MIN.div_euclid(-1)` overflows; the true
+                    // quotient 2^63 is unrepresentable, so pin the saturated
+                    // i64::MAX.
+                    Value::Int(a.checked_div_euclid(b).unwrap_or(i64::MAX))
                 }
             }
             BinOp::Pow => {
@@ -142,8 +200,8 @@ pub fn apply_lib(
         MathSin => num(0).map(|x| Value::Float(x.sin())),
         MathCos => num(0).map(|x| Value::Float(x.cos())),
         MathAtan => num(0).map(|x| Value::Float(x.atan())),
-        MathFloor => num(0).map(|x| Value::Int(x.floor() as i64)),
-        MathCeil => num(0).map(|x| Value::Int(x.ceil() as i64)),
+        MathFloor => num(0).map(|x| Value::Int(f64_to_i64(x.floor()))),
+        MathCeil => num(0).map(|x| Value::Int(f64_to_i64(x.ceil()))),
         MathFabs | NpAbs => num(0).map(|x| Value::Float(x.abs())),
         NpMinimum => match (num(0), num(1)) {
             (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
@@ -154,17 +212,22 @@ pub fn apply_lib(
             _ => None,
         },
         NpClip => match (num(0), num(1), num(2)) {
-            (Some(x), Some(lo), Some(hi)) => Some(Value::Float(x.clamp(lo, hi.max(lo)))),
+            (Some(x), Some(lo), Some(hi)) => Some(Value::Float(np_clip(x, lo, hi))),
             _ => None,
         },
-        NpSign => num(0).map(|x| Value::Float(x.signum())),
+        // `np.sign(0) == 0` (and `np.sign(-0.0) == 0`), unlike
+        // `f64::signum`, which maps ±0 to ±1.
+        NpSign => num(0).map(|x| Value::Float(np_sign(x))),
         NpRound | BuiltinRound => num(0).map(|x| Value::Float(x.round())),
         BuiltinAbs => match args.first() {
-            Some(Value::Int(i)) => Some(Value::Int(i.abs())),
+            // checked: `i64::MIN.abs()` overflows (debug panic, release
+            // wrap-to-MIN). Python's arbitrary-precision 2^63 is
+            // unrepresentable, so pin the saturated i64::MAX.
+            Some(Value::Int(i)) => Some(Value::Int(i.checked_abs().unwrap_or(i64::MAX))),
             Some(v) => v.as_f64().map(|x| Value::Float(x.abs())),
             None => None,
         },
-        BuiltinInt => num(0).map(|x| Value::Int(x as i64)),
+        BuiltinInt => num(0).map(|x| Value::Int(f64_to_i64(x))),
         BuiltinFloat => num(0).map(Value::Float),
         BuiltinMin => match (num(0), num(1)) {
             (Some(a), Some(b)) => Some(Value::Float(a.min(b))),
@@ -286,6 +349,80 @@ mod tests {
         let out = apply_lib(&w, LibFn::MathSqrt, None, &[Value::Null], &mut c).unwrap();
         assert_eq!(out, Value::Null);
         assert_eq!(c.lib_calls, 1);
+    }
+
+    #[test]
+    fn np_sign_is_zero_at_zero() {
+        let w = CostWeights::default();
+        let mut c = CostCounter::new();
+        let sign = |v: f64, c: &mut CostCounter| {
+            apply_lib(&w, LibFn::NpSign, None, &[Value::Float(v)], c).unwrap()
+        };
+        assert_eq!(sign(0.0, &mut c), Value::Float(0.0));
+        assert_eq!(sign(-0.0, &mut c), Value::Float(0.0));
+        assert_eq!(sign(3.5, &mut c), Value::Float(1.0));
+        assert_eq!(sign(-2.0, &mut c), Value::Float(-1.0));
+        let int_zero = apply_lib(&w, LibFn::NpSign, None, &[Value::Int(0)], &mut c).unwrap();
+        assert_eq!(int_zero, Value::Float(0.0));
+    }
+
+    #[test]
+    fn builtin_abs_saturates_at_i64_min() {
+        let w = CostWeights::default();
+        let mut c = CostCounter::new();
+        let abs = |v: Value, c: &mut CostCounter| {
+            apply_lib(&w, LibFn::BuiltinAbs, None, &[v], c).unwrap()
+        };
+        assert_eq!(abs(Value::Int(i64::MIN), &mut c), Value::Int(i64::MAX));
+        assert_eq!(abs(Value::Int(-7), &mut c), Value::Int(7));
+        assert_eq!(abs(Value::Float(-2.5), &mut c), Value::Float(2.5));
+    }
+
+    #[test]
+    fn int_mod_and_floordiv_overflow_pair_is_pinned() {
+        let w = CostWeights::default();
+        let mut c = CostCounter::new();
+        let run = |op: BinOp, a: i64, b: i64, c: &mut CostCounter| {
+            apply_binary(&w, op, &Value::Int(a), &Value::Int(b), c).unwrap()
+        };
+        assert_eq!(run(BinOp::Mod, i64::MIN, -1, &mut c), Value::Int(0));
+        assert_eq!(run(BinOp::FloorDiv, i64::MIN, -1, &mut c), Value::Int(i64::MAX));
+        assert_eq!(run(BinOp::Mod, 7, 3, &mut c), Value::Int(1));
+        assert_eq!(run(BinOp::FloorDiv, -7, 2, &mut c), Value::Int(-4));
+    }
+
+    #[test]
+    fn unary_neg_wraps_at_i64_min() {
+        let w = CostWeights::default();
+        let mut c = CostCounter::new();
+        assert_eq!(apply_unary(&w, UnOp::Neg, &Value::Int(i64::MIN), &mut c), Value::Int(i64::MIN));
+        assert_eq!(apply_unary(&w, UnOp::Neg, &Value::Int(4), &mut c), Value::Int(-4));
+        assert_eq!(apply_unary(&w, UnOp::Not, &Value::Null, &mut c), Value::Bool(true));
+        assert_eq!(c.arith_ops, 3);
+    }
+
+    #[test]
+    fn np_clip_matches_clamp_and_never_panics() {
+        assert_eq!(np_clip(5.0, 0.0, 10.0), 5.0);
+        assert_eq!(np_clip(-3.0, 0.0, 10.0), 0.0);
+        assert_eq!(np_clip(99.0, 0.0, 10.0), 10.0);
+        // Inverted bounds behave like clamp(lo, hi.max(lo)).
+        assert_eq!(np_clip(5.0, 8.0, 2.0), 8.0);
+        // NaN x passes through (like f64::clamp).
+        assert!(np_clip(f64::NAN, 0.0, 10.0).is_nan());
+        // NaN bounds are pinned to "absent" instead of panicking.
+        assert_eq!(np_clip(50.0, f64::NAN, 10.0), 10.0);
+        assert_eq!(np_clip(-50.0, 0.0, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn float_to_int_cast_edges_saturate() {
+        assert_eq!(f64_to_i64(f64::NAN), 0);
+        assert_eq!(f64_to_i64(f64::INFINITY), i64::MAX);
+        assert_eq!(f64_to_i64(f64::NEG_INFINITY), i64::MIN);
+        assert_eq!(f64_to_i64(1e19), i64::MAX);
+        assert_eq!(f64_to_i64(-1e19), i64::MIN);
+        assert_eq!(f64_to_i64(2.75), 2);
     }
 
     #[test]

@@ -88,7 +88,16 @@ impl Vm {
             )));
         }
         let rows = cols.first().map_or(0, |c| c.len());
-        debug_assert!(cols.iter().all(|c| c.len() == rows), "ragged batch");
+        // A ragged batch is caller error, but it must fail loudly in release
+        // builds too — a `debug_assert!` here would let release indexing
+        // panic mid-batch instead of returning a typed error.
+        if let Some(bad) = cols.iter().find(|c| c.len() != rows) {
+            return Err(GracefulError::Eval(format!(
+                "{}: ragged batch: column of {} rows, expected {rows}",
+                prog.name,
+                bad.len()
+            )));
+        }
         out.reserve(rows);
         for r in 0..rows {
             let mut row_cost = CostCounter::new();
@@ -157,16 +166,7 @@ impl Vm {
                     regs[*dst as usize] = Self::val(regs, consts, *src).clone();
                 }
                 Instr::Unary { op, dst, src } => {
-                    let v = Self::val(regs, consts, *src);
-                    cost.add_arith(w, false);
-                    let out = match op {
-                        crate::ast::UnOp::Neg => match v {
-                            Value::Int(i) => Value::Int(-i),
-                            Value::Float(f) => Value::Float(-f),
-                            _ => Value::Null,
-                        },
-                        crate::ast::UnOp::Not => Value::Bool(!v.truthy()),
-                    };
+                    let out = ops::apply_unary(w, *op, Self::val(regs, consts, *src), cost);
                     regs[*dst as usize] = out;
                 }
                 Instr::Binary { op, dst, l, r } => {
@@ -440,6 +440,19 @@ mod tests {
         let u = udf(vec![Stmt::Return(E::Int(1))]);
         let prog = compile(&u).unwrap();
         assert!(Vm::default().eval(&prog, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn ragged_batch_is_a_typed_error_not_a_panic() {
+        let u = udf(vec![Stmt::Return(E::bin(BinOp::Add, E::name("x"), E::name("y")))]);
+        let prog = compile(&u).unwrap();
+        let xs: Vec<Value> = (0..5).map(Value::Int).collect();
+        let ys: Vec<Value> = (0..3).map(Value::Int).collect();
+        let mut out = Vec::new();
+        let mut cost = CostCounter::new();
+        let err = Vm::default().eval_batch(&prog, &[&xs, &ys], &mut out, &mut cost).unwrap_err();
+        assert!(matches!(&err, GracefulError::Eval(m) if m.contains("ragged batch")), "{err}");
+        assert!(out.is_empty(), "no partial outputs before the shape check");
     }
 
     #[test]

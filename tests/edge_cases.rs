@@ -196,3 +196,103 @@ fn type_inference_agrees_with_interpreter_on_generated_udfs() {
     }
     assert!(checked > 50);
 }
+
+/// Float→int cast edges (`math.floor` / `math.ceil` / `int(..)` on NaN, ±inf
+/// and floats beyond the i64 range) follow Rust's saturating cast — NaN → 0,
+/// out-of-range clamps to i64::MIN/MAX — and all three execution paths
+/// (tree-walker, batch VM, columnar SIMD) pin the identical results.
+#[test]
+fn float_to_int_cast_edges_are_identical_across_all_three_paths() {
+    use graceful::udf::{simd, CostCounter};
+
+    let udf =
+        parse_udf("def f(x0):\n    return int(x0) + math.floor(x0) + math.ceil(x0)\n").unwrap();
+    let prog = compile(&udf).unwrap();
+    let shape = prog.simd_shape();
+
+    let edges = [
+        (f64::NAN, 0i64),
+        (f64::INFINITY, i64::MAX), // saturates: 3 * MAX wraps below
+        (f64::NEG_INFINITY, i64::MIN),
+        (1e19, i64::MAX),                 // > i64::MAX
+        (-1e19, i64::MIN),                // < i64::MIN
+        (9.223372036854776e18, i64::MAX), // just past i64::MAX
+    ];
+    let xs: Vec<Value> = edges.iter().map(|&(x, _)| Value::Float(x)).collect();
+
+    // Reference: the tree-walker, row by row.
+    let mut interp = Interpreter::default();
+    let mut tw_vals = Vec::new();
+    let mut tw_cost = CostCounter::new();
+    for x in &xs {
+        let o = interp.eval(&udf, std::slice::from_ref(x)).unwrap();
+        tw_vals.push(o.value);
+        tw_cost.merge(&o.cost);
+    }
+    // Each single cast saturates to the documented pin (the UDF sums three
+    // casts, so check the raw single-cast pin explicitly through int()).
+    let single = parse_udf("def f(x0):\n    return int(x0)\n").unwrap();
+    for &(x, pinned) in &edges {
+        let o = Interpreter::default().eval(&single, &[Value::Float(x)]).unwrap();
+        assert_eq!(o.value, Value::Int(pinned), "int({x}) pin");
+    }
+
+    // Batch VM.
+    let slices: Vec<&[Value]> = vec![&xs];
+    let mut vm = Vm::default();
+    let mut vm_vals = Vec::new();
+    let mut vm_cost = CostCounter::new();
+    vm.eval_batch(&prog, &slices, &mut vm_vals, &mut vm_cost).unwrap();
+    assert_eq!(vm_vals, tw_vals);
+    assert_eq!(vm_cost, tw_cost);
+
+    // Columnar SIMD path.
+    assert!(shape.has_fast_path, "all-numeric straight line must vectorize");
+    let mut simd_vm = Vm::default();
+    let mut simd_vals = Vec::new();
+    let mut simd_cost = CostCounter::new();
+    simd::eval_batch_values(&mut simd_vm, &prog, &shape, &slices, &mut simd_vals, &mut simd_cost)
+        .unwrap();
+    assert_eq!(simd_vals, tw_vals);
+    assert_eq!(simd_cost, tw_cost);
+    assert_eq!(simd_cost.total.to_bits(), tw_cost.total.to_bits());
+}
+
+/// The two kernel-semantics pins of this PR, end to end through UDF source:
+/// `np.sign(0)` is 0 (not ±1), and `abs()` of `i64::MIN` saturates instead
+/// of panicking — identically on every execution path.
+#[test]
+fn sign_and_abs_kernel_pins_hold_on_every_path() {
+    use graceful::udf::{simd, CostCounter};
+
+    let udf = parse_udf("def f(x0, x1):\n    return np.sign(x0) + abs(x1)\n").unwrap();
+    let prog = compile(&udf).unwrap();
+    let shape = prog.simd_shape();
+    let xs = vec![Value::Float(0.0), Value::Float(-0.0), Value::Float(-3.5), Value::Int(2)];
+    let ys = vec![Value::Int(i64::MIN), Value::Int(-5), Value::Int(i64::MIN), Value::Int(7)];
+
+    let mut interp = Interpreter::default();
+    let expected: Vec<Value> = (0..xs.len())
+        .map(|r| interp.eval(&udf, &[xs[r].clone(), ys[r].clone()]).unwrap().value)
+        .collect();
+    // np.sign(0.0) == 0.0 and abs(i64::MIN) == i64::MAX ⇒ 0.0 + MAX as f64.
+    assert_eq!(expected[0], Value::Float(0.0 + i64::MAX as f64));
+    assert_eq!(expected[1], Value::Float(0.0 + 5.0));
+
+    let slices: Vec<&[Value]> = vec![&xs, &ys];
+    let mut vm_vals = Vec::new();
+    Vm::default().eval_batch(&prog, &slices, &mut vm_vals, &mut CostCounter::new()).unwrap();
+    assert_eq!(vm_vals, expected);
+
+    let mut simd_vals = Vec::new();
+    simd::eval_batch_values(
+        &mut Vm::default(),
+        &prog,
+        &shape,
+        &slices,
+        &mut simd_vals,
+        &mut CostCounter::new(),
+    )
+    .unwrap();
+    assert_eq!(simd_vals, expected);
+}

@@ -2,8 +2,9 @@
 //!
 //! The acceptance bar for `graceful-runtime`: for a fixed seed, everything
 //! the experiments consume — `QueryRun` outputs, accounted cost totals,
-//! corpus labels — is **bit-identical for any thread count**, under both UDF
-//! backends. Thread counts are pinned programmatically (`ExecConfig.threads`
+//! corpus labels — is **bit-identical for any thread count**, under all
+//! three UDF backends (tree-walker, batch VM, columnar SIMD). Thread counts
+//! are pinned programmatically (`ExecConfig.threads`
 //! / `Pool::new`) rather than through `GRACEFUL_THREADS`, because mutating
 //! the environment would race the rest of the multi-threaded test suite.
 
@@ -47,7 +48,8 @@ proptest! {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            for backend in [UdfBackend::TreeWalk, UdfBackend::Vm] {
+            let mut single_thread_runs = Vec::new();
+            for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
                 let exec = Executor::with_config(&db, exec_cfg(backend, 1));
                 let reference = exec.run(&plan, seed).expect("single-thread run succeeds");
                 for threads in [2usize, 4] {
@@ -67,6 +69,22 @@ proptest! {
                         prop_assert_eq!(a.to_bits(), b.to_bits(), "op_work differs: {} vs {}", a, b);
                     }
                 }
+                single_thread_runs.push((backend, reference));
+            }
+            // Cross-backend: the SIMD fast path merges the same per-row
+            // costs in the same order as the batch VM, so their QueryRuns
+            // are bit-identical (the tree-walker differs only in float
+            // summation grouping and is compared elsewhere).
+            let vm = &single_thread_runs[1].1;
+            let simd = &single_thread_runs[2].1;
+            prop_assert_eq!(
+                vm.runtime_ns.to_bits(), simd.runtime_ns.to_bits(),
+                "vm vs simd runtimes differ: {} vs {}", vm.runtime_ns, simd.runtime_ns
+            );
+            prop_assert_eq!(vm.agg_value.to_bits(), simd.agg_value.to_bits());
+            prop_assert_eq!(&vm.out_rows, &simd.out_rows);
+            for (a, b) in vm.op_work.iter().zip(simd.op_work.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "vm vs simd op_work: {} vs {}", a, b);
             }
         }
     }

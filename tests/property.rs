@@ -166,6 +166,56 @@ proptest! {
         prop_assert_eq!(merged, batch_cost);
     }
 
+    /// The columnar SIMD path is a drop-in for the batch VM: over the
+    /// generated corpus, batch values and the merged cost counters (every
+    /// counter, bit-for-bit `f64` totals) must equal both the row-at-a-time
+    /// VM and a tree-walker row loop.
+    #[test]
+    fn simd_matches_vm_and_tree_walker_on_generated_corpus(seed in 0u64..5_000) {
+        let mut db = generate(&schema("baseball"), 0.02, 9);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+        let table = db.table(&u.table).unwrap();
+        let cols: Vec<_> = u.input_columns.iter().map(|c| table.column(c).unwrap()).collect();
+        let rows = table.num_rows().min(48);
+        let col_data: Vec<Vec<Value>> =
+            cols.iter().map(|c| (0..rows).map(|r| c.value(r)).collect()).collect();
+        let slices: Vec<&[Value]> = col_data.iter().map(|c| c.as_slice()).collect();
+        let prog = compile(&u.def).unwrap();
+        let shape = prog.simd_shape();
+
+        let mut simd_vm = Vm::default();
+        let mut simd_out = Vec::new();
+        let mut simd_cost = graceful::udf::CostCounter::new();
+        graceful::udf::simd::eval_batch_values(
+            &mut simd_vm, &prog, &shape, &slices, &mut simd_out, &mut simd_cost,
+        ).expect("SIMD path evaluates");
+
+        let mut vm = Vm::default();
+        let mut vm_out = Vec::new();
+        let mut vm_cost = graceful::udf::CostCounter::new();
+        vm.eval_batch(&prog, &slices, &mut vm_out, &mut vm_cost).expect("VM evaluates");
+        prop_assert_eq!(&simd_out, &vm_out, "values differ from batch VM");
+        prop_assert_eq!(&simd_cost, &vm_cost, "counters differ from batch VM");
+        prop_assert_eq!(
+            simd_cost.total.to_bits(), vm_cost.total.to_bits(),
+            "work totals not bit-identical: {} vs {}", simd_cost.total, vm_cost.total
+        );
+
+        let mut interp = Interpreter::default();
+        let mut tw_cost = graceful::udf::CostCounter::new();
+        for r in 0..rows {
+            let args: Vec<Value> = col_data.iter().map(|c| c[r].clone()).collect();
+            let o = interp.eval(&u.def, &args).expect("tree-walker evaluates");
+            prop_assert_eq!(&o.value, &simd_out[r], "row {} value", r);
+            tw_cost.merge(&o.cost);
+        }
+        prop_assert_eq!(&simd_cost, &tw_cost, "counters differ from tree-walker");
+        prop_assert_eq!(simd_cost.total.to_bits(), tw_cost.total.to_bits());
+    }
+
     /// Q-error is symmetric and >= 1 for all positive pairs.
     #[test]
     fn q_error_properties(a in 1e-6f64..1e12, b in 1e-6f64..1e12) {
