@@ -10,7 +10,7 @@ use graceful_core::advisor::{PullUpAdvisor, Strategy};
 use graceful_core::corpus::build_corpus;
 use graceful_core::experiments::train_graceful;
 use graceful_core::featurize::Featurizer;
-use graceful_exec::Executor;
+use graceful_exec::Session;
 use graceful_plan::querygen::JoinStep;
 use graceful_plan::{build_plan, AggFunc, ColRef, Pred, QuerySpec, UdfPlacement, UdfUsage};
 use graceful_storage::datagen::{generate, schema};
@@ -80,7 +80,7 @@ fn main() {
         agg: AggFunc::CountStar,
         agg_col: None,
     };
-    let exec = Executor::new(&db);
+    let exec = Session::from_env().expect("valid GRACEFUL_* configuration").executor(&db);
     let mut pd = build_plan(&spec, UdfPlacement::PushDown).unwrap();
     let mut pu = build_plan(&spec, UdfPlacement::PullUp).unwrap();
     let pd_run = exec.run_and_annotate(&mut pd, 1).unwrap();

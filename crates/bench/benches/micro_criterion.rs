@@ -10,7 +10,7 @@ use graceful_common::rng::Rng;
 use graceful_core::corpus::build_corpus;
 use graceful_core::experiments::train_graceful;
 use graceful_core::featurize::Featurizer;
-use graceful_exec::Executor;
+use graceful_exec::Session;
 use graceful_storage::datagen::{generate, schema};
 use graceful_storage::Value;
 use graceful_udf::{parse_udf, Interpreter};
@@ -50,7 +50,7 @@ fn bench_executor(c: &mut Criterion) {
         ],
         root: 3,
     };
-    let exec = Executor::new(&db);
+    let exec = Session::from_env().expect("valid GRACEFUL_* configuration").executor(&db);
     c.bench_function("executor_fk_join", |b| {
         b.iter(|| black_box(exec.run(&plan, 1).unwrap().runtime_ns))
     });

@@ -1,0 +1,154 @@
+//! Engine-level shoot-out: the streaming physical-operator pipeline vs the
+//! materializing reference executor, over a generated query corpus.
+//!
+//! For every generated query (all valid UDF placements) and every UDF
+//! backend, both executor modes run the identical plan; the bench
+//! asserts the `QueryRun`s are **bit-identical**, then reports
+//! throughput (plans/s, accounted Mrows/s of scan input) and the peak
+//! intermediate-row footprint of each mode. The machine-readable record
+//! (overwriting any previous one) goes to `BENCH_pipeline.json` at the repo
+//! root — the perf trajectory's first end-to-end engine datapoint.
+//!
+//! Scale knobs apply as everywhere (`GRACEFUL_SCALE`,
+//! `GRACEFUL_QUERIES_PER_DB`, …). Thread counts follow `GRACEFUL_THREADS`
+//! through the `Session` path.
+
+use graceful_bench::announce;
+use graceful_common::config::{ExecMode, UdfBackend};
+use graceful_common::rng::Rng;
+use graceful_exec::{ExecOptions, QueryRun, Session};
+use graceful_plan::{build_plan, Plan, QueryGenerator};
+use graceful_storage::datagen::{generate, schema};
+use graceful_storage::Database;
+use graceful_udf::generator::apply_adaptations;
+use std::time::Instant;
+
+const DATASETS: [&str; 2] = ["tpc_h", "imdb"];
+
+fn corpus_plans(cfg: &graceful_common::config::ScaleConfig) -> Vec<(Database, Vec<(Plan, u64)>)> {
+    DATASETS
+        .iter()
+        .map(|name| {
+            let mut db = generate(&schema(name), cfg.data_scale, cfg.seed);
+            let g = QueryGenerator::default();
+            let mut rng = Rng::seed(cfg.seed ^ 0xBEEF);
+            let mut plans = Vec::new();
+            let mut id = 0u64;
+            while plans.len() < cfg.queries_per_db && id < cfg.queries_per_db as u64 * 4 {
+                id += 1;
+                let Ok(spec) = g.generate(&db, id, &mut rng) else { continue };
+                if let Some(u) = &spec.udf {
+                    if apply_adaptations(&mut db, &u.adaptations).is_err() {
+                        continue;
+                    }
+                }
+                for placement in graceful_plan::valid_placements(&spec) {
+                    if let Ok(plan) = build_plan(&spec, placement) {
+                        plans.push((plan, spec.id));
+                    }
+                }
+            }
+            (db, plans)
+        })
+        .collect()
+}
+
+struct ModeStats {
+    seconds: f64,
+    plans: usize,
+    scan_rows: usize,
+    peak_rows_max: usize,
+    peak_rows_sum: usize,
+}
+
+fn run_all(
+    session: &Session,
+    corpus: &[(Database, Vec<(Plan, u64)>)],
+    verify_against: Option<&[QueryRun]>,
+) -> (ModeStats, Vec<QueryRun>) {
+    let mut runs = Vec::new();
+    let mut stats =
+        ModeStats { seconds: 0.0, plans: 0, scan_rows: 0, peak_rows_max: 0, peak_rows_sum: 0 };
+    let started = Instant::now();
+    for (db, plans) in corpus {
+        let exec = session.executor(db);
+        for (plan, seed) in plans {
+            let run = exec.run(plan, *seed).expect("plan executes");
+            stats.plans += 1;
+            stats.scan_rows += plan
+                .tables()
+                .iter()
+                .map(|t| db.table(t).map(graceful_storage::Table::num_rows).unwrap_or(0))
+                .sum::<usize>();
+            stats.peak_rows_max = stats.peak_rows_max.max(run.peak_inter_rows);
+            stats.peak_rows_sum += run.peak_inter_rows;
+            runs.push(run);
+        }
+    }
+    stats.seconds = started.elapsed().as_secs_f64();
+    if let Some(reference) = verify_against {
+        assert_eq!(runs.len(), reference.len());
+        for (a, b) in runs.iter().zip(reference.iter()) {
+            assert_eq!(a.runtime_ns.to_bits(), b.runtime_ns.to_bits(), "runtimes diverged");
+            assert_eq!(a.agg_value.to_bits(), b.agg_value.to_bits(), "answers diverged");
+            assert_eq!(a.out_rows, b.out_rows, "cardinalities diverged");
+        }
+    }
+    (stats, runs)
+}
+
+fn main() {
+    let cfg = announce("pipeline_vs_materialized: engine-level executor shoot-out");
+    let corpus = corpus_plans(&cfg);
+    let n_plans: usize = corpus.iter().map(|(_, p)| p.len()).sum();
+    println!("corpus: {} plans over {} databases\n", n_plans, corpus.len());
+
+    let mut json_rows = Vec::new();
+    for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
+        let session_for = |mode: ExecMode| {
+            ExecOptions::new()
+                .udf_backend(backend)
+                .mode(mode)
+                .build_with_env()
+                .expect("valid GRACEFUL_* configuration")
+        };
+        let (mat, mat_runs) = run_all(&session_for(ExecMode::Materialize), &corpus, None);
+        let (pipe, _) = run_all(&session_for(ExecMode::Pipeline), &corpus, Some(&mat_runs));
+        let speedup = mat.seconds / pipe.seconds.max(1e-9);
+        let peak_ratio = mat.peak_rows_max as f64 / pipe.peak_rows_max.max(1) as f64;
+        println!(
+            "{backend:?}: materialize {:.2}s vs pipeline {:.2}s ({speedup:.2}x), \
+             peak intermediate rows {} vs {} ({peak_ratio:.2}x smaller peak), \
+             {} plans bit-identical",
+            mat.seconds, pipe.seconds, mat.peak_rows_max, pipe.peak_rows_max, mat.plans
+        );
+        for (mode, s) in [("materialize", &mat), ("pipeline", &pipe)] {
+            json_rows.push(format!(
+                "{{\"backend\":\"{backend:?}\",\"mode\":\"{mode}\",\"seconds\":{:.4},\
+                 \"plans\":{},\"plans_per_s\":{:.2},\"scan_mrows_per_s\":{:.3},\
+                 \"peak_inter_rows_max\":{},\"peak_inter_rows_mean\":{:.1}}}",
+                s.seconds,
+                s.plans,
+                s.plans as f64 / s.seconds.max(1e-9),
+                s.scan_rows as f64 / 1e6 / s.seconds.max(1e-9),
+                s.peak_rows_max,
+                s.peak_rows_sum as f64 / s.plans.max(1) as f64,
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\"bench\":\"pipeline_vs_materialized\",\"seed\":{},\"data_scale\":{},\
+         \"queries_per_db\":{},\"n_plans\":{},\"results\":[{}]}}\n",
+        cfg.seed,
+        cfg.data_scale,
+        cfg.queries_per_db,
+        n_plans,
+        json_rows.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

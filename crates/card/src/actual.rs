@@ -6,18 +6,28 @@
 
 use crate::CardEstimator;
 use graceful_common::{GracefulError, Result};
-use graceful_exec::Executor;
+use graceful_exec::Session;
 use graceful_plan::{Plan, Pred};
 use graceful_storage::Database;
 
 /// Perfect cardinalities (executes or reuses recorded actuals).
 pub struct ActualCard<'a> {
     db: &'a Database,
+    session: Session,
 }
 
 impl<'a> ActualCard<'a> {
+    /// Oracle over `db`. Its internal executor uses the pure base
+    /// [`Session`] — actual cardinalities are bit-identical under every
+    /// backend, thread count and executor mode, so the oracle consults no
+    /// environment knobs and works in fully env-free programs.
     pub fn new(db: &'a Database) -> Self {
-        ActualCard { db }
+        ActualCard { db, session: Session::new() }
+    }
+
+    /// Oracle executing through a specific engine session.
+    pub fn with_session(db: &'a Database, session: Session) -> Self {
+        ActualCard { db, session }
     }
 }
 
@@ -31,7 +41,8 @@ impl CardEstimator for ActualCard<'_> {
         // execute it now (the oracle is allowed to).
         let recorded = plan.ops.iter().any(|o| o.actual_out_rows > 0.0);
         if !recorded {
-            Executor::new(self.db)
+            self.session
+                .executor(self.db)
                 .run_and_annotate(plan, 0)
                 .map_err(|e| GracefulError::Model(format!("oracle execution failed: {e}")))?;
         }

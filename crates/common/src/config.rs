@@ -17,14 +17,24 @@
 //! | `GRACEFUL_UDF_BATCH`      | rows per batch fed to the UDF VM | `1024` |
 //! | `GRACEFUL_THREADS`        | worker threads of the morsel-driven runtime (`graceful-runtime`) | all cores |
 //! | `GRACEFUL_MORSEL`         | rows per morsel in parallel operators | `2048` |
+//! | `GRACEFUL_EXEC`           | executor mode: `pipeline` (streaming physical operators) or `materialize` (per-operator materialization) | `pipeline` |
 //!
-//! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_THREADS` and `GRACEFUL_MORSEL` are
-//! validated strictly: an unknown backend name or a non-positive/unparsable
-//! thread or morsel count is a hard error (listing the valid options), not a
-//! silent fallback — a typo in an experiment environment must not silently
-//! re-run the wrong configuration. Results never depend on either knob: the
-//! runtime merges per-morsel work in morsel-index order, so every output is
-//! bit-identical for any thread count.
+//! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`, `GRACEFUL_THREADS`,
+//! `GRACEFUL_MORSEL` and `GRACEFUL_EXEC` are validated strictly: an unknown
+//! backend name or a non-positive/unparsable thread, batch or morsel count is
+//! a hard error (listing the valid options), not a silent fallback — a typo
+//! in an experiment environment must not silently re-run the wrong
+//! configuration. Results never depend on any of them: the runtime merges
+//! per-morsel work in morsel-index order and both executor modes account
+//! work with the same float grouping, so every output is bit-identical for
+//! any thread count, batch size and executor mode.
+//!
+//! These environment variables are only *defaults*: the engine is configured
+//! programmatically through `graceful_exec::Session` / `ExecOptions`, which
+//! resolve the environment exactly once (via [`UdfBackend::try_from_env`] and
+//! the `try_*_from_env` helpers here) and surface invalid values as typed
+//! `GracefulError::Config` errors. This module is the **only** place in the
+//! workspace that reads `GRACEFUL_*` variables.
 
 /// Which UDF evaluation backend the execution engine uses.
 ///
@@ -79,10 +89,67 @@ impl UdfBackend {
     }
 }
 
-/// Resolve the UDF VM batch size from `GRACEFUL_UDF_BATCH` (default 1024,
-/// clamped to at least 1).
-pub fn udf_batch_from_env() -> usize {
-    env_parse::<usize>("GRACEFUL_UDF_BATCH").unwrap_or(1024).max(1)
+/// Which execution strategy `graceful_exec`'s `Executor` uses. Both
+/// produce bit-identical `QueryRun`s (values, cardinalities and accounted
+/// work); they differ only in peak memory and code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Lower the logical plan to a physical-operator pipeline and stream
+    /// fixed-size row batches through it — peak memory is bounded by
+    /// O(batch × pipeline depth) for non-blocking chains.
+    #[default]
+    Pipeline,
+    /// The original recursive interpreter: fully materialize every
+    /// intermediate result. Kept as the differential-testing reference.
+    Materialize,
+}
+
+impl ExecMode {
+    /// Parse an executor-mode name (`pipeline` | `materialize`, case
+    /// insensitive). Unknown names are an error listing the valid options.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "pipeline" | "push" | "streaming" => Ok(ExecMode::Pipeline),
+            "materialize" | "materialized" | "legacy" => Ok(ExecMode::Materialize),
+            other => Err(format!(
+                "invalid GRACEFUL_EXEC `{other}`: valid values are `pipeline` \
+                 (aliases `push`, `streaming`) and `materialize` (aliases \
+                 `materialized`, `legacy`)"
+            )),
+        }
+    }
+
+    /// Resolve from `GRACEFUL_EXEC`; unset means [`ExecMode::Pipeline`].
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var("GRACEFUL_EXEC") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => Ok(ExecMode::default()),
+        }
+    }
+}
+
+/// Default rows per batch fed to the UDF VM.
+pub const DEFAULT_UDF_BATCH: usize = 1024;
+
+/// Parse a `GRACEFUL_UDF_BATCH` value: an integer ≥ 1 (rows per VM batch).
+pub fn parse_udf_batch(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid GRACEFUL_UDF_BATCH `{}`: expected an integer >= 1 \
+             (rows per UDF VM batch; unset means {DEFAULT_UDF_BATCH})",
+            value.trim()
+        )),
+    }
+}
+
+/// Resolve the UDF VM batch size from `GRACEFUL_UDF_BATCH` (default
+/// [`DEFAULT_UDF_BATCH`]); an invalid value is an error.
+pub fn try_udf_batch_from_env() -> Result<usize, String> {
+    match std::env::var("GRACEFUL_UDF_BATCH") {
+        Ok(v) => parse_udf_batch(&v),
+        Err(_) => Ok(DEFAULT_UDF_BATCH),
+    }
 }
 
 /// Rows per morsel when none is configured.
@@ -236,6 +303,19 @@ mod tests {
             err.contains("treewalk") && err.contains("vm") && err.contains("simd"),
             "lists options: {err}"
         );
+    }
+
+    #[test]
+    fn exec_mode_and_batch_parse_and_reject() {
+        assert_eq!(ExecMode::parse("pipeline"), Ok(ExecMode::Pipeline));
+        assert_eq!(ExecMode::parse(" Materialize "), Ok(ExecMode::Materialize));
+        assert_eq!(ExecMode::parse("legacy"), Ok(ExecMode::Materialize));
+        assert!(ExecMode::parse("turbo").unwrap_err().contains("GRACEFUL_EXEC"));
+        assert_eq!(parse_udf_batch("37"), Ok(37));
+        for bad in ["0", "-1", "", "fast", "2.5"] {
+            assert!(parse_udf_batch(bad).is_err(), "batch accepted {bad:?}");
+        }
+        assert!(parse_udf_batch("0").unwrap_err().contains("GRACEFUL_UDF_BATCH"));
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub enum GracefulError {
     Model(String),
     /// Corpus/bench construction failed.
     Benchmark(String),
+    /// Invalid engine configuration (zero batch/morsel/thread counts, an
+    /// unknown backend name, a malformed `GRACEFUL_*` value). Surfaced by
+    /// `Session`/`ExecOptions` validation instead of panicking, so embedding
+    /// programs can report misconfiguration like any other error.
+    Config(String),
 }
 
 impl fmt::Display for GracefulError {
@@ -60,6 +65,7 @@ impl fmt::Display for GracefulError {
             GracefulError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             GracefulError::Model(m) => write!(f, "model error: {m}"),
             GracefulError::Benchmark(m) => write!(f, "benchmark error: {m}"),
+            GracefulError::Config(m) => write!(f, "configuration error: {m}"),
         }
     }
 }

@@ -10,7 +10,7 @@
 use graceful_common::config::ScaleConfig;
 use graceful_common::rng::Rng;
 use graceful_common::Result;
-use graceful_exec::Executor;
+use graceful_exec::Session;
 use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
 use graceful_runtime::Pool;
 use graceful_storage::datagen::{generate, schema, DATASET_NAMES};
@@ -61,14 +61,37 @@ impl DatasetCorpus {
     }
 }
 
-/// Build the corpus for one named dataset (default workload mix).
+/// Build the corpus for one named dataset (default workload mix) with the
+/// engine configured from the `GRACEFUL_*` environment defaults.
 pub fn build_corpus(dataset: &str, cfg: &ScaleConfig, seed: u64) -> Result<DatasetCorpus> {
-    build_corpus_with(dataset, cfg, seed, QueryGenerator::default())
+    build_corpus_in(&Session::from_env()?, dataset, cfg, seed)
+}
+
+/// [`build_corpus`] with an explicit engine [`Session`] — the programmatic,
+/// environment-free path.
+pub fn build_corpus_in(
+    session: &Session,
+    dataset: &str,
+    cfg: &ScaleConfig,
+    seed: u64,
+) -> Result<DatasetCorpus> {
+    build_corpus_with_in(session, dataset, cfg, seed, QueryGenerator::default())
 }
 
 /// Build a corpus with a custom workload generator — used by Exp 3's
 /// select-only workload (`SELECT udf(col) FROM table WHERE filter`).
 pub fn build_corpus_with(
+    dataset: &str,
+    cfg: &ScaleConfig,
+    seed: u64,
+    qgen: QueryGenerator,
+) -> Result<DatasetCorpus> {
+    build_corpus_with_in(&Session::from_env()?, dataset, cfg, seed, qgen)
+}
+
+/// [`build_corpus_with`] with an explicit engine [`Session`].
+pub fn build_corpus_with_in(
+    session: &Session,
     dataset: &str,
     cfg: &ScaleConfig,
     seed: u64,
@@ -106,7 +129,7 @@ pub fn build_corpus_with(
                 continue;
             }
         };
-        let exec = Executor::new(&db);
+        let exec = session.executor(&db);
         match exec.run_and_annotate(&mut plan, spec.id) {
             Ok(run) => {
                 let udf_work = plan.udf_op().map(|i| run.op_work[i]).unwrap_or(0.0);
@@ -125,21 +148,40 @@ pub fn build_corpus_with(
     Ok(DatasetCorpus { name: dataset.to_string(), db, queries, skipped })
 }
 
-/// Build all 20 corpora (Figure 5 order) on the morsel pool sized from
-/// `GRACEFUL_THREADS` — the build is embarrassingly parallel and dominated
-/// by query execution, the paper's 142-hour bottleneck.
+/// Build all 20 corpora (Figure 5 order) with the engine and pool sized
+/// from the `GRACEFUL_*` environment defaults — the build is embarrassingly
+/// parallel and dominated by query execution, the paper's 142-hour
+/// bottleneck.
+///
+/// Experiment-harness entry point: **panics** on an invalid `GRACEFUL_*`
+/// environment (a misconfigured experiment must fail loudly at startup).
+/// Use [`build_all_corpora_in`] with a [`Session`] built from
+/// [`graceful_exec::ExecOptions`] to handle configuration errors as values.
 pub fn build_all_corpora(cfg: &ScaleConfig) -> Vec<DatasetCorpus> {
-    build_all_corpora_on(&Pool::from_env(), cfg)
+    let session = Session::from_env().expect("invalid GRACEFUL_* configuration");
+    build_all_corpora_in(&session, cfg)
+}
+
+/// [`build_all_corpora`] with an explicit engine [`Session`] (its thread
+/// budget also sizes the dataset pool).
+pub fn build_all_corpora_in(session: &Session, cfg: &ScaleConfig) -> Vec<DatasetCorpus> {
+    build_all_corpora_with(&session.pool(), session, cfg)
 }
 
 /// [`build_all_corpora`] on an explicit pool. Each dataset is one morsel and
 /// its seed derives from its index, so the labels are bit-identical for any
 /// pool size (the `scaling_threads` bench and the determinism suite pin
-/// thread counts through this entry point).
+/// thread counts through this entry point); the engine itself follows the
+/// environment defaults.
 pub fn build_all_corpora_on(pool: &Pool, cfg: &ScaleConfig) -> Vec<DatasetCorpus> {
+    let session = Session::from_env().expect("invalid GRACEFUL_* configuration");
+    build_all_corpora_with(pool, &session, cfg)
+}
+
+fn build_all_corpora_with(pool: &Pool, session: &Session, cfg: &ScaleConfig) -> Vec<DatasetCorpus> {
     pool.ordered_map(&DATASET_NAMES, |i, name| {
         let seed = cfg.seed.wrapping_add((i as u64) * 7919);
-        build_corpus(name, cfg, seed).expect("corpus build failed")
+        build_corpus_in(session, name, cfg, seed).expect("corpus build failed")
     })
 }
 

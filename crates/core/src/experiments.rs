@@ -11,9 +11,8 @@ use graceful_card::{ActualCard, CardEstimator, DataDrivenCard, NaiveCard, Sampli
 use graceful_common::config::ScaleConfig;
 use graceful_common::metrics::QErrorSummary;
 use graceful_common::Result;
-use graceful_exec::Executor;
+use graceful_exec::Session;
 use graceful_plan::{build_plan, UdfPlacement, UdfUsage};
-use graceful_runtime::Pool;
 use graceful_storage::Database;
 
 /// The cardinality-annotation ladder of Table III.
@@ -90,7 +89,8 @@ pub fn cross_validate(
     let folds = cfg.folds.clamp(1, n);
     let groups: Vec<Vec<usize>> =
         (0..folds).map(|f| (0..n).filter(|i| i % folds == f).collect()).collect();
-    Pool::from_env().ordered_map(&groups, |f, group| {
+    let pool = Session::from_env().expect("invalid GRACEFUL_* configuration").pool();
+    pool.ordered_map(&groups, |f, group| {
         let train: Vec<&DatasetCorpus> = corpora
             .iter()
             .enumerate()
@@ -264,7 +264,10 @@ impl AdvisorOutcome {
     }
 }
 
-/// Run the advisor over every advisable query of a corpus.
+/// Run the advisor over every advisable query of a corpus, with the engine
+/// configured from the `GRACEFUL_*` environment defaults (experiment-harness
+/// entry point: **panics** on an invalid environment — use
+/// [`run_advisor_in`] to handle configuration errors as values).
 ///
 /// Ground-truth runtimes for both placements come from real execution; the
 /// "Cost" strategy receives the query's actual UDF-filter selectivity.
@@ -276,9 +279,24 @@ pub fn run_advisor(
     seed: u64,
     max_queries: usize,
 ) -> Vec<AdvisorOutcome> {
+    let session = Session::from_env().expect("invalid GRACEFUL_* configuration");
+    run_advisor_in(&session, model, corpus, kind, strategy, seed, max_queries)
+}
+
+/// [`run_advisor`] with an explicit engine [`Session`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_advisor_in(
+    session: &Session,
+    model: &GracefulModel,
+    corpus: &DatasetCorpus,
+    kind: EstimatorKind,
+    strategy: Strategy,
+    seed: u64,
+    max_queries: usize,
+) -> Vec<AdvisorOutcome> {
     let est = kind.build(&corpus.db, seed);
     let advisor = PullUpAdvisor::new(model);
-    let exec = Executor::new(&corpus.db);
+    let exec = session.executor(&corpus.db);
     let mut out = Vec::new();
     for q in corpus.queries.iter().take(max_queries * 3) {
         if out.len() >= max_queries {

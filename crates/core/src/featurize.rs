@@ -4,7 +4,7 @@
 //! [`TypedGraph`] the GNN consumes:
 //!
 //! * **query part** — one node per plan operator with log-scaled estimated
-//!   cardinalities (the representation of Hilprecht & Binnig [11]); TABLE
+//!   cardinalities (the representation of Hilprecht & Binnig \[11\]); TABLE
 //!   and COLUMN nodes feed scans and filters,
 //! * **UDF part** — the transformed DAG of `graceful-cfg` with Table I
 //!   features; `in_rows` comes from the hit-ratio machinery,
@@ -20,7 +20,7 @@ use graceful_card::{CardEstimator, HitRatioEstimator};
 use graceful_cfg::{build_dag, DagConfig, UdfNodeKind};
 use graceful_common::{GracefulError, Result};
 use graceful_nn::TypedGraph;
-use graceful_plan::{Plan, PlanOpKind, Pred, QuerySpec};
+use graceful_plan::{AggFunc, Plan, PlanOpKind, Pred, QuerySpec};
 use graceful_storage::{DataType, Database};
 use graceful_udf::ast::{BinOp, CmpOp};
 use graceful_udf::LibFn;
@@ -51,7 +51,7 @@ pub fn feature_dims() -> Vec<usize> {
     dims[node_type::SCAN] = 1; // log out
     dims[node_type::FILTER] = 4; // log in, log out, n_preds, on_udf
     dims[node_type::JOIN] = 3; // log in_l, log in_r, log out
-    dims[node_type::AGG] = 4; // log in, agg one-hot(3)
+    dims[node_type::AGG] = 1 + AggFunc::ALL.len(); // log in, agg one-hot
     dims[node_type::UDF_PROJECT] = 1; // log in
     dims[node_type::INV] = 6; // log rows, nr_params, dtype counts(4)
     dims[node_type::COMP] = 2 + BinOp::ALL.len() + LibFn::COUNT; // log rows, loop_part, ops, libs
@@ -218,7 +218,8 @@ impl Featurizer {
                 }
                 PlanOpKind::Agg { func, .. } => {
                     let child = op.children[0];
-                    let mut f = vec![log_mag(plan.ops[child].est_out_rows), 0.0, 0.0, 0.0];
+                    let mut f = vec![0.0; 1 + AggFunc::ALL.len()];
+                    f[0] = log_mag(plan.ops[child].est_out_rows);
                     f[1 + func.index()] = 1.0;
                     let agg = g.push(node_type::AGG, f);
                     g.edge(op_node[child], agg);

@@ -1,25 +1,34 @@
 //! Plan execution with exact work accounting.
 //!
+//! [`Executor::run`] dispatches on [`ExecConfig::mode`]: the default
+//! [`ExecMode::Pipeline`] lowers the plan to the physical-operator pipeline
+//! of [`crate::physical`] and streams batches through it, while
+//! [`ExecMode::Materialize`] runs this module's original recursive
+//! interpreter, which fully materializes every intermediate result. Both
+//! produce bit-identical [`QueryRun`]s (values, cardinalities, accounted
+//! work) — the differential suite enforces it — so the materializing path is
+//! kept as the executable reference semantics.
+//!
 //! # Parallelism
 //!
 //! Filter and the UDF operators run on the morsel-driven pool of
-//! `graceful-runtime`: scanned rows are split into `morsel_rows`-row
-//! morsels (`GRACEFUL_MORSEL`), workers pull morsels from a shared queue, and
+//! `graceful-runtime`: rows are split into `morsel_rows`-row morsels
+//! (`GRACEFUL_MORSEL`), workers pull morsels from a shared queue, and
 //! per-morsel results — kept rows, projected values, accounted work — merge
 //! in morsel-index order. Work totals are grouped *per morsel* regardless of
 //! the thread count, so every `QueryRun` field is **bit-identical for any
 //! `GRACEFUL_THREADS` value** (enforced by `tests/parallel_determinism.rs`).
-//! Each worker owns its UDF evaluation state: one tree-walking interpreter,
-//! or one batch VM whose register file is preallocated once ([`Vm::warm`])
-//! and reused across all morsels the worker pulls.
+//! Each worker owns its UDF evaluation state through the [`crate::udf_eval`]
+//! layer: one tree-walking interpreter, or one batch VM whose register file
+//! is preallocated once and reused across all morsels the worker pulls.
 
-use graceful_common::config::{self, udf_batch_from_env, UdfBackend};
+use crate::udf_eval::UdfEvalSpec;
+use graceful_common::config::{self, ExecMode, UdfBackend};
 use graceful_common::{GracefulError, Result};
 use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind};
 use graceful_runtime::Pool;
-use graceful_storage::{ColumnData, Database, Table, Value};
-use graceful_udf::simd::{self, TypedCol};
-use graceful_udf::{compile, CostCounter, CostWeights, Interpreter, SimdShape, Vm};
+use graceful_storage::{Database, Table, Value};
+use graceful_udf::CostWeights;
 use std::collections::HashMap;
 
 /// Per-row work-unit weights of the relational operators (≈ simulated
@@ -55,6 +64,12 @@ impl Default for OperatorWeights {
 }
 
 /// Executor configuration.
+///
+/// [`ExecConfig::base`] (also `Default`) is **pure** — fixed defaults, no
+/// environment reads. [`ExecConfig::from_env`] resolves the documented
+/// `GRACEFUL_*` defaults exactly once, surfacing invalid values as typed
+/// [`GracefulError::Config`] errors. Prefer constructing through
+/// [`crate::Session`] / [`crate::ExecOptions`], which validate every field.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
     pub weights: OperatorWeights,
@@ -64,67 +79,89 @@ pub struct ExecConfig {
     /// Mimics the irreducible noise of the paper's wall-clock labels without
     /// sacrificing reproducibility.
     pub jitter: f64,
-    /// Safety cap on intermediate result sizes.
+    /// Safety cap on intermediate result sizes: any operator whose output
+    /// exceeds it aborts the query with a typed error instead of eating the
+    /// machine's memory.
     pub max_intermediate_rows: usize,
     /// Which UDF evaluation backend serves `UdfFilter` / `UdfProject`.
-    /// Both produce identical values and accounted work; see
-    /// [`UdfBackend`]. Defaults from `GRACEFUL_UDF_BACKEND`.
+    /// All backends produce identical values and accounted work; see
+    /// [`UdfBackend`].
     pub udf_backend: UdfBackend,
     /// Rows per batch fed to the UDF VM (ignored by the tree-walker).
-    /// Defaults from `GRACEFUL_UDF_BATCH`.
     pub udf_batch_size: usize,
-    /// Worker threads for the morsel-driven operator paths. Defaults from
-    /// `GRACEFUL_THREADS` (all cores). Never changes results — only
-    /// wall-clock time.
+    /// Worker threads for the morsel-driven operator paths. Never changes
+    /// results — only wall-clock time.
     pub threads: usize,
-    /// Rows per morsel for the parallel operator paths. Defaults from
-    /// `GRACEFUL_MORSEL`. Fixes the work-accounting float grouping, so runs
-    /// with the same morsel size are bit-identical at any thread count.
+    /// Rows per morsel for the parallel operator paths. Fixes the
+    /// work-accounting float grouping, so runs with the same morsel size are
+    /// bit-identical at any thread count.
     pub morsel_rows: usize,
+    /// Execution strategy; see [`ExecMode`]. Both modes are bit-identical.
+    pub mode: ExecMode,
 }
 
-impl Default for ExecConfig {
-    fn default() -> Self {
+impl ExecConfig {
+    /// The pure baseline configuration: fixed defaults, no environment
+    /// reads, machine thread count from `available_parallelism`.
+    pub fn base() -> Self {
         ExecConfig {
             weights: OperatorWeights::default(),
             udf_weights: CostWeights::default(),
             jitter: 0.03,
             max_intermediate_rows: 20_000_000,
-            udf_backend: UdfBackend::from_env(),
-            udf_batch_size: udf_batch_from_env(),
-            threads: config::threads_from_env(),
-            morsel_rows: config::morsel_from_env(),
+            udf_backend: UdfBackend::default(),
+            udf_batch_size: config::DEFAULT_UDF_BATCH,
+            threads: config::default_threads(),
+            morsel_rows: config::DEFAULT_MORSEL_ROWS,
+            mode: ExecMode::default(),
         }
+    }
+
+    /// [`ExecConfig::base`] with the documented `GRACEFUL_*` environment
+    /// defaults applied (`GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`,
+    /// `GRACEFUL_THREADS`, `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`). Invalid
+    /// values are a typed [`GracefulError::Config`], not a panic.
+    pub fn from_env() -> Result<Self> {
+        let cfg = GracefulError::Config;
+        Ok(ExecConfig {
+            udf_backend: UdfBackend::try_from_env().map_err(cfg)?,
+            udf_batch_size: config::try_udf_batch_from_env().map_err(cfg)?,
+            threads: config::try_threads_from_env().map_err(cfg)?,
+            morsel_rows: config::try_morsel_from_env().map_err(cfg)?,
+            mode: ExecMode::try_from_env().map_err(cfg)?,
+            ..ExecConfig::base()
+        })
+    }
+
+    /// Check the numeric invariants the engine relies on, returning `self`
+    /// unchanged. [`crate::ExecOptions::build`] funnels every construction
+    /// path through here.
+    pub fn validated(self) -> Result<Self> {
+        let bad = |m: String| Err(GracefulError::Config(m));
+        if self.udf_batch_size == 0 {
+            return bad("udf_batch_size must be >= 1".into());
+        }
+        if self.morsel_rows == 0 {
+            return bad("morsel_rows must be >= 1".into());
+        }
+        if self.threads == 0 {
+            return bad("threads must be >= 1".into());
+        }
+        if self.max_intermediate_rows == 0 {
+            return bad("max_intermediate_rows must be >= 1".into());
+        }
+        if !self.jitter.is_finite() || !(0.0..=1.0).contains(&self.jitter) {
+            return bad(format!("jitter must be a finite fraction in [0, 1], got {}", self.jitter));
+        }
+        Ok(self)
     }
 }
 
-/// Per-worker UDF evaluation state: every pool worker owns one backend
-/// instance plus the scratch buffers of its morsel loop, so parallel
-/// evaluation never contends and never reallocates per row.
-enum UdfWorker {
-    Tree {
-        interp: Interpreter,
-        /// Argument gather buffer, reused across rows.
-        args: Vec<Value>,
-    },
-    Vm {
-        vm: Vm,
-        /// Columnar gather buffers, one per UDF parameter.
-        col_bufs: Vec<Vec<Value>>,
-        /// Batch output buffer.
-        outs: Vec<Value>,
-    },
-    /// The typed columnar fast path: batches gather straight from the
-    /// storage columns' typed slices into unboxed lane buffers — no `Value`
-    /// boxing on the way in. Rows the columnar executor cannot carry fall
-    /// back to the per-row VM inside `simd::eval_batch_typed`.
-    Simd {
-        vm: Vm,
-        /// Unboxed gather buffers, one per UDF parameter.
-        typed_bufs: Vec<TypedCol>,
-        /// Batch output buffer.
-        outs: Vec<Value>,
-    },
+impl Default for ExecConfig {
+    /// Same as [`ExecConfig::base`] — pure, no environment reads.
+    fn default() -> Self {
+        ExecConfig::base()
+    }
 }
 
 /// Result of executing one plan.
@@ -141,6 +178,12 @@ pub struct QueryRun {
     pub agg_value: f64,
     /// Rows fed into the UDF operator (0 when the plan has none).
     pub udf_input_rows: usize,
+    /// Approximate peak number of intermediate rows resident at once — the
+    /// memory-footprint gauge the pipeline-vs-materialized bench records.
+    /// This is an execution-strategy metric, **not** part of the
+    /// bit-identity contract: the pipeline executor's whole point is that it
+    /// stays far below the materializing executor's peak.
+    pub peak_inter_rows: usize,
 }
 
 impl QueryRun {
@@ -194,15 +237,39 @@ impl<'a> Executor<'a> {
 
     /// Execute `plan`; `seed` keys the deterministic runtime jitter (pass the
     /// query id so re-running the same query gives the same "measurement").
+    ///
+    /// Dispatches on [`ExecConfig::mode`]; both modes return bit-identical
+    /// `QueryRun`s (aside from the [`QueryRun::peak_inter_rows`] gauge).
     pub fn run(&self, plan: &Plan, seed: u64) -> Result<QueryRun> {
+        match self.config.mode {
+            ExecMode::Pipeline => self.run_pipelined(plan, seed),
+            ExecMode::Materialize => self.run_materialized(plan, seed),
+        }
+    }
+
+    /// Execute through the physical-operator pipeline (see
+    /// [`crate::physical`]), regardless of the configured mode.
+    pub fn run_pipelined(&self, plan: &Plan, seed: u64) -> Result<QueryRun> {
+        crate::physical::execute(self.db, plan, &self.config, seed)
+    }
+
+    /// Execute with the original materializing interpreter, regardless of
+    /// the configured mode: every operator fully materializes its output
+    /// before its parent runs. Kept as the differential-testing reference.
+    pub fn run_materialized(&self, plan: &Plan, seed: u64) -> Result<QueryRun> {
         plan.validate()?;
         let mut out_rows = vec![0usize; plan.ops.len()];
         let mut op_work = vec![0f64; plan.ops.len()];
         let mut udf_input_rows = 0usize;
         let mut agg_value = 0.0;
+        let mut peak_inter_rows = 0usize;
         let mut results: Vec<Option<Inter>> = (0..plan.ops.len()).map(|_| None).collect();
         for idx in 0..plan.ops.len() {
             let op = &plan.ops[idx];
+            // Rows resident while this operator runs: every live
+            // intermediate (its inputs included — they are only dropped
+            // when the operator returns) plus the output it materializes.
+            let live_before: usize = results.iter().flatten().map(Inter::n_rows).sum();
             let inter = match &op.kind {
                 PlanOpKind::Scan { table } => {
                     let t = self.db.table(table)?;
@@ -253,11 +320,18 @@ impl<'a> Executor<'a> {
                     out_rows[idx]
                 )));
             }
+            peak_inter_rows = peak_inter_rows.max(live_before + inter.n_rows());
             results[idx] = Some(inter);
         }
         let total: f64 = op_work.iter().sum();
         let runtime_ns = total * jitter_factor(seed, self.config.jitter);
-        Ok(QueryRun { runtime_ns, out_rows, op_work, agg_value, udf_input_rows })
+        Ok(QueryRun { runtime_ns, out_rows, op_work, agg_value, udf_input_rows, peak_inter_rows })
+    }
+
+    /// Lower `plan` into its physical-operator pipelines without executing
+    /// — the EXPLAIN-level view of what [`ExecMode::Pipeline`] will run.
+    pub fn physical_plan<'p>(&self, plan: &'p Plan) -> Result<crate::physical::PhysicalPlan<'p>> {
+        crate::physical::lower(plan)
     }
 
     /// Execute and write the actual cardinalities back onto the plan.
@@ -402,12 +476,13 @@ impl<'a> Executor<'a> {
     /// bookkeeping).
     ///
     /// Rows are split into `morsel_rows`-row morsels executed on the pool;
-    /// each worker owns one backend instance (tree-walking interpreter, or
-    /// batch VM warmed once and reused across its morsels). Work is summed
-    /// per morsel and merged in morsel-index order, so the accounted totals
-    /// are bit-identical for any thread count. The two backends still only
-    /// differ in float summation *grouping* (per row vs per batch within a
-    /// morsel), which changes `op_work` by at most rounding in the last ulps.
+    /// each worker owns one [`UdfEval`] instance (tree-walking interpreter,
+    /// or batch VM warmed once and reused across its morsels). Work is
+    /// summed per morsel and merged in morsel-index order, so the accounted
+    /// totals are bit-identical for any thread count. The backends still
+    /// only differ in float summation *grouping* (per row vs per batch
+    /// within a morsel), which changes `op_work` by at most rounding in the
+    /// last ulps.
     fn exec_udf_rows(
         &self,
         udf: &graceful_udf::GeneratedUdf,
@@ -418,127 +493,16 @@ impl<'a> Executor<'a> {
     ) -> Result<()> {
         let (pos, cols) = self.udf_args(udf, child)?;
         let n = child.n_rows();
-        let backend = self.config.udf_backend;
-        let prog = match backend {
-            UdfBackend::Vm | UdfBackend::Simd => Some(compile(&udf.def)?),
-            UdfBackend::TreeWalk => None,
-        };
-        let prog = prog.as_ref();
-        // Columnar eligibility, decided once per operator: the program needs
-        // a vectorizable path and every input column a typed (non-Text)
-        // storage slice. Ineligible operators run the plain batch VM — the
-        // two produce bit-identical values and costs either way.
-        let simd_shape: Option<SimdShape> = if backend == UdfBackend::Simd {
-            let t = self.table(&udf.table)?;
-            let typed = udf.input_columns.iter().all(|c| {
-                matches!(
-                    t.column_typed(c),
-                    Ok((ColumnData::Int(_) | ColumnData::Float(_) | ColumnData::Bool(_), _))
-                )
-            });
-            prog.map(|p| p.simd_shape()).filter(|s| s.has_fast_path && typed)
-        } else {
-            None
-        };
-        let simd_shape = simd_shape.as_ref();
-        let batch = self.config.udf_batch_size.max(1);
+        let spec = UdfEvalSpec::prepare(
+            udf,
+            cols,
+            self.config.udf_backend,
+            self.config.udf_weights.clone(),
+            self.config.udf_batch_size,
+            per_row_overhead,
+        )?;
         let morsel = self.config.morsel_rows.max(1);
-        let weights = &self.config.udf_weights;
-        let parts: Vec<Result<(f64, Vec<Value>)>> = self.pool().map_init(
-            Pool::morsel_count(n, morsel),
-            || match backend {
-                UdfBackend::TreeWalk => UdfWorker::Tree {
-                    interp: Interpreter::new(weights.clone()),
-                    args: Vec::with_capacity(cols.len()),
-                },
-                UdfBackend::Simd if simd_shape.is_some() => {
-                    let mut vm = Vm::new(weights.clone());
-                    vm.warm(prog.expect("program compiled for SIMD backend"));
-                    UdfWorker::Simd {
-                        vm,
-                        typed_bufs: cols
-                            .iter()
-                            .map(|c| {
-                                TypedCol::for_type(c.data_type(), batch)
-                                    .expect("eligibility checked non-Text")
-                            })
-                            .collect(),
-                        outs: Vec::with_capacity(batch),
-                    }
-                }
-                UdfBackend::Vm | UdfBackend::Simd => {
-                    let mut vm = Vm::new(weights.clone());
-                    vm.warm(prog.expect("program compiled for VM backend"));
-                    UdfWorker::Vm {
-                        vm,
-                        col_bufs: cols.iter().map(|_| Vec::with_capacity(batch)).collect(),
-                        outs: Vec::with_capacity(batch),
-                    }
-                }
-            },
-            |worker, m| {
-                let range = Pool::morsel_range(m, n, morsel);
-                let mut morsel_work = 0.0f64;
-                let mut values = Vec::with_capacity(range.len());
-                match worker {
-                    UdfWorker::Tree { interp, args } => {
-                        for r in range {
-                            let rid = child.row_id(r, pos) as usize;
-                            args.clear();
-                            args.extend(cols.iter().map(|c| c.value(rid)));
-                            let out = interp.eval(&udf.def, args)?;
-                            morsel_work += out.cost.total + per_row_overhead;
-                            values.push(out.value);
-                        }
-                    }
-                    UdfWorker::Vm { vm, col_bufs, outs } => {
-                        let prog = prog.expect("program compiled for VM backend");
-                        let mut start = range.start;
-                        while start < range.end {
-                            let end = (start + batch).min(range.end);
-                            for buf in col_bufs.iter_mut() {
-                                buf.clear();
-                            }
-                            for r in start..end {
-                                let rid = child.row_id(r, pos) as usize;
-                                for (buf, col) in col_bufs.iter_mut().zip(cols.iter()) {
-                                    buf.push(col.value(rid));
-                                }
-                            }
-                            outs.clear();
-                            let mut cost = CostCounter::new();
-                            let col_slices: Vec<&[Value]> =
-                                col_bufs.iter().map(|b| b.as_slice()).collect();
-                            vm.eval_batch(prog, &col_slices, outs, &mut cost)?;
-                            morsel_work += cost.total + (end - start) as f64 * per_row_overhead;
-                            values.append(outs);
-                            start = end;
-                        }
-                    }
-                    UdfWorker::Simd { vm, typed_bufs, outs } => {
-                        let prog = prog.expect("program compiled for SIMD backend");
-                        let shape = simd_shape.expect("shape checked for SIMD worker");
-                        let mut start = range.start;
-                        while start < range.end {
-                            let end = (start + batch).min(range.end);
-                            for (buf, col) in typed_bufs.iter_mut().zip(cols.iter()) {
-                                buf.fill_from_column(
-                                    col,
-                                    (start..end).map(|r| child.row_id(r, pos) as usize),
-                                )?;
-                            }
-                            outs.clear();
-                            let mut cost = CostCounter::new();
-                            simd::eval_batch_typed(vm, prog, shape, typed_bufs, outs, &mut cost)?;
-                            morsel_work += cost.total + (end - start) as f64 * per_row_overhead;
-                            values.append(outs);
-                            start = end;
-                        }
-                    }
-                }
-                Ok((morsel_work, values))
-            },
-        );
+        let parts = spec.eval_morsels(&self.pool(), n, morsel, |r| child.row_id(r, pos) as usize);
         // Ordered merge: work totals and output rows in morsel-index order
         // (== row order); the first failing morsel wins deterministically.
         for (m, part) in parts.into_iter().enumerate() {
@@ -590,50 +554,110 @@ impl<'a> Executor<'a> {
 
     fn exec_agg(&self, func: AggFunc, column: Option<&ColRef>, child: &Inter) -> Result<f64> {
         let n = child.n_rows();
-        match func {
-            AggFunc::CountStar => Ok(n as f64),
-            AggFunc::Sum | AggFunc::Avg => {
-                let mut sum = 0.0;
-                let mut count = 0usize;
-                match column {
-                    Some(c) => {
-                        let pos = child.table_pos(&c.table).ok_or_else(|| {
-                            GracefulError::InvalidPlan(format!("agg on unbound table {}", c.table))
-                        })?;
-                        let col = self.table(&c.table)?.column(&c.column)?;
-                        for r in 0..n {
-                            if let Some(v) = col.get_f64(child.row_id(r, pos) as usize) {
-                                sum += v;
-                                count += 1;
-                            }
-                        }
-                    }
-                    None => {
-                        // Aggregate the UDF-projected column.
-                        let computed = child.computed.as_ref().ok_or_else(|| {
-                            GracefulError::InvalidPlan(
-                                "agg over UDF output requires a UdfProject below".into(),
-                            )
-                        })?;
-                        for v in computed {
-                            if let Some(x) = v.as_f64() {
-                                sum += x;
-                                count += 1;
-                            }
-                        }
-                    }
+        if func == AggFunc::CountStar {
+            return Ok(n as f64);
+        }
+        let mut state = AggState::new(func);
+        match column {
+            Some(c) => {
+                let pos = child.table_pos(&c.table).ok_or_else(|| {
+                    GracefulError::InvalidPlan(format!("agg on unbound table {}", c.table))
+                })?;
+                let col = self.table(&c.table)?.column(&c.column)?;
+                for r in 0..n {
+                    state.observe(col.get_f64(child.row_id(r, pos) as usize));
                 }
-                if func == AggFunc::Avg {
-                    Ok(if count > 0 { sum / count as f64 } else { 0.0 })
+            }
+            None => {
+                // Aggregate the UDF-projected column.
+                let computed = child.computed.as_ref().ok_or_else(|| {
+                    GracefulError::InvalidPlan(
+                        "agg over UDF output requires a UdfProject below".into(),
+                    )
+                })?;
+                for v in computed {
+                    state.observe(v.as_f64());
+                }
+            }
+        }
+        Ok(state.finish())
+    }
+}
+
+/// Streaming aggregate accumulator shared by both executor modes, so their
+/// float fold order is identical by construction. Values are observed **in
+/// row order**; `Sum`/`Avg` left-fold `sum += v`, `Min`/`Max` left-fold
+/// through `f64::min`/`f64::max` (NaN inputs are absorbed per IEEE min/max).
+///
+/// Empty-input semantics are pinned: `COUNT(*)` of zero rows is 0, and
+/// `SUM`/`AVG`/`MIN`/`MAX` over zero observed values are 0.0 (the engine's
+/// aggregate channel is a plain `f64`; there is no NULL).
+pub(crate) struct AggState {
+    func: AggFunc,
+    /// Input rows seen (including NULLs) — the `COUNT(*)` tally.
+    rows: usize,
+    sum: f64,
+    /// Non-NULL values observed.
+    count: usize,
+    extreme: f64,
+}
+
+impl AggState {
+    pub(crate) fn new(func: AggFunc) -> Self {
+        AggState { func, rows: 0, sum: 0.0, count: 0, extreme: 0.0 }
+    }
+
+    /// Count `n` input rows without touching values (the `COUNT(*)` path,
+    /// which never reads a column).
+    pub(crate) fn count_rows(&mut self, n: usize) {
+        self.rows += n;
+    }
+
+    /// Observe one row's value in row order (`None` = NULL / non-numeric).
+    #[inline]
+    pub(crate) fn observe(&mut self, v: Option<f64>) {
+        self.rows += 1;
+        let Some(v) = v else { return };
+        match self.func {
+            AggFunc::CountStar => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum += v;
+                self.count += 1;
+            }
+            AggFunc::Min => {
+                self.extreme = if self.count == 0 { v } else { self.extreme.min(v) };
+                self.count += 1;
+            }
+            AggFunc::Max => {
+                self.extreme = if self.count == 0 { v } else { self.extreme.max(v) };
+                self.count += 1;
+            }
+        }
+    }
+
+    pub(crate) fn finish(&self) -> f64 {
+        match self.func {
+            AggFunc::CountStar => self.rows as f64,
+            AggFunc::Sum => self.sum,
+            AggFunc::Avg => {
+                if self.count > 0 {
+                    self.sum / self.count as f64
                 } else {
-                    Ok(sum)
+                    0.0
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if self.count > 0 {
+                    self.extreme
+                } else {
+                    0.0
                 }
             }
         }
     }
 }
 
-fn cmp_f64(op: graceful_udf::ast::CmpOp, a: f64, b: f64) -> bool {
+pub(crate) fn cmp_f64(op: graceful_udf::ast::CmpOp, a: f64, b: f64) -> bool {
     use graceful_udf::ast::CmpOp::*;
     match op {
         Lt => a < b,
@@ -646,7 +670,7 @@ fn cmp_f64(op: graceful_udf::ast::CmpOp, a: f64, b: f64) -> bool {
 }
 
 /// Deterministic multiplicative jitter in `[1-amp, 1+amp]`, keyed by `seed`.
-fn jitter_factor(seed: u64, amp: f64) -> f64 {
+pub(crate) fn jitter_factor(seed: u64, amp: f64) -> f64 {
     // SplitMix64 scramble → uniform in [0,1).
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -954,6 +978,131 @@ mod tests {
             return;
         }
         panic!("no UDF query generated");
+    }
+
+    #[test]
+    fn pipeline_is_bit_identical_to_materialized_on_generated_queries() {
+        // The pipeline executor must reproduce the materializing engine
+        // exactly: every QueryRun value, cardinality and per-operator work
+        // total, bit for bit, across UDF backends × thread counts × batch
+        // sizes, in every valid UDF placement.
+        let mut database = db();
+        let g = QueryGenerator::default();
+        let mut rng = Rng::seed(47);
+        let mut checked = 0;
+        for id in 0..80 {
+            let spec = g.generate(&database, id, &mut rng).unwrap();
+            if let Some(u) = &spec.udf {
+                apply_adaptations(&mut database, &u.adaptations).unwrap();
+            }
+            for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
+                for threads in [1usize, 4] {
+                    let cfg = |mode| ExecConfig {
+                        udf_backend: backend,
+                        udf_batch_size: 37,
+                        threads,
+                        morsel_rows: 64,
+                        mode,
+                        ..ExecConfig::default()
+                    };
+                    let mat = Executor::with_config(&database, cfg(ExecMode::Materialize));
+                    let pipe = Executor::with_config(&database, cfg(ExecMode::Pipeline));
+                    for placement in graceful_plan::valid_placements(&spec) {
+                        let plan = match build_plan(&spec, placement) {
+                            Ok(p) => p,
+                            Err(_) => continue,
+                        };
+                        let a = mat.run(&plan, id).unwrap();
+                        let b = pipe.run(&plan, id).unwrap();
+                        assert_eq!(a.out_rows, b.out_rows, "cardinalities (query {id})");
+                        assert_eq!(a.udf_input_rows, b.udf_input_rows, "udf rows (query {id})");
+                        assert_eq!(
+                            a.agg_value.to_bits(),
+                            b.agg_value.to_bits(),
+                            "answers (query {id}): {} vs {}",
+                            a.agg_value,
+                            b.agg_value
+                        );
+                        assert_eq!(
+                            a.runtime_ns.to_bits(),
+                            b.runtime_ns.to_bits(),
+                            "runtimes (query {id}, {backend:?}, {threads} threads): {} vs {}",
+                            a.runtime_ns,
+                            b.runtime_ns
+                        );
+                        for (i, (x, y)) in a.op_work.iter().zip(b.op_work.iter()).enumerate() {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "op_work[{i}] (query {id}): {x} vs {y}"
+                            );
+                        }
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked >= 100, "only {checked} plans compared");
+    }
+
+    #[test]
+    fn pipeline_peaks_below_materialized_on_join_plans() {
+        // The memory story: a join + filter chain must keep fewer rows
+        // resident in the pipeline than under full materialization.
+        let db = db();
+        use graceful_plan::{ColRef, Plan, PlanOp};
+        let plan = Plan {
+            ops: vec![
+                PlanOp::new(PlanOpKind::Scan { table: "lineitem_t".into() }, vec![]),
+                PlanOp::new(PlanOpKind::Scan { table: "orders_t".into() }, vec![]),
+                PlanOp::new(
+                    PlanOpKind::Join {
+                        left_col: ColRef::new("lineitem_t", "order_id"),
+                        right_col: ColRef::new("orders_t", "id"),
+                    },
+                    vec![0, 1],
+                ),
+                PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![2]),
+            ],
+            root: 3,
+        };
+        let cfg = |mode| ExecConfig { threads: 1, morsel_rows: 256, mode, ..ExecConfig::default() };
+        let mat = Executor::with_config(&db, cfg(ExecMode::Materialize)).run(&plan, 1).unwrap();
+        let pipe = Executor::with_config(&db, cfg(ExecMode::Pipeline)).run(&plan, 1).unwrap();
+        assert_eq!(mat.agg_value, pipe.agg_value);
+        assert!(
+            pipe.peak_inter_rows < mat.peak_inter_rows,
+            "pipeline resident rows {} should undercut materialized {}",
+            pipe.peak_inter_rows,
+            mat.peak_inter_rows
+        );
+    }
+
+    #[test]
+    fn physical_plan_explains_pipeline_structure() {
+        let db = db();
+        use graceful_plan::{ColRef, Plan, PlanOp};
+        let plan = Plan {
+            ops: vec![
+                PlanOp::new(PlanOpKind::Scan { table: "orders_t".into() }, vec![]),
+                PlanOp::new(PlanOpKind::Scan { table: "customer_t".into() }, vec![]),
+                PlanOp::new(
+                    PlanOpKind::Join {
+                        left_col: ColRef::new("orders_t", "cust_id"),
+                        right_col: ColRef::new("customer_t", "id"),
+                    },
+                    vec![0, 1],
+                ),
+                PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![2]),
+            ],
+            root: 3,
+        };
+        let phys = Executor::new(&db).physical_plan(&plan).unwrap();
+        assert_eq!(phys.pipelines.len(), 2, "build pipeline + probe pipeline");
+        let text = phys.explain();
+        assert!(text.contains("HASH_BUILD customer_t.id"), "{text}");
+        assert!(text.contains("HASH_PROBE orders_t.cust_id"), "{text}");
+        assert!(text.contains("AGG COUNT(*)"), "{text}");
     }
 
     #[test]

@@ -2,23 +2,46 @@
 //!
 //! [`Executor`] really executes logical plans over `graceful-storage` data —
 //! hash joins build and probe real hash tables, filters evaluate real
-//! predicates, UDFs are interpreted row by row — and *accounts* every unit of
-//! work into a deterministic simulated runtime (see `graceful-udf::costs` for
-//! why simulated time replaces wall clocks). Execution also yields the
-//! per-operator **actual cardinalities**, which serve as the paper's
-//! "Actual" cardinality annotation oracle and as ground truth for evaluating
-//! the other estimators.
+//! predicates, UDFs are evaluated row by row or in typed batches — and
+//! *accounts* every unit of work into a deterministic simulated runtime (see
+//! `graceful-udf::costs` for why simulated time replaces wall clocks).
+//! Execution also yields the per-operator **actual cardinalities**, which
+//! serve as the paper's "Actual" cardinality annotation oracle and as ground
+//! truth for evaluating the other estimators.
+//!
+//! The crate is layered as a small vectorized engine:
+//!
+//! * [`session`] — [`Session`] / [`ExecOptions`], the validated programmatic
+//!   configuration API (environment variables are only documented defaults,
+//!   applied once by [`Session::from_env`]);
+//! * [`physical`] — the default executor: [`physical::lower`] turns a plan
+//!   into explicit [`physical::PhysicalPlan`] pipelines of
+//!   [`physical::Operator`]s that stream row [`physical::Batch`]es, keeping
+//!   peak memory at O(threads × morsel × depth) for non-blocking chains;
+//! * [`engine`] — [`ExecConfig`], [`QueryRun`] and the original
+//!   materializing interpreter (`ExecMode::Materialize`), kept as the
+//!   bit-identical differential reference;
+//! * [`udf_eval`] — the unified [`udf_eval::UdfEval`] trait with
+//!   tree-walker / batch-VM / columnar-SIMD implementors behind both
+//!   executors.
 //!
 //! Filter and the UDF operators run morsel-parallel on the
-//! `graceful-runtime` pool (`GRACEFUL_THREADS` workers, `GRACEFUL_MORSEL`
-//! rows per morsel); scans (an identity row-id fill), joins and aggregates
-//! stay sequential. Work accounting
-//! is grouped per morsel and merged in morsel-index order, so results and
-//! accounted runtimes are **bit-identical for any thread count** — the
-//! paper's effects (UDF cost ∝ rows × code path, join cost ∝ input sizes,
-//! pull-up crossovers) and the experiment labels never depend on the
-//! machine's parallelism.
+//! `graceful-runtime` pool; scans (an identity row-id fill), hash-join
+//! build/probe and aggregates stay sequential. Work accounting is grouped
+//! per morsel and merged in morsel-index order, so results and accounted
+//! runtimes are **bit-identical for any thread count, UDF backend, batch
+//! size and executor mode** — the paper's effects (UDF cost ∝ rows × code
+//! path, join cost ∝ input sizes, pull-up crossovers) and the experiment
+//! labels never depend on the machine's parallelism or the engine's
+//! execution strategy.
 
 pub mod engine;
+pub mod physical;
+pub mod session;
+pub mod udf_eval;
 
 pub use engine::{ExecConfig, Executor, OperatorWeights, QueryRun};
+pub use graceful_common::config::ExecMode;
+pub use physical::{Batch, Operator, PhysicalOp, PhysicalOpKind, PhysicalPlan, Pipeline};
+pub use session::{ExecOptions, Session};
+pub use udf_eval::{UdfEval, UdfEvalSpec};

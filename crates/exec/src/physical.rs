@@ -1,0 +1,1027 @@
+//! The physical-operator pipeline executor.
+//!
+//! [`lower`] turns a logical [`Plan`] into a [`PhysicalPlan`]: a set of
+//! [`Pipeline`]s, each a scan source followed by streaming operators and
+//! terminated by a sink (hash-join build, aggregate, or plain collect).
+//! [`execute`] then pushes fixed-size [`Batch`]es of row ids through each
+//! pipeline's [`Operator`] chain, so peak memory for a non-blocking chain is
+//! bounded by O(threads × morsel × pipeline depth) instead of the full
+//! intermediate cardinality the materializing executor holds. Hash-join
+//! build sides are the one deliberate exception — a build side is
+//! materialized by construction, exactly as in any hash-join engine.
+//!
+//! # Bit-identity with the materializing executor
+//!
+//! The pipeline reproduces `ExecMode::Materialize` *exactly* — every
+//! `QueryRun` value, cardinality and accounted work total is bit-identical,
+//! at every thread count, batch size and UDF backend. Floats make this a
+//! scheduling problem, not just a semantics problem; three rules solve it:
+//!
+//! 1. **Morsel-aligned rebatching.** Each parallel operator buffers its
+//!    input and only evaluates *complete* `morsel_rows`-row morsels
+//!    mid-stream (the ragged tail waits for `finish`). An operator's morsel
+//!    boundaries therefore sit at the same row offsets of its input stream
+//!    as the materializing engine's `Pool::morsel_range` partition — no
+//!    matter how the upstream operators batched their output — so per-morsel
+//!    work sums group identically.
+//! 2. **Ordered merges.** Per-morsel results merge in morsel-index order
+//!    (the runtime's standard contract), and `work` accumulators fold those
+//!    sums in the same order as the materializing loop.
+//! 3. **Closed-form charges at `finish`.** Work terms the materializing
+//!    engine computes from whole-input counts (`n × scan_row`,
+//!    `n × preds × filter_pred`, the join build/probe/output terms,
+//!    `n × agg_row`) are charged once at finish from the same counts with
+//!    the same expressions, not accumulated per batch.
+//!
+//! Flush timing — how many full morsels an operator queues before running
+//! them in parallel — affects only wall-clock behaviour, never boundaries or
+//! merge order, so results are independent of the thread count.
+//!
+//! Structural plan validation (unbound tables, missing UdfProject below an
+//! aggregate) happens during lowering or operator construction, before rows
+//! flow; data-dependent errors (the `max_intermediate_rows` valve) surface
+//! mid-stream as typed [`GracefulError::InvalidPlan`] just like the
+//! materializing path.
+
+use crate::engine::{cmp_f64, jitter_factor, AggState, ExecConfig, QueryRun};
+use crate::udf_eval::UdfEvalSpec;
+use graceful_common::{GracefulError, Result};
+use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind, Pred};
+use graceful_runtime::Pool;
+use graceful_storage::{Column, Database, Table, Value};
+use graceful_udf::ast::CmpOp;
+use graceful_udf::GeneratedUdf;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Physical plan representation (pure lowering, no data access)
+
+/// A lowered plan: pipelines in execution order (every hash-join build
+/// pipeline precedes the pipeline that probes it; the final pipeline carries
+/// the root).
+#[derive(Debug)]
+pub struct PhysicalPlan<'p> {
+    pub pipelines: Vec<Pipeline<'p>>,
+}
+
+/// One streaming chain: `ops[0]` is always [`PhysicalOpKind::Scan`], the
+/// last element is a sink (`HashJoinBuild`, `Agg` or `Collect`), and
+/// everything between streams batches.
+#[derive(Debug)]
+pub struct Pipeline<'p> {
+    pub ops: Vec<PhysicalOp<'p>>,
+}
+
+/// One physical operator node plus the logical plan operator it accounts its
+/// work and output cardinality to (`None` for nodes that are bookkeeping
+/// halves of a logical operator, like the build side of a join, or pure
+/// terminators like `Collect`).
+#[derive(Debug)]
+pub struct PhysicalOp<'p> {
+    pub kind: PhysicalOpKind<'p>,
+    pub plan_idx: Option<usize>,
+}
+
+/// Physical operator kinds. `stride` fields are the width (bound base
+/// tables) of the operator's *input* row tuples; `pos` fields are resolved
+/// first-occurrence positions within that tuple.
+#[derive(Debug)]
+pub enum PhysicalOpKind<'p> {
+    /// Source: emits morsel-sized batches of consecutive row ids.
+    Scan { table: &'p str },
+    /// Conjunctive predicate filter; `positions[i]` locates `preds[i]`'s
+    /// table in the input tuple.
+    Filter { preds: &'p [Pred], positions: Vec<usize>, stride: usize },
+    /// Filter on a UDF's output: `udf(args...) cmp literal`.
+    UdfFilter { udf: &'p GeneratedUdf, cmp: CmpOp, literal: f64, pos: usize, stride: usize },
+    /// Compute the UDF per row as a projected column travelling with the
+    /// batch (consumed by `Agg`).
+    UdfProject { udf: &'p GeneratedUdf, pos: usize, stride: usize },
+    /// Pipeline-breaking sink: materializes its input as a hash table keyed
+    /// by `key`; the owning pipeline's result is consumed by the matching
+    /// `HashJoinProbe`.
+    HashJoinBuild { key: &'p ColRef, pos: usize, stride: usize },
+    /// Streaming probe against build pipeline `build` (an index into
+    /// [`PhysicalPlan::pipelines`]); emits `left ++ build` tuples.
+    HashJoinProbe { key: &'p ColRef, pos: usize, stride: usize, build: usize },
+    /// Final aggregate sink. `column` is `Some((col, pos))` for a base-table
+    /// aggregate; `None` aggregates the UDF-projected column
+    /// (`expects_computed` records whether the direct child is a
+    /// `UdfProject`, the structural requirement for that).
+    Agg {
+        func: AggFunc,
+        column: Option<(&'p ColRef, usize)>,
+        expects_computed: bool,
+        stride: usize,
+    },
+    /// Terminator for non-aggregate roots: swallows batches (the root
+    /// operator's counts were already accounted by the node producing them).
+    Collect,
+}
+
+impl PhysicalOpKind<'_> {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOpKind::Scan { .. } => "SCAN",
+            PhysicalOpKind::Filter { .. } => "FILTER",
+            PhysicalOpKind::UdfFilter { .. } => "UDF_FILTER",
+            PhysicalOpKind::UdfProject { .. } => "UDF_PROJECT",
+            PhysicalOpKind::HashJoinBuild { .. } => "HASH_BUILD",
+            PhysicalOpKind::HashJoinProbe { .. } => "HASH_PROBE",
+            PhysicalOpKind::Agg { .. } => "AGG",
+            PhysicalOpKind::Collect => "COLLECT",
+        }
+    }
+}
+
+impl PhysicalPlan<'_> {
+    /// EXPLAIN-style rendering: one line per pipeline.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for (i, pipe) in self.pipelines.iter().enumerate() {
+            let _ = write!(out, "Pipeline {i}:");
+            for op in &pipe.ops {
+                let label = match &op.kind {
+                    PhysicalOpKind::Scan { table } => format!("SCAN {table}"),
+                    PhysicalOpKind::Filter { preds, .. } => {
+                        format!("FILTER[{}]", preds.len())
+                    }
+                    PhysicalOpKind::UdfFilter { udf, cmp, literal, .. } => {
+                        format!("UDF_FILTER {}(...) {} {literal}", udf.def.name, cmp.symbol())
+                    }
+                    PhysicalOpKind::UdfProject { udf, .. } => {
+                        format!("UDF_PROJECT {}(...)", udf.def.name)
+                    }
+                    PhysicalOpKind::HashJoinBuild { key, .. } => format!("HASH_BUILD {key}"),
+                    PhysicalOpKind::HashJoinProbe { key, build, .. } => {
+                        format!("HASH_PROBE {key} (build: pipeline {build})")
+                    }
+                    PhysicalOpKind::Agg { func, column, .. } => match column {
+                        Some((c, _)) => format!("AGG {}({c})", func.name()),
+                        None => format!("AGG {}", func.name()),
+                    },
+                    PhysicalOpKind::Collect => "COLLECT".to_string(),
+                };
+                let _ = write!(out, " -> {label}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Lower a logical plan into its physical-operator pipelines. Pure plan
+/// analysis: table-binding positions are resolved (with the same errors the
+/// materializing executor raises), but no data is touched.
+pub fn lower(plan: &Plan) -> Result<PhysicalPlan<'_>> {
+    plan.validate()?;
+    let mut pipelines = Vec::new();
+    let (mut ops, _tables) = lower_subtree(plan, plan.root, &mut pipelines)?;
+    if !matches!(ops.last().map(|o| &o.kind), Some(PhysicalOpKind::Agg { .. })) {
+        ops.push(PhysicalOp { kind: PhysicalOpKind::Collect, plan_idx: None });
+    }
+    pipelines.push(Pipeline { ops });
+    Ok(PhysicalPlan { pipelines })
+}
+
+/// Recursively lower the subtree rooted at `idx`; returns the streaming
+/// chain so far plus the bound-table list of its output tuples. Join build
+/// sides are completed into `pipelines` along the way.
+fn lower_subtree<'p>(
+    plan: &'p Plan,
+    idx: usize,
+    pipelines: &mut Vec<Pipeline<'p>>,
+) -> Result<(Vec<PhysicalOp<'p>>, Vec<&'p str>)> {
+    let op = &plan.ops[idx];
+    match &op.kind {
+        PlanOpKind::Scan { table } => Ok((
+            vec![PhysicalOp { kind: PhysicalOpKind::Scan { table }, plan_idx: Some(idx) }],
+            vec![table.as_str()],
+        )),
+        PlanOpKind::Filter { preds } => {
+            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let positions = preds
+                .iter()
+                .map(|p| {
+                    table_pos(&tables, &p.col.table).ok_or_else(|| {
+                        GracefulError::InvalidPlan(format!(
+                            "filter on unbound table {}",
+                            p.col.table
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            ops.push(PhysicalOp {
+                kind: PhysicalOpKind::Filter { preds, positions, stride: tables.len() },
+                plan_idx: Some(idx),
+            });
+            Ok((ops, tables))
+        }
+        PlanOpKind::UdfFilter { udf, op: cmp, literal } => {
+            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let pos = udf_pos(&tables, udf)?;
+            ops.push(PhysicalOp {
+                kind: PhysicalOpKind::UdfFilter {
+                    udf,
+                    cmp: *cmp,
+                    literal: *literal,
+                    pos,
+                    stride: tables.len(),
+                },
+                plan_idx: Some(idx),
+            });
+            Ok((ops, tables))
+        }
+        PlanOpKind::UdfProject { udf } => {
+            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let pos = udf_pos(&tables, udf)?;
+            ops.push(PhysicalOp {
+                kind: PhysicalOpKind::UdfProject { udf, pos, stride: tables.len() },
+                plan_idx: Some(idx),
+            });
+            Ok((ops, tables))
+        }
+        PlanOpKind::Join { left_col, right_col } => {
+            // Build on the right side (the newly joined table), then
+            // continue the left side's pipeline through the probe.
+            let (mut rops, rtables) = lower_subtree(plan, op.children[1], pipelines)?;
+            let rpos = table_pos(&rtables, &right_col.table).ok_or_else(|| {
+                GracefulError::InvalidPlan(format!("join col {right_col} not on right side"))
+            })?;
+            rops.push(PhysicalOp {
+                kind: PhysicalOpKind::HashJoinBuild {
+                    key: right_col,
+                    pos: rpos,
+                    stride: rtables.len(),
+                },
+                plan_idx: None,
+            });
+            pipelines.push(Pipeline { ops: rops });
+            let build = pipelines.len() - 1;
+            let (mut lops, mut ltables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let lpos = table_pos(&ltables, &left_col.table).ok_or_else(|| {
+                GracefulError::InvalidPlan(format!("join col {left_col} not on left side"))
+            })?;
+            lops.push(PhysicalOp {
+                kind: PhysicalOpKind::HashJoinProbe {
+                    key: left_col,
+                    pos: lpos,
+                    stride: ltables.len(),
+                    build,
+                },
+                plan_idx: Some(idx),
+            });
+            ltables.extend(rtables);
+            Ok((lops, ltables))
+        }
+        PlanOpKind::Agg { func, column } => {
+            let child = op.children[0];
+            let (mut ops, tables) = lower_subtree(plan, child, pipelines)?;
+            let column = match column {
+                Some(c) => {
+                    let pos = table_pos(&tables, &c.table).ok_or_else(|| {
+                        GracefulError::InvalidPlan(format!("agg on unbound table {}", c.table))
+                    })?;
+                    Some((c, pos))
+                }
+                None => None,
+            };
+            let expects_computed = matches!(plan.ops[child].kind, PlanOpKind::UdfProject { .. });
+            if *func != AggFunc::CountStar && column.is_none() && !expects_computed {
+                return Err(GracefulError::InvalidPlan(
+                    "agg over UDF output requires a UdfProject below".into(),
+                ));
+            }
+            ops.push(PhysicalOp {
+                kind: PhysicalOpKind::Agg {
+                    func: *func,
+                    column,
+                    expects_computed,
+                    stride: tables.len(),
+                },
+                plan_idx: Some(idx),
+            });
+            Ok((ops, tables))
+        }
+    }
+}
+
+/// First occurrence of `table` in the bound-table list — the same
+/// first-match rule `Inter::table_pos` uses.
+fn table_pos(tables: &[&str], table: &str) -> Option<usize> {
+    tables.iter().position(|t| *t == table)
+}
+
+fn udf_pos(tables: &[&str], udf: &GeneratedUdf) -> Result<usize> {
+    table_pos(tables, &udf.table)
+        .ok_or_else(|| GracefulError::InvalidPlan(format!("UDF table {} not bound", udf.table)))
+}
+
+// ---------------------------------------------------------------------------
+// Execution: batches, context, the Operator trait
+
+/// One batch of intermediate rows flowing between operators: a flat row-id
+/// matrix (`rows.len() == n_rows × stride`, stride known to each operator
+/// from lowering) plus the UDF-projected column when a `UdfProject` produced
+/// it. Typed lane buffers ([`graceful_udf::simd::TypedCol`]) appear inside
+/// the UDF operators, which gather straight from storage's typed slices.
+#[derive(Debug, Default)]
+pub struct Batch {
+    pub rows: Vec<u32>,
+    pub computed: Option<Vec<Value>>,
+}
+
+/// Full morsels a parallel operator queues *per worker* before flushing
+/// them through the pool. Larger windows amortize the per-region cost
+/// (scoped thread spawn + per-worker evaluator construction) over more
+/// rows; the value only trades memory for wall-clock and **never affects
+/// results** — morsel boundaries and merge order are window-invariant.
+const FLUSH_MORSELS_PER_WORKER: usize = 4;
+
+/// Shared read-only execution context handed to every operator call.
+pub struct ExecCtx<'a> {
+    pub pool: &'a Pool,
+    /// Completed hash-join build sides of earlier pipelines.
+    pub builds: &'a [BuildSide],
+    /// Rows per morsel — the work-accounting unit.
+    pub morsel: usize,
+    /// `max_intermediate_rows` valve.
+    pub cap: usize,
+    /// Full-morsel count an operator queues before a parallel flush.
+    pub flush_morsels: usize,
+}
+
+/// Post-run accounting an operator reports into the [`QueryRun`].
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Logical operator this node accounts to (`None`: bookkeeping node).
+    pub plan_idx: Option<usize>,
+    /// Work units for `op_work[plan_idx]`.
+    pub work: f64,
+    /// Output cardinality for `out_rows[plan_idx]`.
+    pub out_rows: Option<usize>,
+    /// Rows fed into this node if it is a UDF operator.
+    pub udf_input_rows: Option<usize>,
+    /// Aggregate result if this node is the aggregate sink.
+    pub agg_value: Option<f64>,
+    /// Peak rows this node kept resident (rebatch buffers, build tables).
+    pub peak_resident: usize,
+}
+
+/// Downstream consumer an operator emits its output batches into. Emission
+/// cascades immediately through the rest of the chain, so a producer's
+/// output is consumed batch by batch instead of accumulating.
+pub type Emit<'e> = dyn FnMut(Batch) -> Result<()> + 'e;
+
+/// A streaming physical operator: receives input batches via
+/// [`Operator::push`], emits output batches into the downstream [`Emit`]
+/// sink, and flushes buffered state in [`Operator::finish`] (also where
+/// closed-form work is charged). After the run, [`Operator::stats`] reports
+/// its accounting.
+pub trait Operator {
+    fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()>;
+    fn finish(&mut self, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()>;
+    fn stats(&self) -> OpStats;
+    /// The completed build side, if this operator is a hash-join build sink.
+    fn take_build(&mut self) -> Option<BuildSide> {
+        None
+    }
+}
+
+/// A materialized hash-join build side: the key → build-row-index map plus
+/// the build rows' id tuples (indexed by insertion order, which equals the
+/// build input's row order).
+pub struct BuildSide {
+    map: HashMap<i64, Vec<u32>>,
+    rows: Vec<u32>,
+    stride: usize,
+    n_rows: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Operator implementations
+
+/// Morsel-aligned rebatch buffer shared by the parallel operators: appends
+/// input rows, hands out complete morsels mid-stream and the ragged tail at
+/// finish.
+struct Rebatcher {
+    rows: Vec<u32>,
+    stride: usize,
+    peak: usize,
+}
+
+impl Rebatcher {
+    fn new(stride: usize) -> Self {
+        Rebatcher { rows: Vec::new(), stride, peak: 0 }
+    }
+
+    fn append(&mut self, batch: &Batch) {
+        self.rows.extend_from_slice(&batch.rows);
+        self.peak = self.peak.max(self.rows.len() / self.stride);
+    }
+
+    fn buffered_rows(&self) -> usize {
+        self.rows.len() / self.stride
+    }
+
+    /// Rows to evaluate now: mid-stream only complete morsels, and only once
+    /// `flush_morsels` of them are queued; at finish, everything.
+    fn take_rows(&self, all: bool, ctx: &ExecCtx<'_>) -> usize {
+        let n = self.buffered_rows();
+        if all {
+            return n;
+        }
+        let complete = n / ctx.morsel;
+        if complete >= ctx.flush_morsels {
+            complete * ctx.morsel
+        } else {
+            0
+        }
+    }
+
+    fn drain(&mut self, rows: usize) {
+        self.rows.drain(..rows * self.stride);
+    }
+}
+
+/// Conjunctive predicate filter (morsel-parallel).
+struct FilterExec<'a> {
+    plan_idx: usize,
+    preds: Vec<(&'a Pred, usize, &'a Table)>,
+    buf: Rebatcher,
+    stride: usize,
+    rows_in: usize,
+    rows_out: usize,
+    work: f64,
+    weight: f64,
+}
+
+impl FilterExec<'_> {
+    fn flush(&mut self, all: bool, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        let take = self.buf.take_rows(all, ctx);
+        if take == 0 {
+            return Ok(());
+        }
+        let stride = self.stride;
+        let preds = &self.preds;
+        let pending = &self.buf.rows[..take * stride];
+        let parts: Vec<Vec<u32>> = ctx.pool.map_init(
+            Pool::morsel_count(take, ctx.morsel),
+            || (),
+            |_, m| {
+                let mut kept = Vec::new();
+                for r in Pool::morsel_range(m, take, ctx.morsel) {
+                    let keep = preds
+                        .iter()
+                        .all(|(p, pos, t)| p.matches(t, pending[r * stride + pos] as usize));
+                    if keep {
+                        kept.extend_from_slice(&pending[r * stride..(r + 1) * stride]);
+                    }
+                }
+                kept
+            },
+        );
+        for kept in parts {
+            self.rows_out += kept.len() / stride;
+            if self.rows_out > ctx.cap {
+                return Err(cap_error(self.rows_out));
+            }
+            if !kept.is_empty() {
+                emit(Batch { rows: kept, computed: None })?;
+            }
+        }
+        self.buf.drain(take);
+        Ok(())
+    }
+}
+
+impl Operator for FilterExec<'_> {
+    fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        self.rows_in += batch.rows.len() / self.stride;
+        self.buf.append(&batch);
+        self.flush(false, ctx, emit)
+    }
+
+    fn finish(&mut self, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        self.flush(true, ctx, emit)?;
+        // Same closed-form expression (and float rounding) as the
+        // materializing engine's single charge over the whole input.
+        self.work += self.rows_in as f64 * self.preds.len() as f64 * self.weight;
+        Ok(())
+    }
+
+    fn stats(&self) -> OpStats {
+        OpStats {
+            plan_idx: Some(self.plan_idx),
+            work: self.work,
+            out_rows: Some(self.rows_out),
+            peak_resident: self.buf.peak,
+            ..OpStats::default()
+        }
+    }
+}
+
+/// UDF filter/projection over the unified [`UdfEval`] backends
+/// (morsel-parallel, batch boundaries restart per morsel exactly like the
+/// materializing path).
+struct UdfExec<'a> {
+    plan_idx: usize,
+    spec: UdfEvalSpec<'a>,
+    /// `Some((cmp, literal))` for a UDF filter, `None` for a projection.
+    filter: Option<(CmpOp, f64)>,
+    pos: usize,
+    stride: usize,
+    buf: Rebatcher,
+    rows_in: usize,
+    rows_out: usize,
+    work: f64,
+}
+
+impl UdfExec<'_> {
+    fn flush(&mut self, all: bool, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        let take = self.buf.take_rows(all, ctx);
+        if take == 0 {
+            return Ok(());
+        }
+        let stride = self.stride;
+        let pos = self.pos;
+        let pending = &self.buf.rows[..take * stride];
+        let parts = self
+            .spec
+            .eval_morsels(ctx.pool, take, ctx.morsel, |r| pending[r * stride + pos] as usize);
+        // Ordered merge in morsel-index order (== row order).
+        for (m, part) in parts.into_iter().enumerate() {
+            let (morsel_work, values) = part?;
+            self.work += morsel_work;
+            let range = Pool::morsel_range(m, take, ctx.morsel);
+            match self.filter {
+                Some((cmp, literal)) => {
+                    let mut kept = Vec::new();
+                    for (r, value) in range.zip(values) {
+                        let keep = match value.as_f64() {
+                            Some(v) => cmp_f64(cmp, v, literal),
+                            None => false, // NULL and text outputs never pass
+                        };
+                        if keep {
+                            kept.extend_from_slice(&pending[r * stride..(r + 1) * stride]);
+                        }
+                    }
+                    self.rows_out += kept.len() / stride;
+                    if self.rows_out > ctx.cap {
+                        return Err(cap_error(self.rows_out));
+                    }
+                    if !kept.is_empty() {
+                        emit(Batch { rows: kept, computed: None })?;
+                    }
+                }
+                None => {
+                    let rows = pending[range.start * stride..range.end * stride].to_vec();
+                    self.rows_out += range.len();
+                    if self.rows_out > ctx.cap {
+                        return Err(cap_error(self.rows_out));
+                    }
+                    emit(Batch { rows, computed: Some(values) })?;
+                }
+            }
+        }
+        self.buf.drain(take);
+        Ok(())
+    }
+}
+
+impl Operator for UdfExec<'_> {
+    fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        self.rows_in += batch.rows.len() / self.stride;
+        self.buf.append(&batch);
+        self.flush(false, ctx, emit)
+    }
+
+    fn finish(&mut self, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        self.flush(true, ctx, emit)
+    }
+
+    fn stats(&self) -> OpStats {
+        OpStats {
+            plan_idx: Some(self.plan_idx),
+            work: self.work,
+            out_rows: Some(self.rows_out),
+            udf_input_rows: Some(self.rows_in),
+            peak_resident: self.buf.peak,
+            ..OpStats::default()
+        }
+    }
+}
+
+/// Hash-join build sink: materializes the pipeline's output as the probe's
+/// hash table. Work is accounted by the probe (the join's logical operator).
+struct BuildExec<'a> {
+    key_col: &'a Column,
+    pos: usize,
+    stride: usize,
+    side: Option<BuildSide>,
+}
+
+impl Operator for BuildExec<'_> {
+    fn push(&mut self, batch: Batch, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        let side = self.side.as_mut().expect("build side present until taken");
+        let stride = self.stride;
+        for tuple in batch.rows.chunks_exact(stride) {
+            let rid = tuple[self.pos] as usize;
+            if let Some(k) = self.key_col.get_i64(rid) {
+                side.map.entry(k).or_default().push(side.n_rows as u32);
+            }
+            side.rows.extend_from_slice(tuple);
+            side.n_rows += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn stats(&self) -> OpStats {
+        OpStats { peak_resident: self.side.as_ref().map_or(0, |s| s.n_rows), ..OpStats::default() }
+    }
+
+    fn take_build(&mut self) -> Option<BuildSide> {
+        self.side.take()
+    }
+}
+
+/// Streaming hash-join probe: looks up each left row's key, emits matched
+/// `left ++ build` tuples. Accounts the whole join's work at finish with the
+/// materializing engine's exact expressions.
+struct ProbeExec<'a> {
+    plan_idx: usize,
+    key_col: &'a Column,
+    pos: usize,
+    stride: usize,
+    build: usize,
+    rows_in: usize,
+    rows_out: usize,
+    work: f64,
+    build_w: f64,
+    probe_w: f64,
+    out_w: f64,
+}
+
+impl Operator for ProbeExec<'_> {
+    fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        let side = &ctx.builds[self.build];
+        let lstride = self.stride;
+        let out_stride = lstride + side.stride;
+        let mut rows: Vec<u32> = Vec::new();
+        for tuple in batch.rows.chunks_exact(lstride) {
+            self.rows_in += 1;
+            let lid = tuple[self.pos] as usize;
+            let Some(k) = self.key_col.get_i64(lid) else { continue };
+            if let Some(matches) = side.map.get(&k) {
+                for &r in matches {
+                    rows.extend_from_slice(tuple);
+                    rows.extend_from_slice(
+                        &side.rows[r as usize * side.stride..(r as usize + 1) * side.stride],
+                    );
+                    self.rows_out += 1;
+                    if self.rows_out > ctx.cap {
+                        return Err(GracefulError::InvalidPlan(
+                            "join output exceeds intermediate cap".into(),
+                        ));
+                    }
+                    // Bound output batches to one morsel so a high-fan-out
+                    // probe never materializes its whole burst; batch
+                    // boundaries carry no accounting meaning downstream
+                    // (rebatching is stream-cumulative).
+                    if rows.len() / out_stride >= ctx.morsel {
+                        emit(Batch { rows: std::mem::take(&mut rows), computed: None })?;
+                    }
+                }
+            }
+        }
+        if !rows.is_empty() {
+            emit(Batch { rows, computed: None })?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        // The materializing engine's two charges, same expressions, same
+        // order: (build + probe) first, then the output term.
+        let rn = ctx.builds[self.build].n_rows;
+        self.work += rn as f64 * self.build_w + self.rows_in as f64 * self.probe_w;
+        self.work += self.rows_out as f64 * self.out_w;
+        Ok(())
+    }
+
+    fn stats(&self) -> OpStats {
+        OpStats {
+            plan_idx: Some(self.plan_idx),
+            work: self.work,
+            out_rows: Some(self.rows_out),
+            ..OpStats::default()
+        }
+    }
+}
+
+/// Aggregate sink: streams rows through the shared [`AggState`] fold.
+struct AggExec<'a> {
+    plan_idx: usize,
+    func: AggFunc,
+    /// Resolved lazily on first use so data-dependent errors upstream keep
+    /// their precedence over this structural lookup.
+    column: Option<(&'a ColRef, usize)>,
+    resolved: Option<&'a Column>,
+    stride: usize,
+    db: &'a Database,
+    state: AggState,
+    rows_in: usize,
+    work: f64,
+    weight: f64,
+}
+
+impl<'a> AggExec<'a> {
+    fn column(&mut self) -> Result<(&'a Column, usize)> {
+        let (c, pos) = self.column.expect("only called when a column is present");
+        if self.resolved.is_none() {
+            self.resolved = Some(self.db.table(&c.table)?.column(&c.column)?);
+        }
+        Ok((self.resolved.expect("just resolved"), pos))
+    }
+}
+
+impl Operator for AggExec<'_> {
+    fn push(&mut self, batch: Batch, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        let n = batch.rows.len() / self.stride;
+        self.rows_in += n;
+        if self.func == AggFunc::CountStar {
+            self.state.count_rows(n);
+            return Ok(());
+        }
+        if self.column.is_some() {
+            let (col, pos) = self.column()?;
+            for tuple in batch.rows.chunks_exact(self.stride) {
+                self.state.observe(col.get_f64(tuple[pos] as usize));
+            }
+        } else {
+            // Aggregate the UDF-projected column (presence is structural:
+            // guaranteed by `expects_computed`, which lowering verified).
+            let computed = batch.computed.as_ref().ok_or_else(|| {
+                GracefulError::InvalidPlan("agg over UDF output requires a UdfProject below".into())
+            })?;
+            for v in computed {
+                self.state.observe(v.as_f64());
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        if self.func != AggFunc::CountStar && self.column.is_some() {
+            self.column()?; // structural resolution even over empty inputs
+        }
+        self.work += self.rows_in as f64 * self.weight;
+        Ok(())
+    }
+
+    fn stats(&self) -> OpStats {
+        OpStats {
+            plan_idx: Some(self.plan_idx),
+            work: self.work,
+            out_rows: Some(1),
+            agg_value: Some(self.state.finish()),
+            ..OpStats::default()
+        }
+    }
+}
+
+/// Terminator for non-aggregate roots.
+struct CollectExec;
+
+impl Operator for CollectExec {
+    fn push(&mut self, _batch: Batch, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn finish(&mut self, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn stats(&self) -> OpStats {
+        OpStats::default()
+    }
+}
+
+fn cap_error(rows: usize) -> GracefulError {
+    GracefulError::InvalidPlan(format!("intermediate result exceeds cap: {rows} rows"))
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+/// Execute `plan` through the pipeline executor. Equivalent to
+/// `Executor::run` under `ExecMode::Pipeline`.
+pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Result<QueryRun> {
+    let phys = lower(plan)?;
+    let pool = Pool::new(config.threads);
+    let n_ops = plan.ops.len();
+    let mut out_rows = vec![0usize; n_ops];
+    let mut op_work = vec![0f64; n_ops];
+    // `(plan_idx, rows_in)` of the UDF operator that owns `udf_input_rows`:
+    // the materializing loop assigns it per UDF op in plan-index order, so
+    // the highest-index UDF operator wins regardless of pipeline order.
+    let mut udf_mark: Option<(usize, usize)> = None;
+    let mut agg_value = 0.0;
+    let mut peak_inter_rows = 0usize;
+    let mut builds: Vec<BuildSide> = Vec::new();
+    for pipe in &phys.pipelines {
+        let ctx = ExecCtx {
+            pool: &pool,
+            builds: &builds,
+            morsel: config.morsel_rows.max(1),
+            cap: config.max_intermediate_rows,
+            flush_morsels: config.threads.max(1) * FLUSH_MORSELS_PER_WORKER,
+        };
+        // Source: the scan at the head of the chain.
+        let (scan_table, scan_idx) = match &pipe.ops[0] {
+            PhysicalOp { kind: PhysicalOpKind::Scan { table }, plan_idx } => {
+                (*table, plan_idx.expect("scans map to a plan op"))
+            }
+            other => panic!("pipeline must start with a scan, got {}", other.kind.name()),
+        };
+        let t = db.table(scan_table)?;
+        let n = t.num_rows();
+        op_work[scan_idx] += n as f64 * config.weights.scan_row;
+        out_rows[scan_idx] = n;
+        if n > config.max_intermediate_rows {
+            return Err(cap_error(n));
+        }
+        let mut ops: Vec<Box<dyn Operator + '_>> =
+            pipe.ops[1..].iter().map(|op| instantiate(db, config, op)).collect::<Result<_>>()?;
+        let morsel = ctx.morsel;
+        for m in 0..Pool::morsel_count(n, morsel) {
+            let range = Pool::morsel_range(m, n, morsel);
+            let batch = Batch { rows: range.map(|r| r as u32).collect(), computed: None };
+            feed(&mut ops, &ctx, batch)?;
+        }
+        finish_all(&mut ops, &ctx)?;
+        let mut pipe_resident = n.min(morsel); // one in-flight scan batch
+        for op in &ops {
+            let s = op.stats();
+            if let Some(i) = s.plan_idx {
+                op_work[i] += s.work;
+                if let Some(r) = s.out_rows {
+                    out_rows[i] = r;
+                }
+            }
+            if let Some(u) = s.udf_input_rows {
+                let i = s.plan_idx.expect("UDF operators map to a plan op");
+                if udf_mark.is_none_or(|(j, _)| i > j) {
+                    udf_mark = Some((i, u));
+                }
+            }
+            if let Some(a) = s.agg_value {
+                agg_value = a;
+            }
+            pipe_resident += s.peak_resident;
+        }
+        // Build sides persist past their pipeline; buffers do not.
+        let held: usize = builds.iter().map(|b| b.n_rows).sum();
+        peak_inter_rows = peak_inter_rows.max(held + pipe_resident);
+        if let Some(side) = ops.last_mut().and_then(|o| o.take_build()) {
+            drop(ops);
+            builds.push(side);
+        }
+    }
+    let total: f64 = op_work.iter().sum();
+    let runtime_ns = total * jitter_factor(seed, config.jitter);
+    let udf_input_rows = udf_mark.map_or(0, |(_, u)| u);
+    Ok(QueryRun { runtime_ns, out_rows, op_work, agg_value, udf_input_rows, peak_inter_rows })
+}
+
+/// Instantiate the execution state for one lowered node (resolving its
+/// storage columns, with the materializing executor's errors).
+fn instantiate<'a>(
+    db: &'a Database,
+    config: &'a ExecConfig,
+    op: &'a PhysicalOp<'_>,
+) -> Result<Box<dyn Operator + 'a>> {
+    let w = &config.weights;
+    Ok(match &op.kind {
+        PhysicalOpKind::Scan { .. } => panic!("scan is the pipeline source, not an operator"),
+        PhysicalOpKind::Filter { preds, positions, stride } => {
+            let mut resolved = Vec::with_capacity(preds.len());
+            for (p, &pos) in preds.iter().zip(positions.iter()) {
+                resolved.push((p, pos, db.table(&p.col.table)?));
+            }
+            Box::new(FilterExec {
+                plan_idx: op.plan_idx.expect("filter maps to a plan op"),
+                preds: resolved,
+                buf: Rebatcher::new(*stride),
+                stride: *stride,
+                rows_in: 0,
+                rows_out: 0,
+                work: 0.0,
+                weight: w.filter_pred,
+            })
+        }
+        PhysicalOpKind::UdfFilter { udf, cmp, literal, pos, stride } => Box::new(UdfExec {
+            plan_idx: op.plan_idx.expect("udf filter maps to a plan op"),
+            spec: udf_spec(db, config, udf, w.udf_compare)?,
+            filter: Some((*cmp, *literal)),
+            pos: *pos,
+            stride: *stride,
+            buf: Rebatcher::new(*stride),
+            rows_in: 0,
+            rows_out: 0,
+            work: 0.0,
+        }),
+        PhysicalOpKind::UdfProject { udf, pos, stride } => Box::new(UdfExec {
+            plan_idx: op.plan_idx.expect("udf project maps to a plan op"),
+            spec: udf_spec(db, config, udf, w.project_row)?,
+            filter: None,
+            pos: *pos,
+            stride: *stride,
+            buf: Rebatcher::new(*stride),
+            rows_in: 0,
+            rows_out: 0,
+            work: 0.0,
+        }),
+        PhysicalOpKind::HashJoinBuild { key, pos, stride } => Box::new(BuildExec {
+            key_col: db.table(&key.table)?.column(&key.column)?,
+            pos: *pos,
+            stride: *stride,
+            side: Some(BuildSide {
+                map: HashMap::new(),
+                rows: Vec::new(),
+                stride: *stride,
+                n_rows: 0,
+            }),
+        }),
+        PhysicalOpKind::HashJoinProbe { key, pos, stride, build } => Box::new(ProbeExec {
+            plan_idx: op.plan_idx.expect("probe maps to a plan op"),
+            key_col: db.table(&key.table)?.column(&key.column)?,
+            pos: *pos,
+            stride: *stride,
+            build: *build,
+            rows_in: 0,
+            rows_out: 0,
+            work: 0.0,
+            build_w: w.join_build_row,
+            probe_w: w.join_probe_row,
+            out_w: w.join_out_row,
+        }),
+        PhysicalOpKind::Agg { func, column, stride, .. } => Box::new(AggExec {
+            plan_idx: op.plan_idx.expect("agg maps to a plan op"),
+            func: *func,
+            column: *column,
+            resolved: None,
+            stride: *stride,
+            db,
+            state: AggState::new(*func),
+            rows_in: 0,
+            work: 0.0,
+            weight: w.agg_row,
+        }),
+        PhysicalOpKind::Collect => Box::new(CollectExec),
+    })
+}
+
+/// Push one batch into operator `ops[0]`; its emissions cascade through the
+/// rest of the chain batch by batch, so no operator's full output is ever
+/// collected in one place.
+fn feed(ops: &mut [Box<dyn Operator + '_>], ctx: &ExecCtx<'_>, batch: Batch) -> Result<()> {
+    let Some((first, rest)) = ops.split_first_mut() else {
+        return Ok(());
+    };
+    first.push(batch, ctx, &mut |b| feed(rest, ctx, b))
+}
+
+/// Flush every operator in chain order, cascading flushed batches through
+/// the not-yet-finished downstream operators.
+fn finish_all(ops: &mut [Box<dyn Operator + '_>], ctx: &ExecCtx<'_>) -> Result<()> {
+    let Some((first, rest)) = ops.split_first_mut() else {
+        return Ok(());
+    };
+    first.finish(ctx, &mut |b| feed(rest, ctx, b))?;
+    finish_all(rest, ctx)
+}
+
+fn udf_spec<'a>(
+    db: &'a Database,
+    config: &ExecConfig,
+    udf: &'a GeneratedUdf,
+    overhead: f64,
+) -> Result<UdfEvalSpec<'a>> {
+    let t = db.table(&udf.table)?;
+    let cols =
+        udf.input_columns.iter().map(|c| t.column(c)).collect::<Result<Vec<&'a Column>>>()?;
+    UdfEvalSpec::prepare(
+        udf,
+        cols,
+        config.udf_backend,
+        config.udf_weights.clone(),
+        config.udf_batch_size,
+        overhead,
+    )
+}

@@ -1,0 +1,279 @@
+//! The unified UDF-evaluation interface of the execution engine.
+//!
+//! Every relational operator that invokes a UDF — `UdfFilter`, `UdfProject`,
+//! in either executor mode — evaluates it through the [`UdfEval`] trait. The
+//! three backends (`TreewalkEval`, `VmEval`, `SimdEval` — private: the
+//! factory is the only construction path) own their gather buffers, their
+//! batching strategy and their fallback logic, so the engine never matches
+//! on [`UdfBackend`] beyond asking [`UdfEvalSpec`] for a fresh evaluator; a
+//! future backend plugs in here without touching the operators.
+//!
+//! # The bit-identity contract
+//!
+//! [`UdfEval::eval_rows`] receives one *morsel* of row ids and a fresh `work`
+//! accumulator, and must accumulate accounted work with its backend's exact
+//! float grouping:
+//!
+//! * the tree-walker adds `cost + overhead` once per row,
+//! * the VM and SIMD backends add `batch_cost + rows × overhead` once per
+//!   internal batch, restarting batch boundaries at the morsel start.
+//!
+//! Callers merge per-morsel `(work, values)` pairs in morsel-index order.
+//! Because grouping depends only on the morsel boundaries — never on thread
+//! count, executor mode or flush timing — every accounted total is
+//! bit-identical across all of them (enforced by
+//! `tests/parallel_determinism.rs` and the engine differential tests).
+
+use graceful_common::config::UdfBackend;
+use graceful_common::Result;
+use graceful_runtime::Pool;
+use graceful_storage::{Column, DataType, Value};
+use graceful_udf::simd::{self, TypedCol};
+use graceful_udf::{compile, CostCounter, CostWeights, Interpreter, Program, SimdShape, Vm};
+
+/// Batched UDF evaluation over gathered input rows.
+///
+/// One instance is created per pool worker (via [`UdfEvalSpec::new_eval`])
+/// and reused across all morsels that worker pulls, so scratch buffers are
+/// allocated once.
+pub trait UdfEval {
+    /// Evaluate the UDF over the rows `rids` (row ids into the operator's
+    /// input columns), appending one output [`Value`] per row to `values`
+    /// and accumulating accounted work — UDF cost plus the operator's
+    /// per-row overhead — into `work` with this backend's float grouping.
+    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()>;
+}
+
+/// Everything resolved once per UDF operator: input columns, the compiled
+/// program (VM/SIMD backends), the columnar-eligibility decision, weights and
+/// batching parameters. [`UdfEvalSpec::new_eval`] then builds one evaluator
+/// per worker.
+pub struct UdfEvalSpec<'a> {
+    udf: &'a graceful_udf::GeneratedUdf,
+    cols: Vec<&'a Column>,
+    weights: CostWeights,
+    backend: UdfBackend,
+    prog: Option<Program>,
+    /// `Some` iff the SIMD backend is selected *and* the program has a
+    /// vectorizable path *and* every input column has a typed (non-Text)
+    /// storage slice. Ineligible operators run the plain batch VM — the two
+    /// produce bit-identical values and costs either way.
+    shape: Option<SimdShape>,
+    batch: usize,
+    overhead: f64,
+}
+
+impl<'a> UdfEvalSpec<'a> {
+    /// Resolve an operator's evaluation plan: compile the UDF once for the
+    /// bytecode backends and decide columnar eligibility.
+    ///
+    /// `overhead` is the operator's own per-row work (comparison against the
+    /// filter literal, projection bookkeeping) charged alongside the UDF
+    /// cost.
+    pub fn prepare(
+        udf: &'a graceful_udf::GeneratedUdf,
+        cols: Vec<&'a Column>,
+        backend: UdfBackend,
+        weights: CostWeights,
+        batch: usize,
+        overhead: f64,
+    ) -> Result<Self> {
+        let prog = match backend {
+            UdfBackend::Vm | UdfBackend::Simd => Some(compile(&udf.def)?),
+            UdfBackend::TreeWalk => None,
+        };
+        let shape = if backend == UdfBackend::Simd {
+            let typed = cols.iter().all(|c| c.data_type() != DataType::Text);
+            prog.as_ref().map(|p| p.simd_shape()).filter(|s| s.has_fast_path && typed)
+        } else {
+            None
+        };
+        Ok(UdfEvalSpec { udf, cols, weights, backend, prog, shape, batch: batch.max(1), overhead })
+    }
+
+    /// Evaluate rows `0..n` — mapped to storage row ids by `rid_of` — in
+    /// `morsel`-row morsels on `pool`, one evaluator per worker, returning
+    /// the per-morsel `(work, values)` pairs **in morsel-index order**.
+    ///
+    /// This is the one shared kernel behind both executor modes' UDF
+    /// operators: the per-morsel float grouping and the merge order live
+    /// here and only here, so the modes cannot drift apart.
+    pub fn eval_morsels(
+        &self,
+        pool: &Pool,
+        n: usize,
+        morsel: usize,
+        rid_of: impl Fn(usize) -> usize + Sync,
+    ) -> Vec<Result<(f64, Vec<Value>)>> {
+        pool.map_init(
+            Pool::morsel_count(n, morsel),
+            || (self.new_eval(), Vec::new()),
+            |(eval, rids): &mut (Box<dyn UdfEval + '_>, Vec<usize>), m| {
+                let range = Pool::morsel_range(m, n, morsel);
+                rids.clear();
+                rids.extend(range.clone().map(&rid_of));
+                let mut morsel_work = 0.0f64;
+                let mut values = Vec::with_capacity(range.len());
+                eval.eval_rows(rids, &mut values, &mut morsel_work)?;
+                Ok((morsel_work, values))
+            },
+        )
+    }
+
+    /// Build one evaluator for a pool worker. The instance owns all its
+    /// scratch state (interpreter, warmed VM register file, gather buffers),
+    /// so parallel evaluation never contends and never reallocates per row.
+    pub fn new_eval(&self) -> Box<dyn UdfEval + '_> {
+        match self.backend {
+            UdfBackend::TreeWalk => Box::new(TreewalkEval {
+                interp: Interpreter::new(self.weights.clone()),
+                args: Vec::with_capacity(self.cols.len()),
+                udf: &self.udf.def,
+                cols: &self.cols,
+                overhead: self.overhead,
+            }),
+            UdfBackend::Simd if self.shape.is_some() => {
+                let prog = self.prog.as_ref().expect("program compiled for SIMD backend");
+                let mut vm = Vm::new(self.weights.clone());
+                vm.warm(prog);
+                Box::new(SimdEval {
+                    vm,
+                    prog,
+                    shape: self.shape.as_ref().expect("shape checked"),
+                    typed_bufs: self
+                        .cols
+                        .iter()
+                        .map(|c| {
+                            TypedCol::for_type(c.data_type(), self.batch)
+                                .expect("eligibility checked non-Text")
+                        })
+                        .collect(),
+                    outs: Vec::with_capacity(self.batch),
+                    cols: &self.cols,
+                    batch: self.batch,
+                    overhead: self.overhead,
+                })
+            }
+            UdfBackend::Vm | UdfBackend::Simd => {
+                let prog = self.prog.as_ref().expect("program compiled for VM backend");
+                let mut vm = Vm::new(self.weights.clone());
+                vm.warm(prog);
+                Box::new(VmEval {
+                    vm,
+                    prog,
+                    col_bufs: self.cols.iter().map(|_| Vec::with_capacity(self.batch)).collect(),
+                    outs: Vec::with_capacity(self.batch),
+                    cols: &self.cols,
+                    batch: self.batch,
+                    overhead: self.overhead,
+                })
+            }
+        }
+    }
+}
+
+/// Reference backend: the slot-table tree-walking interpreter, one row at a
+/// time, work accounted per row.
+struct TreewalkEval<'a> {
+    interp: Interpreter,
+    /// Argument gather buffer, reused across rows.
+    args: Vec<Value>,
+    udf: &'a graceful_udf::UdfDef,
+    cols: &'a [&'a Column],
+    overhead: f64,
+}
+
+impl UdfEval for TreewalkEval<'_> {
+    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()> {
+        for &rid in rids {
+            self.args.clear();
+            self.args.extend(self.cols.iter().map(|c| c.value(rid)));
+            let out = self.interp.eval(self.udf, &self.args)?;
+            *work += out.cost.total + self.overhead;
+            values.push(out.value);
+        }
+        Ok(())
+    }
+}
+
+/// Bytecode batch VM: rows are gathered into boxed-`Value` column buffers and
+/// evaluated `batch` rows at a time; work accounted per batch.
+struct VmEval<'a> {
+    vm: Vm,
+    prog: &'a Program,
+    /// Columnar gather buffers, one per UDF parameter.
+    col_bufs: Vec<Vec<Value>>,
+    /// Batch output buffer.
+    outs: Vec<Value>,
+    cols: &'a [&'a Column],
+    batch: usize,
+    overhead: f64,
+}
+
+impl UdfEval for VmEval<'_> {
+    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()> {
+        let mut start = 0;
+        while start < rids.len() {
+            let end = (start + self.batch).min(rids.len());
+            for buf in self.col_bufs.iter_mut() {
+                buf.clear();
+            }
+            for &rid in &rids[start..end] {
+                for (buf, col) in self.col_bufs.iter_mut().zip(self.cols.iter()) {
+                    buf.push(col.value(rid));
+                }
+            }
+            self.outs.clear();
+            let mut cost = CostCounter::new();
+            let col_slices: Vec<&[Value]> = self.col_bufs.iter().map(|b| b.as_slice()).collect();
+            self.vm.eval_batch(self.prog, &col_slices, &mut self.outs, &mut cost)?;
+            *work += cost.total + (end - start) as f64 * self.overhead;
+            values.append(&mut self.outs);
+            start = end;
+        }
+        Ok(())
+    }
+}
+
+/// Typed columnar fast path: batches gather straight from the storage
+/// columns' typed slices into unboxed lane buffers — no `Value` boxing on the
+/// way in. Rows the columnar executor cannot carry fall back to the per-row
+/// VM inside [`simd::eval_batch_typed`].
+struct SimdEval<'a> {
+    vm: Vm,
+    prog: &'a Program,
+    shape: &'a SimdShape,
+    /// Unboxed gather buffers, one per UDF parameter.
+    typed_bufs: Vec<TypedCol>,
+    /// Batch output buffer.
+    outs: Vec<Value>,
+    cols: &'a [&'a Column],
+    batch: usize,
+    overhead: f64,
+}
+
+impl UdfEval for SimdEval<'_> {
+    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()> {
+        let mut start = 0;
+        while start < rids.len() {
+            let end = (start + self.batch).min(rids.len());
+            for (buf, col) in self.typed_bufs.iter_mut().zip(self.cols.iter()) {
+                buf.fill_from_column(col, rids[start..end].iter().copied())?;
+            }
+            self.outs.clear();
+            let mut cost = CostCounter::new();
+            simd::eval_batch_typed(
+                &mut self.vm,
+                self.prog,
+                self.shape,
+                &self.typed_bufs,
+                &mut self.outs,
+                &mut cost,
+            )?;
+            *work += cost.total + (end - start) as f64 * self.overhead;
+            values.append(&mut self.outs);
+            start = end;
+        }
+        Ok(())
+    }
+}

@@ -4,7 +4,7 @@
 //! GRACEFUL model needs. Forward values are computed eagerly as nodes are
 //! pushed; [`Tape::backward`] walks the tape in reverse, accumulating
 //! gradients into tape-local buffers and, for [`Op::Param`] leaves, into the
-//! shared [`ParamStore`](crate::mlp::ParamStore) gradient buffers.
+//! shared [`ParamStore`] gradient buffers.
 //!
 //! Gradient correctness is verified against central finite differences in
 //! the tests below (and again end-to-end in `mlp`/`gnn` tests).

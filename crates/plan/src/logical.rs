@@ -34,15 +34,22 @@ impl std::fmt::Display for ColRef {
 }
 
 /// Aggregate functions (plans are single-aggregate SPJA, no GROUP BY).
+///
+/// Over an empty input every aggregate is pinned to a number (the engine's
+/// `QueryRun::agg_value` is a plain `f64`, so there is no NULL): `COUNT(*)`
+/// is 0, and `SUM`/`AVG`/`MIN`/`MAX` are 0.0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     CountStar,
     Sum,
     Avg,
+    Min,
+    Max,
 }
 
 impl AggFunc {
-    pub const ALL: [AggFunc; 3] = [AggFunc::CountStar, AggFunc::Sum, AggFunc::Avg];
+    pub const ALL: [AggFunc; 5] =
+        [AggFunc::CountStar, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
 
     pub fn index(self) -> usize {
         Self::ALL.iter().position(|&a| a == self).expect("agg in ALL")
@@ -53,6 +60,8 @@ impl AggFunc {
             AggFunc::CountStar => "COUNT(*)",
             AggFunc::Sum => "SUM",
             AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
         }
     }
 }

@@ -322,14 +322,19 @@ fn gen_agg(
     usage: UdfUsage,
     rng: &mut Rng,
 ) -> (AggFunc, Option<ColRef>) {
+    // SUM/AVG dominate (the paper's workloads aggregate magnitudes);
+    // MIN/MAX appear with a small weight so extremes stay represented in
+    // every corpus.
+    let value_aggs =
+        [AggFunc::Sum, AggFunc::Sum, AggFunc::Avg, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
     if udf.is_some() && usage == UdfUsage::Projection {
         // Aggregate over the UDF output column.
-        return (*rng.choose(&[AggFunc::Sum, AggFunc::Avg]), None);
+        return (*rng.choose(&value_aggs), None);
     }
     if rng.chance(0.5) {
         return (AggFunc::CountStar, None);
     }
-    // SUM/AVG over a random numeric column of a bound table.
+    // SUM/AVG/MIN/MAX over a random numeric column of a bound table.
     for _ in 0..8 {
         let t = &bound[rng.range(0..bound.len())];
         if let Ok(table) = db.table(t) {
@@ -337,7 +342,7 @@ fn gen_agg(
                 table.columns().iter().filter(|c| c.data_type().is_numeric()).collect();
             if !numeric.is_empty() {
                 let c = numeric[rng.range(0..numeric.len())];
-                let f = *rng.choose(&[AggFunc::Sum, AggFunc::Avg]);
+                let f = *rng.choose(&value_aggs);
                 return (f, Some(ColRef::new(t, &c.name)));
             }
         }

@@ -5,7 +5,7 @@
 //!
 //! * [`types`] — the `DataType`/`Value` system shared by the engine and the
 //!   UDF interpreter,
-//! * [`column`]/[`table`]/[`database`] — null-aware typed columns, tables
+//! * [`mod@column`]/[`table`]/[`database`] — null-aware typed columns, tables
 //!   with key metadata, and the database catalog,
 //! * [`stats`] — per-column statistics (NDV, null fraction, min/max,
 //!   equi-depth histograms, most-common values) consumed by the cardinality

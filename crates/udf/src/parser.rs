@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the UDF language.
 //!
-//! Grammar (a Python subset sufficient for the UDF corpus of [1]):
+//! Grammar (a Python subset sufficient for the UDF corpus of \[1\]):
 //!
 //! ```text
 //! udf      := 'def' NAME '(' params ')' ':' block

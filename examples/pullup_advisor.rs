@@ -64,7 +64,8 @@ def udf(movie_id, keyword_id):
     };
 
     // Ground truth: execute both placements.
-    let exec = Executor::new(&db);
+    let session = Session::from_env().expect("valid GRACEFUL_* configuration");
+    let exec = session.executor(&db);
     let mut pd = build_plan(&spec, UdfPlacement::PushDown).unwrap();
     let mut pu = build_plan(&spec, UdfPlacement::PullUp).unwrap();
     let pd_run = exec.run_and_annotate(&mut pd, 1).unwrap();

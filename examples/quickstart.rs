@@ -63,7 +63,11 @@ def score(production_year, kind_id):
         ],
         root: 2,
     };
-    let exec = Executor::new(&db);
+    // Engine configuration is programmatic: `Session::from_env()` applies
+    // the documented GRACEFUL_* defaults once, `ExecOptions::new()` builds a
+    // fully env-free session (e.g. `.udf_backend(UdfBackend::Vm)`).
+    let session = Session::from_env().expect("valid GRACEFUL_* configuration");
+    let exec = session.executor(&db);
     let mut annotated = plan.clone();
     let run = exec.run_and_annotate(&mut annotated, 7).expect("plan executes");
     println!("\nexecuted plan:\n{}", annotated.explain());

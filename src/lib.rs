@@ -12,6 +12,34 @@
 //! module names and hosts the runnable examples (`examples/`) and the
 //! cross-crate integration tests (`tests/`).
 //!
+//! The engine is configured programmatically through [`Session`] /
+//! [`ExecOptions`] (re-exported in the [`prelude`]); `GRACEFUL_*`
+//! environment variables are only documented defaults, applied by
+//! [`Session::from_env`]:
+//!
+//! ```
+//! use graceful::prelude::*;
+//!
+//! // An env-free, fully programmatic engine session.
+//! let session = ExecOptions::new()
+//!     .udf_backend(UdfBackend::Vm)
+//!     .udf_batch_size(512)
+//!     .threads(2)
+//!     .build()
+//!     .expect("valid options");
+//! let db = generate(&schema("tpc_h"), 0.02, 7);
+//! let spec = QueryGenerator::default()
+//!     .generate(&db, 1, &mut Rng::seed(1))
+//!     .expect("query generated");
+//! # let mut db = db;
+//! # if let Some(u) = &spec.udf {
+//! #     graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+//! # }
+//! let plan = build_plan(&spec, UdfPlacement::PushDown).expect("plan built");
+//! let run = session.run(&db, &plan, spec.id).expect("plan executes");
+//! assert!(run.runtime_ns > 0.0);
+//! ```
+//!
 //! ```no_run
 //! use graceful::prelude::*;
 //!
@@ -34,25 +62,28 @@ pub use graceful_runtime as runtime;
 pub use graceful_storage as storage;
 pub use graceful_udf as udf;
 
+pub use graceful_exec::{ExecMode, ExecOptions, Session};
+
 /// Everything a downstream user typically needs.
 pub mod prelude {
     pub use graceful_card::{
         ActualCard, CardEstimator, DataDrivenCard, HitRatioEstimator, NaiveCard, SamplingCard,
     };
     pub use graceful_cfg::{build_dag, DagConfig, UdfDag, UdfNodeKind};
-    pub use graceful_common::config::ScaleConfig;
+    pub use graceful_common::config::{ScaleConfig, UdfBackend};
     pub use graceful_common::metrics::{q_error, QErrorSummary};
     pub use graceful_common::rng::Rng;
     pub use graceful_core::advisor::{PullUpAdvisor, Strategy};
     pub use graceful_core::corpus::{
-        build_all_corpora, build_all_corpora_on, build_corpus, DatasetCorpus,
+        build_all_corpora, build_all_corpora_in, build_all_corpora_on, build_corpus,
+        build_corpus_in, DatasetCorpus,
     };
     pub use graceful_core::experiments::{
         cross_validate, evaluate_actual, evaluate_model, summarize, train_graceful, EstimatorKind,
     };
     pub use graceful_core::featurize::Featurizer;
     pub use graceful_core::model::{GracefulModel, TrainConfig};
-    pub use graceful_exec::Executor;
+    pub use graceful_exec::{ExecMode, ExecOptions, Executor, Session};
     pub use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
     pub use graceful_runtime::Pool;
     pub use graceful_storage::datagen::{generate, schema, DATASET_NAMES};

@@ -56,7 +56,7 @@ fn udf_filter_over_empty_input_is_free_and_correct() {
         ],
         root: 3,
     };
-    let run = Executor::new(&db).run(&plan, 1).unwrap();
+    let run = Session::from_env().unwrap().run(&db, &plan, 1).unwrap();
     assert_eq!(run.agg_value, 0.0);
     assert_eq!(run.udf_input_rows, 0);
     assert_eq!(run.out_rows[1], 0);

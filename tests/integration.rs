@@ -35,7 +35,7 @@ fn pullup_and_pushdown_always_agree_on_answers() {
     // placement never changes results, only runtimes.
     let cfg = tiny_cfg();
     let corpus = build_corpus("movielens", &cfg, 9).unwrap();
-    let exec = Executor::new(&corpus.db);
+    let exec = Session::from_env().unwrap().executor(&corpus.db);
     let mut checked = 0;
     for q in &corpus.queries {
         if !(q.has_udf() && q.spec.udf_usage == UdfUsage::Filter && !q.spec.joins.is_empty()) {

@@ -1,38 +1,58 @@
-//! Determinism of the morsel-driven parallel runtime.
+//! Determinism of the morsel-driven parallel runtime and the executor modes.
 //!
-//! The acceptance bar for `graceful-runtime`: for a fixed seed, everything
-//! the experiments consume — `QueryRun` outputs, accounted cost totals,
-//! corpus labels — is **bit-identical for any thread count**, under all
-//! three UDF backends (tree-walker, batch VM, columnar SIMD). Thread counts
-//! are pinned programmatically (`ExecConfig.threads`
-//! / `Pool::new`) rather than through `GRACEFUL_THREADS`, because mutating
-//! the environment would race the rest of the multi-threaded test suite.
+//! The acceptance bar for `graceful-runtime` and the pipeline executor: for
+//! a fixed seed, everything the experiments consume — `QueryRun` outputs,
+//! accounted cost totals, corpus labels — is **bit-identical for any thread
+//! count**, under all three UDF backends (tree-walker, batch VM, columnar
+//! SIMD) *and* both executor modes (streaming physical-operator pipeline,
+//! materializing reference). Thread counts are pinned programmatically
+//! through the `ExecOptions` builder rather than `GRACEFUL_THREADS`, because
+//! mutating the environment would race the rest of the multi-threaded test
+//! suite.
 
-use graceful::common::config::UdfBackend;
-use graceful::exec::{ExecConfig, Executor};
+use graceful::exec::QueryRun;
 use graceful::prelude::*;
 use graceful::udf::generator::apply_adaptations;
 use proptest::prelude::*;
 
 /// Small morsels and an awkward VM batch size so even the test-scale tables
 /// split into many morsels with ragged boundaries.
-fn exec_cfg(backend: UdfBackend, threads: usize) -> ExecConfig {
-    ExecConfig {
-        udf_backend: backend,
-        udf_batch_size: 37,
-        threads,
-        morsel_rows: 64,
-        ..ExecConfig::default()
+fn session(backend: UdfBackend, threads: usize, mode: ExecMode) -> Session {
+    ExecOptions::new()
+        .udf_backend(backend)
+        .udf_batch_size(37)
+        .threads(threads)
+        .morsel_rows(64)
+        .mode(mode)
+        .build()
+        .expect("valid options")
+}
+
+fn assert_runs_bit_identical(a: &QueryRun, b: &QueryRun, what: &str) {
+    assert_eq!(
+        a.runtime_ns.to_bits(),
+        b.runtime_ns.to_bits(),
+        "{what}: runtimes differ: {} vs {}",
+        a.runtime_ns,
+        b.runtime_ns
+    );
+    assert_eq!(a.agg_value.to_bits(), b.agg_value.to_bits(), "{what}: answers differ");
+    assert_eq!(a.out_rows, b.out_rows, "{what}: cardinalities differ");
+    assert_eq!(a.udf_input_rows, b.udf_input_rows, "{what}: UDF input rows differ");
+    assert_eq!(a.op_work.len(), b.op_work.len());
+    for (x, y) in a.op_work.iter().zip(b.op_work.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: op_work differs: {x} vs {y}");
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
 
-    /// `QueryRun` is bit-identical across thread counts {1, 2, 4} for both
-    /// UDF backends, over generated queries in every valid UDF placement.
+    /// `QueryRun` is bit-identical across thread counts {1, 2, 4}, all
+    /// three UDF backends and both executor modes, over generated queries in
+    /// every valid UDF placement.
     #[test]
-    fn query_runs_bit_identical_across_thread_counts(seed in 0u64..5_000) {
+    fn query_runs_bit_identical_across_threads_backends_and_modes(seed in 0u64..5_000) {
         let mut db = generate(&schema("tpc_h"), 0.02, 3);
         let g = QueryGenerator::default();
         let mut rng = Rng::seed(seed);
@@ -48,44 +68,31 @@ proptest! {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            let mut single_thread_runs = Vec::new();
+            let mut references = Vec::new();
             for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
-                let exec = Executor::with_config(&db, exec_cfg(backend, 1));
-                let reference = exec.run(&plan, seed).expect("single-thread run succeeds");
-                for threads in [2usize, 4] {
-                    let exec = Executor::with_config(&db, exec_cfg(backend, threads));
-                    let run = exec.run(&plan, seed).expect("parallel run succeeds");
-                    prop_assert_eq!(
-                        run.runtime_ns.to_bits(),
-                        reference.runtime_ns.to_bits(),
-                        "runtime differs at {} threads ({:?}): {} vs {}",
-                        threads, backend, run.runtime_ns, reference.runtime_ns
-                    );
-                    prop_assert_eq!(run.agg_value.to_bits(), reference.agg_value.to_bits());
-                    prop_assert_eq!(&run.out_rows, &reference.out_rows);
-                    prop_assert_eq!(run.udf_input_rows, reference.udf_input_rows);
-                    prop_assert_eq!(run.op_work.len(), reference.op_work.len());
-                    for (a, b) in run.op_work.iter().zip(reference.op_work.iter()) {
-                        prop_assert_eq!(a.to_bits(), b.to_bits(), "op_work differs: {} vs {}", a, b);
+                // Reference: 1 thread, pipeline mode.
+                let reference = session(backend, 1, ExecMode::Pipeline)
+                    .run(&db, &plan, seed)
+                    .expect("single-thread run succeeds");
+                for threads in [1usize, 2, 4] {
+                    for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+                        let run = session(backend, threads, mode)
+                            .run(&db, &plan, seed)
+                            .expect("run succeeds");
+                        assert_runs_bit_identical(
+                            &run,
+                            &reference,
+                            &format!("{backend:?} x {threads} threads x {mode:?}"),
+                        );
                     }
                 }
-                single_thread_runs.push((backend, reference));
+                references.push(reference);
             }
             // Cross-backend: the SIMD fast path merges the same per-row
             // costs in the same order as the batch VM, so their QueryRuns
             // are bit-identical (the tree-walker differs only in float
             // summation grouping and is compared elsewhere).
-            let vm = &single_thread_runs[1].1;
-            let simd = &single_thread_runs[2].1;
-            prop_assert_eq!(
-                vm.runtime_ns.to_bits(), simd.runtime_ns.to_bits(),
-                "vm vs simd runtimes differ: {} vs {}", vm.runtime_ns, simd.runtime_ns
-            );
-            prop_assert_eq!(vm.agg_value.to_bits(), simd.agg_value.to_bits());
-            prop_assert_eq!(&vm.out_rows, &simd.out_rows);
-            for (a, b) in vm.op_work.iter().zip(simd.op_work.iter()) {
-                prop_assert_eq!(a.to_bits(), b.to_bits(), "vm vs simd op_work: {} vs {}", a, b);
-            }
+            assert_runs_bit_identical(&references[1], &references[2], "vm vs simd");
         }
     }
 }
@@ -113,5 +120,21 @@ fn corpus_labels_bit_identical_across_pool_sizes() {
                 assert_eq!(p.actual_out_rows.to_bits(), q.actual_out_rows.to_bits());
             }
         }
+    }
+}
+
+/// Corpus labels are also bit-identical across executor modes: retiring the
+/// materializing engine from the hot path must not move a single label.
+#[test]
+fn corpus_labels_bit_identical_across_exec_modes() {
+    let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 6, ..ScaleConfig::default() };
+    let mk = |mode| ExecOptions::new().threads(2).mode(mode).build().expect("valid options");
+    let pipe = build_corpus_in(&mk(ExecMode::Pipeline), "tpc_h", &cfg, 9).unwrap();
+    let mat = build_corpus_in(&mk(ExecMode::Materialize), "tpc_h", &cfg, 9).unwrap();
+    assert_eq!(pipe.queries.len(), mat.queries.len());
+    for (x, y) in pipe.queries.iter().zip(mat.queries.iter()) {
+        assert_eq!(x.runtime_ns.to_bits(), y.runtime_ns.to_bits(), "labels differ");
+        assert_eq!(x.udf_work_ns.to_bits(), y.udf_work_ns.to_bits());
+        assert_eq!(x.udf_input_rows, y.udf_input_rows);
     }
 }

@@ -95,7 +95,7 @@ proptest! {
         if let Some(u) = &spec.udf {
             graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
         }
-        let exec = Executor::new(&db);
+        let exec = Session::from_env().unwrap().executor(&db);
         let mut results = Vec::new();
         for placement in graceful::plan::valid_placements(&spec) {
             let plan = build_plan(&spec, placement).unwrap();
