@@ -49,15 +49,16 @@ fn main() {
         let train_refs: Vec<&DatasetCorpus> =
             corpora.iter().enumerate().filter(|(i, _)| *i != test_idx).map(|(_, c)| c).collect();
         let mut model =
-            graceful_core::GracefulModel::new(Featurizer::full(), cfg.hidden, cfg.seed + h as u64);
+            graceful_core::GracefulModel::new(Featurizer::full(), cfg.hidden, cfg.seed + h as u64)
+                .expect("valid GNN architecture");
         model
             .train(
                 &train_refs,
-                &graceful_core::model::TrainConfig {
-                    epochs: cfg.epochs,
-                    seed: cfg.seed,
-                    ..Default::default()
-                },
+                &graceful_core::model::TrainOptions::new()
+                    .epochs(cfg.epochs)
+                    .seed(cfg.seed)
+                    .build_with_env()
+                    .expect("invalid GRACEFUL_* configuration"),
             )
             .expect("training succeeds");
         let flat = FlatGraphBaseline::train(&train_refs, cfg.epochs, cfg.hidden, cfg.seed + 5)

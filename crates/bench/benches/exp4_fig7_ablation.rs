@@ -8,7 +8,7 @@ use graceful_bench::{announce, corpora, fmt_q, rule};
 use graceful_core::corpus::DatasetCorpus;
 use graceful_core::experiments::{evaluate_model, summarize, EstimatorKind};
 use graceful_core::featurize::Featurizer;
-use graceful_core::model::TrainConfig;
+use graceful_core::model::TrainOptions;
 use graceful_core::GracefulModel;
 
 const LABELS: [&str; 5] = [
@@ -31,11 +31,16 @@ fn main() {
     rule(60);
     let mut medians = Vec::new();
     for level in 1..=5u8 {
-        let mut model = GracefulModel::new(Featurizer::level(level), cfg.hidden, cfg.seed);
+        let mut model = GracefulModel::new(Featurizer::level(level), cfg.hidden, cfg.seed)
+            .expect("valid GNN architecture");
         model
             .train(
                 &train,
-                &TrainConfig { epochs: cfg.epochs, seed: cfg.seed, ..Default::default() },
+                &TrainOptions::new()
+                    .epochs(cfg.epochs)
+                    .seed(cfg.seed)
+                    .build_with_env()
+                    .expect("invalid GRACEFUL_* configuration"),
             )
             .expect("training succeeds");
         let recs = evaluate_model(&model, test, EstimatorKind::Actual, 1);

@@ -18,9 +18,11 @@
 //! | `GRACEFUL_THREADS`        | worker threads of the morsel-driven runtime (`graceful-runtime`) | all cores |
 //! | `GRACEFUL_MORSEL`         | rows per morsel in parallel operators | `2048` |
 //! | `GRACEFUL_EXEC`           | executor mode: `pipeline` (streaming physical operators) or `materialize` (per-operator materialization) | `pipeline` |
+//! | `GRACEFUL_GNN_EXEC`       | GNN trainer mode: `batched` (level-synchronous) or `node-at-a-time` (reference) | `batched` |
 //!
 //! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`, `GRACEFUL_THREADS`,
-//! `GRACEFUL_MORSEL` and `GRACEFUL_EXEC` are validated strictly: an unknown
+//! `GRACEFUL_MORSEL`, `GRACEFUL_EXEC` and `GRACEFUL_GNN_EXEC` are validated
+//! strictly: an unknown
 //! backend name or a non-positive/unparsable thread, batch or morsel count is
 //! a hard error (listing the valid options), not a silent fallback — a typo
 //! in an experiment environment must not silently re-run the wrong
@@ -211,6 +213,14 @@ pub fn try_morsel_from_env() -> Result<usize, String> {
 /// [`try_morsel_from_env`], panicking on invalid values.
 pub fn morsel_from_env() -> usize {
     try_morsel_from_env().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Raw `GRACEFUL_GNN_EXEC` value (unset → `None`). This crate cannot depend
+/// on `graceful-nn`, so the value is parsed (and strictly validated) by
+/// `graceful_nn::GnnExecMode::parse` at the train-options layer — this
+/// module stays the only place in the workspace that reads `GRACEFUL_*`.
+pub fn gnn_exec_from_env() -> Option<String> {
+    std::env::var("GRACEFUL_GNN_EXEC").ok()
 }
 
 /// Scaling configuration resolved from the environment with sane defaults.

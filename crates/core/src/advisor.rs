@@ -141,7 +141,7 @@ mod tests {
     use super::*;
     use crate::corpus::build_corpus;
     use crate::featurize::Featurizer;
-    use crate::model::TrainConfig;
+    use crate::model::TrainOptions;
     use graceful_card::ActualCard;
     use graceful_common::config::ScaleConfig;
 
@@ -149,8 +149,8 @@ mod tests {
     fn advisor_produces_distributions_and_decisions() {
         let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 16, ..ScaleConfig::default() };
         let c = build_corpus("imdb", &cfg, 11).unwrap();
-        let mut model = GracefulModel::new(Featurizer::full(), 12, 3);
-        model.train(&[&c], &TrainConfig { epochs: 6, ..TrainConfig::default() }).unwrap();
+        let mut model = GracefulModel::new(Featurizer::full(), 12, 3).unwrap();
+        model.train(&[&c], &TrainOptions::new().epochs(6).build().unwrap()).unwrap();
         let est = ActualCard::new(&c.db);
         let advisor = PullUpAdvisor::new(&model);
         let q = c
@@ -177,8 +177,8 @@ mod tests {
         // imply a smaller area).
         let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 20, ..ScaleConfig::default() };
         let c = build_corpus("tpc_h", &cfg, 13).unwrap();
-        let mut model = GracefulModel::new(Featurizer::full(), 12, 5);
-        model.train(&[&c], &TrainConfig { epochs: 6, ..TrainConfig::default() }).unwrap();
+        let mut model = GracefulModel::new(Featurizer::full(), 12, 5).unwrap();
+        model.train(&[&c], &TrainOptions::new().epochs(6).build().unwrap()).unwrap();
         let est = ActualCard::new(&c.db);
         let advisor = PullUpAdvisor::new(&model);
         for q in &c.queries {
@@ -197,7 +197,7 @@ mod tests {
     fn rejects_non_advisable_queries() {
         let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 8, ..ScaleConfig::default() };
         let c = build_corpus("ssb", &cfg, 15).unwrap();
-        let model = GracefulModel::new(Featurizer::full(), 8, 1);
+        let model = GracefulModel::new(Featurizer::full(), 8, 1).unwrap();
         let est = ActualCard::new(&c.db);
         let advisor = PullUpAdvisor::new(&model);
         let q = c.queries.iter().find(|q| !q.has_udf() || q.spec.joins.is_empty());

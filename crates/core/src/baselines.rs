@@ -24,7 +24,7 @@ use graceful_cfg::{build_dag, DagConfig};
 use graceful_common::rng::Rng;
 use graceful_common::{GracefulError, Result};
 use graceful_gbdt::{Gbdt, GbdtConfig};
-use graceful_nn::{AdamConfig, GnnConfig, GnnModel, TypedGraph};
+use graceful_nn::{AdamConfig, GnnConfig, GnnExecMode, GnnModel, TypedGraph};
 use graceful_plan::{Plan, QuerySpec};
 use graceful_storage::{DataType, Database};
 use graceful_udf::ast::BinOp;
@@ -97,7 +97,7 @@ impl QuerySideModel {
         seed: u64,
     ) -> Result<Self> {
         let config = GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
-        let mut gnn = GnnModel::new(config, seed);
+        let mut gnn = GnnModel::new(config, seed)?;
         let fz = Featurizer::level(1);
         let mut samples: Vec<(TypedGraph, f64)> = Vec::new();
         for c in corpora {
@@ -136,7 +136,14 @@ fn train_gnn(
         return Err(GracefulError::Model("no training samples".into()));
     }
     let targets: Vec<f64> = samples.iter().map(|(_, t)| *t).collect();
-    gnn.fit_target_norm(&targets);
+    gnn.fit_target_norm(&targets)?;
+    // Honour the documented GRACEFUL_GNN_EXEC default so the baselines
+    // follow the same trainer-mode knob as the main model (both modes are
+    // bit-identical; batched is faster).
+    let exec = match graceful_common::config::gnn_exec_from_env() {
+        Some(v) => GnnExecMode::parse(&v).map_err(GracefulError::Config)?,
+        None => GnnExecMode::default(),
+    };
     let adam = AdamConfig { lr: 2e-3, ..AdamConfig::default() };
     let mut rng = Rng::seed(seed ^ 0xBA5E);
     let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -145,7 +152,7 @@ fn train_gnn(
         for chunk in order.chunks(16) {
             let graphs: Vec<&TypedGraph> = chunk.iter().map(|&i| &samples[i].0).collect();
             let ts: Vec<f64> = chunk.iter().map(|&i| samples[i].1).collect();
-            gnn.train_batch(&graphs, &ts, &adam, 1.0)?;
+            gnn.train_batch_in(exec, &graphs, &ts, &adam, 1.0)?;
         }
     }
     Ok(())
@@ -290,7 +297,7 @@ impl GraphGraphBaseline {
         seed: u64,
     ) -> Result<Self> {
         let config = GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
-        let mut udf_gnn = GnnModel::new(config, seed ^ 0x66);
+        let mut udf_gnn = GnnModel::new(config, seed ^ 0x66)?;
         let mut samples: Vec<(TypedGraph, f64)> = Vec::new();
         for c in corpora {
             let est = ActualCard::new(&c.db);

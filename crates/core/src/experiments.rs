@@ -6,7 +6,7 @@ use crate::advisor::{PullUpAdvisor, Strategy};
 use crate::baselines::{FlatGraphBaseline, GraphGraphBaseline};
 use crate::corpus::{DatasetCorpus, LabeledQuery};
 use crate::featurize::Featurizer;
-use crate::model::{GracefulModel, TrainConfig};
+use crate::model::{GracefulModel, TrainOptions};
 use graceful_card::{ActualCard, CardEstimator, DataDrivenCard, NaiveCard, SamplingCard};
 use graceful_common::config::ScaleConfig;
 use graceful_common::metrics::QErrorSummary;
@@ -58,9 +58,14 @@ pub fn train_graceful(
     cfg: &ScaleConfig,
     featurizer: Featurizer,
 ) -> GracefulModel {
-    let mut model = GracefulModel::new(featurizer, cfg.hidden, cfg.seed);
+    let mut model =
+        GracefulModel::new(featurizer, cfg.hidden, cfg.seed).expect("valid GNN architecture");
     let refs: Vec<&DatasetCorpus> = corpora.iter().collect();
-    let tcfg = TrainConfig { epochs: cfg.epochs, seed: cfg.seed, ..TrainConfig::default() };
+    let tcfg = TrainOptions::new()
+        .epochs(cfg.epochs)
+        .seed(cfg.seed)
+        .build_with_env()
+        .expect("invalid GRACEFUL_* configuration");
     model.train(&refs, &tcfg).expect("training succeeds on non-empty corpora");
     model
 }
@@ -97,8 +102,13 @@ pub fn cross_validate(
             .filter(|(i, _)| !group.contains(i))
             .map(|(_, c)| c)
             .collect();
-        let mut model = GracefulModel::new(featurizer, cfg.hidden, cfg.seed + f as u64);
-        let tcfg = TrainConfig { epochs: cfg.epochs, seed: cfg.seed, ..TrainConfig::default() };
+        let mut model = GracefulModel::new(featurizer, cfg.hidden, cfg.seed + f as u64)
+            .expect("valid GNN architecture");
+        let tcfg = TrainOptions::new()
+            .epochs(cfg.epochs)
+            .seed(cfg.seed)
+            .build_with_env()
+            .expect("invalid GRACEFUL_* configuration");
         // A single-fold setup has no training partner; train on the
         // test group itself (degenerate but still useful smoke mode).
         if train.is_empty() {

@@ -6,18 +6,48 @@
 //! to map joint query–UDF graphs to log runtimes. At test time the plan can
 //! be annotated by *any* cardinality estimator, which is how Table III
 //! evaluates robustness to estimation errors.
+//!
+//! # The training pipeline
+//!
+//! [`GracefulModel::train`] is a two-stage pipeline, both stages fast and
+//! deterministic:
+//!
+//! 1. **Parallel featurization** — every `(query, plan)` pair of the corpus
+//!    is annotated with actual cardinalities and featurized into a
+//!    [`TypedGraph`] on the [`graceful_runtime::Pool`] ([`TrainConfig`]'s
+//!    `threads` budget, `GRACEFUL_THREADS` via
+//!    [`TrainOptions::build_with_env`]). Results merge in item order, so the
+//!    sample list — and therefore the whole training run — is bit-identical
+//!    for any thread count.
+//! 2. **Batched mini-batch SGD** — each shuffled mini-batch trains through
+//!    [`GnnModel::train_batch_in`] under [`TrainConfig::exec`]; the default
+//!    [`GnnExecMode::Batched`] packs every mini-batch into one
+//!    level-synchronous pass that is bit-identical to the node-at-a-time
+//!    reference.
+//!
+//! Configuration mirrors the engine's `Session`/`ExecOptions` pattern:
+//! [`TrainOptions`] is the validating builder, [`TrainConfig`] the validated
+//! value, and zero `epochs`/`batch_size`/`threads` are typed
+//! [`GracefulError::Config`] errors rather than panics.
 
 use crate::corpus::DatasetCorpus;
 use crate::featurize::{feature_dims, Featurizer};
 use graceful_card::{ActualCard, CardEstimator};
+use graceful_common::config;
 use graceful_common::rng::Rng;
 use graceful_common::{GracefulError, Result};
-use graceful_nn::{AdamConfig, GnnConfig, GnnModel, TypedGraph};
+use graceful_nn::{AdamConfig, GnnConfig, GnnExecMode, GnnModel, TypedGraph};
 use graceful_plan::{Plan, QuerySpec};
+use graceful_runtime::Pool;
 use graceful_storage::Database;
 use serde::{Deserialize, Serialize};
 
-/// Training hyper-parameters.
+/// Serialized-model format version (bumped on any layout change so stale
+/// files fail with a typed error instead of garbage predictions).
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
+/// Training hyper-parameters (validated; build via [`TrainOptions`] or use
+/// [`TrainConfig::default`], which is valid by construction).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainConfig {
     pub epochs: usize,
@@ -26,6 +56,11 @@ pub struct TrainConfig {
     /// Huber delta in normalized log-target units.
     pub huber_delta: f32,
     pub seed: u64,
+    /// Forward/backward implementation (bit-identical either way).
+    pub exec: GnnExecMode,
+    /// Worker threads for the featurization fan-out (never changes results,
+    /// only wall-clock time).
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -36,7 +71,177 @@ impl Default for TrainConfig {
             adam: AdamConfig { lr: 2e-3, ..AdamConfig::default() },
             huber_delta: 1.0,
             seed: 20_250_331,
+            exec: GnnExecMode::Batched,
+            threads: config::default_threads(),
         }
+    }
+}
+
+impl TrainConfig {
+    /// Validate the configuration: zero `epochs`/`batch_size`/`threads` and
+    /// non-finite or non-positive `huber_delta`/learning rates are typed
+    /// [`GracefulError::Config`] errors (matching `ExecOptions` semantics).
+    pub fn validate(&self) -> Result<()> {
+        if self.epochs == 0 {
+            return Err(GracefulError::Config("epochs must be >= 1, got 0".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(GracefulError::Config("batch_size must be >= 1, got 0".into()));
+        }
+        if self.threads == 0 {
+            return Err(GracefulError::Config("threads must be >= 1, got 0".into()));
+        }
+        if !(self.huber_delta.is_finite() && self.huber_delta > 0.0) {
+            return Err(GracefulError::Config(format!(
+                "huber_delta must be finite and > 0, got {}",
+                self.huber_delta
+            )));
+        }
+        if !(self.adam.lr.is_finite() && self.adam.lr > 0.0) {
+            return Err(GracefulError::Config(format!(
+                "learning rate must be finite and > 0, got {}",
+                self.adam.lr
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TrainConfig`], mirroring the engine's `ExecOptions`
+/// pattern: unset fields fall back to the pure [`TrainConfig::default`]
+/// ([`TrainOptions::build`]) or to the documented `GRACEFUL_*` environment
+/// defaults ([`TrainOptions::build_with_env`], which resolves
+/// `GRACEFUL_THREADS`/`GRACEFUL_EPOCHS`/`GRACEFUL_SEED`/
+/// `GRACEFUL_GNN_EXEC`). Every terminal method validates, so
+/// misconfiguration is a typed error, never a panic.
+///
+/// ```
+/// use graceful_core::model::TrainOptions;
+/// use graceful_nn::GnnExecMode;
+///
+/// let cfg = TrainOptions::new()
+///     .epochs(8)
+///     .batch_size(32)
+///     .learning_rate(1e-3)
+///     .exec(GnnExecMode::Batched)
+///     .threads(2)
+///     .build()
+///     .expect("valid options");
+/// assert_eq!(cfg.batch_size, 32);
+/// assert!(TrainOptions::new().epochs(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    epochs: Option<usize>,
+    batch_size: Option<usize>,
+    adam: Option<AdamConfig>,
+    learning_rate: Option<f32>,
+    huber_delta: Option<f32>,
+    seed: Option<u64>,
+    exec: Option<GnnExecMode>,
+    threads: Option<usize>,
+}
+
+impl TrainOptions {
+    pub fn new() -> Self {
+        TrainOptions::default()
+    }
+
+    /// Number of passes over the shuffled training set.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = Some(epochs);
+        self
+    }
+
+    /// Graphs per training step (the mini-batch the batched engine packs).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size);
+        self
+    }
+
+    /// Full Adam configuration (overrides [`TrainOptions::learning_rate`]).
+    pub fn adam(mut self, adam: AdamConfig) -> Self {
+        self.adam = Some(adam);
+        self
+    }
+
+    /// Adam learning rate (keeps the remaining Adam defaults).
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.learning_rate = Some(lr);
+        self
+    }
+
+    /// Huber delta in normalized log-target units.
+    pub fn huber_delta(mut self, delta: f32) -> Self {
+        self.huber_delta = Some(delta);
+        self
+    }
+
+    /// Shuffling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// GNN execution mode (bit-identical; batched is faster).
+    pub fn exec(mut self, exec: GnnExecMode) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Featurization worker threads (never changes results).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    fn over(self, defaults: TrainConfig) -> TrainConfig {
+        let mut adam = self.adam.unwrap_or(defaults.adam);
+        if self.adam.is_none() {
+            if let Some(lr) = self.learning_rate {
+                adam.lr = lr;
+            }
+        }
+        TrainConfig {
+            epochs: self.epochs.unwrap_or(defaults.epochs),
+            batch_size: self.batch_size.unwrap_or(defaults.batch_size),
+            adam,
+            huber_delta: self.huber_delta.unwrap_or(defaults.huber_delta),
+            seed: self.seed.unwrap_or(defaults.seed),
+            exec: self.exec.unwrap_or(defaults.exec),
+            threads: self.threads.unwrap_or(defaults.threads),
+        }
+    }
+
+    /// Validate and build over the pure [`TrainConfig::default`] — fully
+    /// environment-free.
+    pub fn build(self) -> Result<TrainConfig> {
+        let cfg = self.over(TrainConfig::default());
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validate and build with unset fields falling back to the documented
+    /// `GRACEFUL_*` environment defaults (`GRACEFUL_THREADS`,
+    /// `GRACEFUL_EPOCHS`, `GRACEFUL_SEED`, `GRACEFUL_GNN_EXEC`). An invalid
+    /// `GRACEFUL_GNN_EXEC` name is a typed [`GracefulError::Config`].
+    pub fn build_with_env(self) -> Result<TrainConfig> {
+        let scale = config::ScaleConfig::from_env();
+        let threads = config::try_threads_from_env().map_err(GracefulError::Config)?;
+        let exec = match config::gnn_exec_from_env() {
+            Some(v) => GnnExecMode::parse(&v).map_err(GracefulError::Config)?,
+            None => GnnExecMode::default(),
+        };
+        let defaults = TrainConfig {
+            epochs: scale.epochs,
+            seed: scale.seed,
+            threads,
+            exec,
+            ..TrainConfig::default()
+        };
+        let cfg = self.over(defaults);
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -47,11 +252,19 @@ pub struct GracefulModel {
     featurizer_level: u8,
 }
 
+/// The on-disk envelope: a format version wrapping the model payload.
+#[derive(Serialize, Deserialize)]
+struct ModelEnvelope {
+    format_version: u32,
+    model: GracefulModel,
+}
+
 impl GracefulModel {
-    /// Create an untrained model.
-    pub fn new(featurizer: Featurizer, hidden: usize, seed: u64) -> Self {
+    /// Create an untrained model. A zero `hidden` width is a typed
+    /// [`GracefulError::Config`].
+    pub fn new(featurizer: Featurizer, hidden: usize, seed: u64) -> Result<Self> {
         let config = GnnConfig { hidden, feature_dims: feature_dims(), readout_hidden: hidden };
-        GracefulModel { gnn: GnnModel::new(config, seed), featurizer_level: featurizer.level }
+        Ok(GracefulModel { gnn: GnnModel::new(config, seed)?, featurizer_level: featurizer.level })
     }
 
     pub fn featurizer(&self) -> Featurizer {
@@ -69,26 +282,48 @@ impl GracefulModel {
         self.featurizer().featurize(db, spec, plan, estimator)
     }
 
+    /// Featurize a whole training corpus set — per-query [`ActualCard`]
+    /// annotation plus featurization, fanned out on the pool with results
+    /// merged in item order (bit-identical for any thread count). Sample
+    /// order is corpus-major, matching a sequential double loop.
+    pub fn featurize_corpora(
+        &self,
+        pool: &Pool,
+        corpora: &[&DatasetCorpus],
+    ) -> Result<Vec<(TypedGraph, f64)>> {
+        let items: Vec<(usize, usize)> = corpora
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, c)| (0..c.queries.len()).map(move |qi| (ci, qi)))
+            .collect();
+        let featurizer = self.featurizer();
+        let labelled = pool.ordered_map(&items, |_, &(ci, qi)| {
+            let c = corpora[ci];
+            let q = &c.queries[qi];
+            let est = ActualCard::new(&c.db);
+            let mut plan = q.plan.clone();
+            est.annotate(&mut plan)?;
+            let g = featurizer.featurize(&c.db, &q.spec, &plan, &est)?;
+            Ok((g, q.runtime_ns))
+        });
+        labelled.into_iter().collect()
+    }
+
     /// Train on a set of corpora (the 19 training databases of a fold).
     ///
-    /// Returns the per-epoch mean training losses.
+    /// Returns the per-epoch mean training losses. The run is deterministic
+    /// in `cfg.seed` and independent of `cfg.threads` and `cfg.exec`.
     pub fn train(&mut self, corpora: &[&DatasetCorpus], cfg: &TrainConfig) -> Result<Vec<f32>> {
-        // Pre-featurize the whole training set once (actual cardinalities).
-        let mut samples: Vec<(TypedGraph, f64)> = Vec::new();
-        for c in corpora {
-            let est = ActualCard::new(&c.db);
-            for q in &c.queries {
-                let mut plan = q.plan.clone();
-                est.annotate(&mut plan)?;
-                let g = self.graph_for(&c.db, &q.spec, &plan, &est)?;
-                samples.push((g, q.runtime_ns));
-            }
-        }
+        cfg.validate()?;
+        // Pre-featurize the whole training set once (actual cardinalities),
+        // in parallel on the configured thread budget.
+        let pool = Pool::new(cfg.threads);
+        let samples = self.featurize_corpora(&pool, corpora)?;
         if samples.is_empty() {
             return Err(GracefulError::Model("no training samples".into()));
         }
         let targets: Vec<f64> = samples.iter().map(|(_, t)| *t).collect();
-        self.gnn.fit_target_norm(&targets);
+        self.gnn.fit_target_norm(&targets)?;
         let mut rng = Rng::seed(cfg.seed ^ 0x7EA1);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut losses = Vec::with_capacity(cfg.epochs);
@@ -99,7 +334,8 @@ impl GracefulModel {
             for chunk in order.chunks(cfg.batch_size) {
                 let graphs: Vec<&TypedGraph> = chunk.iter().map(|&i| &samples[i].0).collect();
                 let ts: Vec<f64> = chunk.iter().map(|&i| samples[i].1).collect();
-                epoch_loss += self.gnn.train_batch(&graphs, &ts, &cfg.adam, cfg.huber_delta)?;
+                epoch_loss +=
+                    self.gnn.train_batch_in(cfg.exec, &graphs, &ts, &cfg.adam, cfg.huber_delta)?;
                 batches += 1;
             }
             losses.push(epoch_loss / batches.max(1) as f32);
@@ -124,20 +360,56 @@ impl GracefulModel {
         self.gnn.predict(g)
     }
 
+    /// Predict a batch of pre-built graphs in one level-synchronous pass
+    /// (bit-identical to per-graph [`GracefulModel::predict_graph`]).
+    pub fn predict_graphs(&self, graphs: &[&TypedGraph]) -> Result<Vec<f64>> {
+        self.gnn.predict_batch(graphs, GnnExecMode::Batched)
+    }
+
+    /// Borrow the underlying GNN.
+    pub fn gnn(&self) -> &GnnModel {
+        &self.gnn
+    }
+
+    /// Mutable access to the underlying GNN (direct per-step training in
+    /// benches and experiments).
+    pub fn gnn_mut(&mut self) -> &mut GnnModel {
+        &mut self.gnn
+    }
+
     /// Number of trainable parameters.
     pub fn param_count(&self) -> usize {
         self.gnn.param_count()
     }
 
-    /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serializes")
+    /// FNV-1a digest over every trained parameter's bit pattern (for
+    /// determinism assertions).
+    pub fn param_checksum(&self) -> u64 {
+        self.gnn.param_checksum()
     }
 
-    /// Deserialize from JSON (rebuilds optimizer buffers).
+    /// Serialize to versioned JSON (see [`MODEL_FORMAT_VERSION`]).
+    pub fn to_json(&self) -> String {
+        let envelope = ModelEnvelope { format_version: MODEL_FORMAT_VERSION, model: self.clone() };
+        serde_json::to_string(&envelope).expect("model serializes")
+    }
+
+    /// Deserialize from JSON (rebuilds optimizer buffers). A missing or
+    /// mismatched format version is a typed [`GracefulError::Model`].
     pub fn from_json(json: &str) -> Result<Self> {
-        let mut m: GracefulModel = serde_json::from_str(json)
-            .map_err(|e| GracefulError::Model(format!("model load failed: {e}")))?;
+        let envelope: ModelEnvelope = serde_json::from_str(json).map_err(|e| {
+            GracefulError::Model(format!(
+                "model load failed (expected format_version {MODEL_FORMAT_VERSION}): {e}"
+            ))
+        })?;
+        if envelope.format_version != MODEL_FORMAT_VERSION {
+            return Err(GracefulError::Model(format!(
+                "unsupported model format version {} (this build reads version \
+                 {MODEL_FORMAT_VERSION})",
+                envelope.format_version
+            )));
+        }
+        let mut m = envelope.model;
         m.gnn.rebuild_after_load();
         Ok(m)
     }
@@ -154,8 +426,8 @@ mod tests {
         let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 16, ..ScaleConfig::default() };
         let train = crate::corpus::build_corpus("tpc_h", &cfg, 1).unwrap();
         let test = crate::corpus::build_corpus("ssb", &cfg, 2).unwrap();
-        let mut model = GracefulModel::new(Featurizer::full(), 16, 3);
-        let tcfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+        let mut model = GracefulModel::new(Featurizer::full(), 16, 3).unwrap();
+        let tcfg = TrainOptions::new().epochs(10).build().unwrap();
         let losses = model.train(&[&train], &tcfg).unwrap();
         assert!(losses.last().unwrap() < losses.first().unwrap(), "loss should decrease");
         // Zero-shot predictions on the unseen database: within a couple of
@@ -177,16 +449,94 @@ mod tests {
     fn model_round_trips_through_json() {
         let cfg = ScaleConfig { data_scale: 0.02, queries_per_db: 8, ..ScaleConfig::default() };
         let c = crate::corpus::build_corpus("imdb", &cfg, 4).unwrap();
-        let mut model = GracefulModel::new(Featurizer::full(), 8, 5);
-        let tcfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+        let mut model = GracefulModel::new(Featurizer::full(), 8, 5).unwrap();
+        let tcfg = TrainOptions::new().epochs(2).build().unwrap();
         model.train(&[&c], &tcfg).unwrap();
         let loaded = GracefulModel::from_json(&model.to_json()).unwrap();
+        // Parameters and predictions are bit-identical after the round trip
+        // (rebuild_after_load restores fresh optimizer buffers).
+        assert_eq!(model.param_checksum(), loaded.param_checksum());
         let est = ActualCard::new(&c.db);
         let q = &c.queries[0];
         let mut plan = q.plan.clone();
         est.annotate(&mut plan).unwrap();
         let a = model.predict(&c.db, &q.spec, &plan, &est).unwrap();
         let b = loaded.predict(&c.db, &q.spec, &plan, &est).unwrap();
-        assert!((a - b).abs() / a < 1e-6);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // The rebuilt optimizer state trains onward without error and the
+        // models stay in lockstep (fresh Adam buffers on both sides).
+        let mut fresh = GracefulModel::from_json(&loaded.to_json()).unwrap();
+        let losses = fresh.train(&[&c], &TrainOptions::new().epochs(1).build().unwrap()).unwrap();
+        assert!(losses[0].is_finite());
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_or_missing_version() {
+        let model = GracefulModel::new(Featurizer::full(), 8, 5).unwrap();
+        let good = model.to_json();
+        assert!(good.contains("\"format_version\""));
+        // Wrong version number.
+        let bad = good.replace(
+            &format!("\"format_version\":{MODEL_FORMAT_VERSION}"),
+            "\"format_version\":999",
+        );
+        match GracefulModel::from_json(&bad) {
+            Err(GracefulError::Model(m)) => assert!(m.contains("999"), "message: {m}"),
+            other => panic!("expected version error, got {other:?}"),
+        }
+        // Pre-versioning payload (no envelope at all).
+        match GracefulModel::from_json("{\"gnn\":{},\"featurizer_level\":5}") {
+            Err(GracefulError::Model(m)) => {
+                assert!(m.contains("format_version"), "message: {m}")
+            }
+            other => panic!("expected load error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_options_validate_like_exec_options() {
+        for (opts, what) in [
+            (TrainOptions::new().epochs(0), "epochs"),
+            (TrainOptions::new().batch_size(0), "batch_size"),
+            (TrainOptions::new().threads(0), "threads"),
+        ] {
+            match opts.build() {
+                Err(GracefulError::Config(m)) => {
+                    assert!(m.contains(what), "message {m:?} names {what}")
+                }
+                other => panic!("{what}=0 produced {other:?}"),
+            }
+        }
+        assert!(matches!(
+            TrainOptions::new().huber_delta(f32::NAN).build(),
+            Err(GracefulError::Config(_))
+        ));
+        assert!(matches!(
+            TrainOptions::new().learning_rate(0.0).build(),
+            Err(GracefulError::Config(_))
+        ));
+        // Zero hidden width is rejected at model construction.
+        assert!(matches!(
+            GracefulModel::new(Featurizer::full(), 0, 1),
+            Err(GracefulError::Config(_))
+        ));
+        // The builder composes like ExecOptions.
+        let cfg = TrainOptions::new()
+            .epochs(3)
+            .batch_size(4)
+            .learning_rate(1e-2)
+            .huber_delta(0.5)
+            .seed(42)
+            .exec(GnnExecMode::NodeAtATime)
+            .threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.batch_size, 4);
+        assert_eq!(cfg.adam.lr, 1e-2);
+        assert_eq!(cfg.huber_delta, 0.5);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.exec, GnnExecMode::NodeAtATime);
+        assert_eq!(cfg.threads, 2);
     }
 }

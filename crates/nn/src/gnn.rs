@@ -18,13 +18,60 @@
 //! Targets are trained in normalized log space with a Huber loss, which is
 //! what makes the Q-error metric well behaved across 6 orders of magnitude
 //! of runtimes.
+//!
+//! # Execution modes
+//!
+//! The forward/backward pass comes in two bit-identical implementations,
+//! selected by [`GnnExecMode`]:
+//!
+//! * [`GnnExecMode::NodeAtATime`] — the reference: a fresh [`Tape`] per
+//!   graph, every per-type MLP applied to `1×f` row tensors in topological
+//!   order. Simple, obviously correct, slow.
+//! * [`GnnExecMode::Batched`] — the level-synchronous engine in the
+//!   crate-private `batched` module: a whole mini-batch of graphs packed
+//!   together, nodes
+//!   grouped by (topological level × node type), every MLP applied once per
+//!   group on an `N×f` matrix. Child aggregation and parameter-gradient
+//!   accumulation replay the reference's float-addition chains exactly, so
+//!   predictions, losses and trained parameters are **bit-identical** to the
+//!   reference at every batch size (the differential suite enforces it).
 
+use crate::batched;
 use crate::mlp::{AdamConfig, Mlp, ParamStore};
 use crate::tape::{Tape, VarId};
 use crate::tensor::Tensor;
 use graceful_common::rng::Rng;
 use graceful_common::{GracefulError, Result};
 use serde::{Deserialize, Serialize};
+
+/// Which forward/backward implementation the GNN uses. Both are
+/// bit-identical; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GnnExecMode {
+    /// Level-synchronous graph-vectorized execution (the fast path).
+    #[default]
+    Batched,
+    /// The kept node-at-a-time reference (one tape per graph).
+    NodeAtATime,
+}
+
+impl GnnExecMode {
+    /// Parse a mode name (`batched` | `node-at-a-time`, case insensitive).
+    /// Unknown names are an error listing the valid options.
+    pub fn parse(value: &str) -> std::result::Result<Self, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "batched" | "batch" | "level" => Ok(GnnExecMode::Batched),
+            "node-at-a-time" | "node_at_a_time" | "reference" | "node" => {
+                Ok(GnnExecMode::NodeAtATime)
+            }
+            other => Err(format!(
+                "invalid GNN exec mode `{other}`: valid values are `batched` \
+                 (aliases `batch`, `level`) and `node-at-a-time` (aliases \
+                 `node_at_a_time`, `node`, `reference`)"
+            )),
+        }
+    }
+}
 
 /// A typed DAG instance ready for the GNN.
 ///
@@ -95,17 +142,33 @@ pub struct GnnConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GnnModel {
     pub config: GnnConfig,
-    store: ParamStore,
-    encoders: Vec<Mlp>,
-    updaters: Vec<Mlp>,
-    readout: Mlp,
+    pub(crate) store: ParamStore,
+    pub(crate) encoders: Vec<Mlp>,
+    pub(crate) updaters: Vec<Mlp>,
+    pub(crate) readout: Mlp,
     /// Target normalization (mean, std) in log space, set by `fit_target_norm`.
     pub target_mean: f32,
     pub target_std: f32,
 }
 
 impl GnnModel {
-    pub fn new(config: GnnConfig, seed: u64) -> Self {
+    /// Build a model, validating the architecture: a zero `hidden` or
+    /// `readout_hidden` width, or an empty `feature_dims`, is a typed
+    /// [`GracefulError::Config`] (matching `ExecOptions` semantics).
+    pub fn new(config: GnnConfig, seed: u64) -> Result<Self> {
+        if config.hidden == 0 {
+            return Err(GracefulError::Config("GNN hidden width must be >= 1, got 0".into()));
+        }
+        if config.readout_hidden == 0 {
+            return Err(GracefulError::Config(
+                "GNN readout hidden width must be >= 1, got 0".into(),
+            ));
+        }
+        if config.feature_dims.is_empty() {
+            return Err(GracefulError::Config(
+                "GNN needs at least one node type (feature_dims is empty)".into(),
+            ));
+        }
         let mut rng = Rng::seed(seed);
         let mut store = ParamStore::new(seed);
         let h = config.hidden;
@@ -123,7 +186,15 @@ impl GnnModel {
             .map(|_| Mlp::new(&mut store, &[2 * h, h, h], &mut rng))
             .collect();
         let readout = Mlp::new(&mut store, &[h, config.readout_hidden, 1], &mut rng);
-        GnnModel { config, store, encoders, updaters, readout, target_mean: 0.0, target_std: 1.0 }
+        Ok(GnnModel {
+            config,
+            store,
+            encoders,
+            updaters,
+            readout,
+            target_mean: 0.0,
+            target_std: 1.0,
+        })
     }
 
     /// Number of scalar parameters.
@@ -131,14 +202,27 @@ impl GnnModel {
         self.store.param_count()
     }
 
+    /// FNV-1a digest over the bit patterns of every parameter scalar — the
+    /// cheap way for differential tests to assert two models' trained
+    /// weights are bit-identical.
+    pub fn param_checksum(&self) -> u64 {
+        self.store.param_checksum()
+    }
+
     /// Compute target normalization from raw (positive) runtime labels.
-    pub fn fit_target_norm(&mut self, targets_ns: &[f64]) {
-        assert!(!targets_ns.is_empty());
+    /// An empty label set is a typed [`GracefulError::Model`].
+    pub fn fit_target_norm(&mut self, targets_ns: &[f64]) -> Result<()> {
+        if targets_ns.is_empty() {
+            return Err(GracefulError::Model(
+                "cannot fit target normalization on zero labels".into(),
+            ));
+        }
         let logs: Vec<f32> = targets_ns.iter().map(|&t| (t.max(1.0)).ln() as f32).collect();
         let mean = logs.iter().sum::<f32>() / logs.len() as f32;
         let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f32>() / logs.len() as f32;
         self.target_mean = mean;
         self.target_std = var.sqrt().max(1e-3);
+        Ok(())
     }
 
     /// Forward pass; returns the tape and the prediction variable
@@ -189,10 +273,41 @@ impl GnnModel {
         Ok((log_ns as f64).exp())
     }
 
-    /// One training step over a mini-batch; returns the mean Huber loss.
+    /// Predict runtimes (ns) for a batch of graphs under `mode`. Both modes
+    /// return bit-identical values; [`GnnExecMode::Batched`] packs the whole
+    /// slice into one level-synchronous pass.
+    pub fn predict_batch(&self, graphs: &[&TypedGraph], mode: GnnExecMode) -> Result<Vec<f64>> {
+        match mode {
+            GnnExecMode::NodeAtATime => graphs.iter().map(|g| self.predict(g)).collect(),
+            GnnExecMode::Batched => batched::predict_batch(self, graphs),
+        }
+    }
+
+    /// One training step over a mini-batch under `mode`; returns the mean
+    /// Huber loss. Both modes produce bit-identical losses, gradients and
+    /// post-step parameters.
+    pub fn train_batch_in(
+        &mut self,
+        mode: GnnExecMode,
+        graphs: &[&TypedGraph],
+        targets_ns: &[f64],
+        adam: &AdamConfig,
+        huber_delta: f32,
+    ) -> Result<f32> {
+        match mode {
+            GnnExecMode::NodeAtATime => self.train_batch(graphs, targets_ns, adam, huber_delta),
+            GnnExecMode::Batched => {
+                batched::train_batch(self, graphs, targets_ns, adam, huber_delta)
+            }
+        }
+    }
+
+    /// One training step over a mini-batch with the node-at-a-time
+    /// reference implementation; returns the mean Huber loss.
     ///
     /// Targets are runtimes in nanoseconds; the Huber delta is in normalized
-    /// log units.
+    /// log units. This is the differential-testing reference for
+    /// [`GnnModel::train_batch_in`] with [`GnnExecMode::Batched`].
     pub fn train_batch(
         &mut self,
         graphs: &[&TypedGraph],
@@ -208,16 +323,10 @@ impl GnnModel {
         let bsz = graphs.len() as f32;
         for (g, &t_ns) in graphs.iter().zip(targets_ns) {
             g.validate(&self.config.feature_dims)?;
-            let target = ((t_ns.max(1.0)).ln() as f32 - self.target_mean) / self.target_std;
+            let target = self.normalized_target(t_ns);
             let (tape, out) = self.forward(g);
             let pred = tape.value(out).data[0];
-            let err = pred - target;
-            // Huber loss and its derivative.
-            let (loss, dloss) = if err.abs() <= huber_delta {
-                (0.5 * err * err, err)
-            } else {
-                (huber_delta * (err.abs() - 0.5 * huber_delta), huber_delta * err.signum())
-            };
+            let (loss, dloss) = huber(pred - target, huber_delta);
             total_loss += loss;
             tape.backward(out, Tensor::from_vec(1, 1, vec![dloss / bsz]), &mut self.store);
         }
@@ -228,6 +337,21 @@ impl GnnModel {
     /// Restore transient optimizer buffers after deserialization.
     pub fn rebuild_after_load(&mut self) {
         self.store.rebuild_buffers();
+    }
+
+    /// Normalize a raw runtime label into the model's log-space target.
+    pub(crate) fn normalized_target(&self, t_ns: f64) -> f32 {
+        ((t_ns.max(1.0)).ln() as f32 - self.target_mean) / self.target_std
+    }
+}
+
+/// Huber loss and its derivative at `err` (shared by both exec modes so the
+/// formulas cannot drift apart).
+pub(crate) fn huber(err: f32, delta: f32) -> (f32, f32) {
+    if err.abs() <= delta {
+        (0.5 * err * err, err)
+    } else {
+        (delta * (err.abs() - 0.5 * delta), delta * err.signum())
     }
 }
 
@@ -257,7 +381,7 @@ mod tests {
     #[test]
     fn validate_catches_bad_graphs() {
         let cfg = GnnConfig { hidden: 8, feature_dims: vec![1, 1, 1], readout_hidden: 8 };
-        let model = GnnModel::new(cfg, 1);
+        let model = GnnModel::new(cfg, 1).unwrap();
         let mut g = chain_graph(&[1.0, 2.0]);
         g.edges.push((3, 0)); // backward edge
         assert!(model.predict(&g).is_err());
@@ -270,7 +394,7 @@ mod tests {
     fn learns_leaf_sum_task() {
         let mut rng = Rng::seed(5);
         let cfg = GnnConfig { hidden: 16, feature_dims: vec![1, 1, 1], readout_hidden: 16 };
-        let mut model = GnnModel::new(cfg, 5);
+        let mut model = GnnModel::new(cfg, 5).unwrap();
         // Dataset: 3-leaf chains, runtime = exp of scaled sum (so log target
         // is linear in the sum).
         let data: Vec<(TypedGraph, f64)> = (0..128)
@@ -281,7 +405,7 @@ mod tests {
             })
             .collect();
         let targets: Vec<f64> = data.iter().map(|(_, t)| *t).collect();
-        model.fit_target_norm(&targets);
+        model.fit_target_norm(&targets).unwrap();
         let adam = AdamConfig { lr: 3e-3, ..AdamConfig::default() };
         for _epoch in 0..60 {
             for chunk in data.chunks(16) {
@@ -304,10 +428,20 @@ mod tests {
     }
 
     #[test]
+    fn exec_mode_parses_and_rejects() {
+        assert_eq!(GnnExecMode::parse("batched"), Ok(GnnExecMode::Batched));
+        assert_eq!(GnnExecMode::parse(" Level "), Ok(GnnExecMode::Batched));
+        assert_eq!(GnnExecMode::parse("node-at-a-time"), Ok(GnnExecMode::NodeAtATime));
+        assert_eq!(GnnExecMode::parse("reference"), Ok(GnnExecMode::NodeAtATime));
+        let err = GnnExecMode::parse("fast").unwrap_err();
+        assert!(err.contains("batched") && err.contains("node-at-a-time"), "lists options: {err}");
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let cfg = GnnConfig { hidden: 8, feature_dims: vec![1, 1, 1], readout_hidden: 8 };
-        let m1 = GnnModel::new(cfg.clone(), 9);
-        let m2 = GnnModel::new(cfg, 9);
+        let m1 = GnnModel::new(cfg.clone(), 9).unwrap();
+        let m2 = GnnModel::new(cfg, 9).unwrap();
         let g = chain_graph(&[0.3, 0.6]);
         assert_eq!(m1.predict(&g).unwrap(), m2.predict(&g).unwrap());
     }
@@ -315,7 +449,7 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let cfg = GnnConfig { hidden: 8, feature_dims: vec![1, 1, 1], readout_hidden: 8 };
-        let model = GnnModel::new(cfg, 11);
+        let model = GnnModel::new(cfg, 11).unwrap();
         let g = chain_graph(&[0.2, 0.4, 0.8]);
         let before = model.predict(&g).unwrap();
         let json = serde_json::to_string(&model).unwrap();
@@ -327,7 +461,7 @@ mod tests {
     #[test]
     fn param_count_positive_and_stable() {
         let cfg = GnnConfig { hidden: 8, feature_dims: vec![2, 3], readout_hidden: 4 };
-        let model = GnnModel::new(cfg, 2);
+        let model = GnnModel::new(cfg, 2).unwrap();
         // encoders: (2*8+8)+(3*8+8) = 56; updaters (two layers each):
         // 2×((16*8+8)+(8*8+8)) = 416; readout: (8*4+4)+(4*1+1) = 41.
         assert_eq!(model.param_count(), 56 + 416 + 41);

@@ -6,24 +6,30 @@
 //! crate implements exactly the stack GRACEFUL needs, from scratch:
 //!
 //! * [`tensor`] — dense row-major `f32` matrices with the handful of BLAS-1/2
-//!   kernels the model uses,
+//!   kernels the model uses, plus the batched building blocks (row
+//!   gather/scatter, in-order segment sums, broadcast bias/activation),
 //! * [`tape`] — reverse-mode automatic differentiation over a per-sample
 //!   tape with a closed operation set (verified against finite differences),
 //! * [`mlp`] — parameter store (Xavier init, Adam with gradient clipping),
 //!   linear layers and MLPs,
 //! * [`gnn`] — the typed **topological message-passing GNN**: per-node-type
-//!   encoders, child-state mean aggregation in topological order, per-type
+//!   encoders, child-state sum aggregation in topological order, per-type
 //!   update networks, and an MLP readout on the root state (Section III-D).
+//!   Training and prediction run either node-at-a-time (the reference) or
+//!   through the **batched level-synchronous engine** — bit-identical, with
+//!   every MLP applied once per (level × type) group; see
+//!   [`gnn::GnnExecMode`].
 //!
 //! Everything is deterministic given the seed, and models serialize with
 //! `serde` so trained estimators can be saved and reloaded.
 
+mod batched;
 pub mod gnn;
 pub mod mlp;
 pub mod tape;
 pub mod tensor;
 
-pub use gnn::{GnnConfig, GnnModel, TypedGraph};
+pub use gnn::{GnnConfig, GnnExecMode, GnnModel, TypedGraph};
 pub use mlp::{AdamConfig, Linear, Mlp, ParamId, ParamStore};
 pub use tape::{Op, Tape, VarId};
 pub use tensor::Tensor;

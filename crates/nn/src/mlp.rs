@@ -101,6 +101,26 @@ impl ParamStore {
         self.values.iter().map(Tensor::len).sum()
     }
 
+    /// FNV-1a digest over every parameter scalar's bit pattern (shape
+    /// included), for bit-identity assertions in differential tests.
+    pub fn param_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for t in &self.values {
+            mix(t.rows as u64);
+            mix(t.cols as u64);
+            for &x in &t.data {
+                mix(x.to_bits() as u64);
+            }
+        }
+        h
+    }
+
     /// Restore the transient buffers after deserialization.
     pub fn rebuild_buffers(&mut self) {
         self.grads = self.values.iter().map(|t| Tensor::zeros(t.rows, t.cols)).collect();

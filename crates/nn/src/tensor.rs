@@ -64,6 +64,25 @@ impl Tensor {
         out
     }
 
+    /// Materialized transpose.
+    ///
+    /// `a.matmul(&b.transpose())` accumulates exactly the same products in
+    /// exactly the same order as `a.matmul_transpose_b(&b)` (ascending inner
+    /// index; the zero-skip only elides `±0.0` additions onto a never-`-0.0`
+    /// accumulator), so the two are bit-identical — but the `matmul` inner
+    /// loop vectorizes while the fused dot products cannot. The batched GNN
+    /// backward transposes each weight matrix once per step and takes the
+    /// fast path.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
     /// `self · otherᵀ` (used in backward passes without materializing the
     /// transpose).
     pub fn matmul_transpose_b(&self, other: &Tensor) -> Tensor {
@@ -103,6 +122,75 @@ impl Tensor {
             }
         }
         out
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Gather `rows` of `self` into a new `rows.len() × cols` matrix (the
+    /// batched replacement for building many `1×c` row tensors).
+    pub fn gather_rows(&self, rows: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(rows.len() * self.cols);
+        for &r in rows {
+            data.extend_from_slice(self.row_slice(r));
+        }
+        Tensor::from_vec(rows.len(), self.cols, data)
+    }
+
+    /// Scatter-add `src`'s rows into `self` at `rows` (row `i` of `src` is
+    /// added to row `rows[i]` of `self`), strictly in `src` row order — the
+    /// deterministic adjoint of [`Tensor::gather_rows`].
+    pub fn scatter_add_rows(&mut self, rows: &[usize], src: &Tensor) {
+        assert_eq!(rows.len(), src.rows, "scatter row-count mismatch");
+        assert_eq!(self.cols, src.cols, "scatter width mismatch");
+        for (i, &r) in rows.iter().enumerate() {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &s) in dst.iter_mut().zip(src.row_slice(i)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Segment sum with a **pinned in-order reduction**: row `r` of `self`
+    /// is added into output row `segments[r]`, scanning rows strictly in
+    /// ascending `r`. Each output row therefore accumulates its members in
+    /// input order starting from zero — the same float-addition chain as
+    /// summing the member rows one by one, so results are bit-identical to a
+    /// per-segment `sum_rows` over the same member order.
+    pub fn segment_sum(&self, segments: &[usize], n_segments: usize) -> Tensor {
+        assert_eq!(segments.len(), self.rows, "segment id per row required");
+        let mut out = Tensor::zeros(n_segments, self.cols);
+        for (r, &s) in segments.iter().enumerate() {
+            let dst = &mut out.data[s * self.cols..(s + 1) * self.cols];
+            for (d, &x) in dst.iter_mut().zip(self.row_slice(r)) {
+                *d += x;
+            }
+        }
+        out
+    }
+
+    /// Broadcast-add a `1×cols` bias row over every row (batched bias).
+    pub fn add_row_broadcast(&mut self, bias: &Tensor) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(self.cols, bias.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Leaky-ReLU every element in place (batched activation).
+    pub fn leaky_relu_assign(&mut self, alpha: f32) {
+        for x in self.data.iter_mut() {
+            if *x < 0.0 {
+                *x *= alpha;
+            }
+        }
     }
 
     /// Element-wise in-place addition.
@@ -172,6 +260,47 @@ mod tests {
         a.scale_assign(2.0);
         assert_eq!(a.data, vec![3.0, 2.0]);
         assert!((a.norm() - (13.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let m = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.rows, 3);
+        assert_eq!(g.data, vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let mut acc = Tensor::zeros(3, 2);
+        acc.scatter_add_rows(&[2, 0, 2], &g);
+        // Row 2 received two contributions, row 0 one, row 1 none.
+        assert_eq!(acc.data, vec![1.0, 2.0, 0.0, 0.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn segment_sum_matches_manual_in_order_chain() {
+        // Awkward summands: the in-order chain differs bitwise from other
+        // orders, so this pins the reduction order as well as the values.
+        let vals: Vec<f32> = (0..8).map(|i| ((i * 2654435761u64 as usize) as f32).sqrt()).collect();
+        let m = Tensor::from_vec(4, 2, vals.clone());
+        let segs = [1usize, 0, 1, 1];
+        let out = m.segment_sum(&segs, 2);
+        let mut want0 = Tensor::zeros(1, 2);
+        want0.add_assign(&Tensor::row(m.row_slice(1)));
+        let mut want1 = Tensor::zeros(1, 2);
+        for r in [0usize, 2, 3] {
+            want1.add_assign(&Tensor::row(m.row_slice(r)));
+        }
+        assert_eq!(out.row_slice(0), want0.data.as_slice());
+        assert_eq!(
+            out.row_slice(1).iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            want1.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn broadcast_bias_and_activation() {
+        let mut m = Tensor::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        m.add_row_broadcast(&Tensor::row(&[1.0, 1.0]));
+        m.leaky_relu_assign(0.5);
+        assert_eq!(m.data, vec![2.0, -0.5, 4.0, -1.5]);
     }
 
     #[test]

@@ -82,8 +82,9 @@ pub mod prelude {
         cross_validate, evaluate_actual, evaluate_model, summarize, train_graceful, EstimatorKind,
     };
     pub use graceful_core::featurize::Featurizer;
-    pub use graceful_core::model::{GracefulModel, TrainConfig};
+    pub use graceful_core::model::{GracefulModel, TrainConfig, TrainOptions};
     pub use graceful_exec::{ExecMode, ExecOptions, Executor, Session};
+    pub use graceful_nn::GnnExecMode;
     pub use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
     pub use graceful_runtime::Pool;
     pub use graceful_storage::datagen::{generate, schema, DATASET_NAMES};
