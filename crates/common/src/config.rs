@@ -19,17 +19,22 @@
 //! | `GRACEFUL_MORSEL`         | rows per morsel in parallel operators | `2048` |
 //! | `GRACEFUL_EXEC`           | executor mode: `pipeline` (streaming physical operators) or `materialize` (per-operator materialization) | `pipeline` |
 //! | `GRACEFUL_GNN_EXEC`       | GNN trainer mode: `batched` (level-synchronous) or `node-at-a-time` (reference) | `batched` |
+//! | `GRACEFUL_PROFILE`        | attach a per-operator `ExecProfile` to every `QueryRun`: `1`/`0` (also `true`/`false`, `on`/`off`, `yes`/`no`) | `0` |
+//! | `GRACEFUL_TRACE`          | enable span tracing and write Chrome-trace JSON to this path on flush | off |
 //!
 //! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`, `GRACEFUL_THREADS`,
-//! `GRACEFUL_MORSEL`, `GRACEFUL_EXEC` and `GRACEFUL_GNN_EXEC` are validated
-//! strictly: an unknown
-//! backend name or a non-positive/unparsable thread, batch or morsel count is
+//! `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`, `GRACEFUL_GNN_EXEC`,
+//! `GRACEFUL_PROFILE` and `GRACEFUL_TRACE` are validated strictly: an unknown
+//! backend name, a non-positive/unparsable thread, batch or morsel count, an
+//! unrecognized boolean or an empty trace path is
 //! a hard error (listing the valid options), not a silent fallback — a typo
 //! in an experiment environment must not silently re-run the wrong
 //! configuration. Results never depend on any of them: the runtime merges
 //! per-morsel work in morsel-index order and both executor modes account
 //! work with the same float grouping, so every output is bit-identical for
-//! any thread count, batch size and executor mode.
+//! any thread count, batch size and executor mode — and profiling/tracing
+//! are write-only observers, so `tests/parallel_determinism.rs` proves they
+//! flip no contracted bit either.
 //!
 //! These environment variables are only *defaults*: the engine is configured
 //! programmatically through `graceful_exec::Session` / `ExecOptions`, which
@@ -215,6 +220,53 @@ pub fn morsel_from_env() -> usize {
     try_morsel_from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Parse a `GRACEFUL_PROFILE` value: a boolean written as `1`/`0`, `true`/
+/// `false`, `on`/`off` or `yes`/`no` (case insensitive). Anything else is an
+/// error listing the valid spellings.
+pub fn parse_profile(value: &str) -> Result<bool, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Ok(true),
+        "0" | "false" | "off" | "no" => Ok(false),
+        other => Err(format!(
+            "invalid GRACEFUL_PROFILE `{other}`: expected a boolean — \
+             `1`/`0`, `true`/`false`, `on`/`off` or `yes`/`no`"
+        )),
+    }
+}
+
+/// Resolve per-query profiling from `GRACEFUL_PROFILE` (default: off); an
+/// invalid value is an error.
+pub fn try_profile_from_env() -> Result<bool, String> {
+    match std::env::var("GRACEFUL_PROFILE") {
+        Ok(v) => parse_profile(&v),
+        Err(_) => Ok(false),
+    }
+}
+
+/// Parse a `GRACEFUL_TRACE` value: a non-empty output path for the
+/// Chrome-trace JSON. An empty (or all-whitespace) value is an error — an
+/// accidentally blank variable must not silently disable the trace the
+/// experiment asked for.
+pub fn parse_trace(value: &str) -> Result<String, String> {
+    let path = value.trim();
+    if path.is_empty() {
+        Err("invalid GRACEFUL_TRACE ``: expected a non-empty output path for the \
+             Chrome-trace JSON (unset the variable to disable tracing)"
+            .to_string())
+    } else {
+        Ok(path.to_string())
+    }
+}
+
+/// Resolve the trace output path from `GRACEFUL_TRACE` (unset → `None`,
+/// tracing off); an empty value is an error.
+pub fn try_trace_from_env() -> Result<Option<String>, String> {
+    match std::env::var("GRACEFUL_TRACE") {
+        Ok(v) => parse_trace(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
 /// Raw `GRACEFUL_GNN_EXEC` value (unset → `None`). This crate cannot depend
 /// on `graceful-nn`, so the value is parsed (and strictly validated) by
 /// `graceful_nn::GnnExecMode::parse` at the train-options layer — this
@@ -339,5 +391,28 @@ mod tests {
         assert!(parse_threads("0").unwrap_err().contains("GRACEFUL_THREADS"));
         assert!(parse_morsel("x").unwrap_err().contains("GRACEFUL_MORSEL"));
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn profile_knob_parses_booleans_and_rejects_unknown() {
+        for on in ["1", "true", "ON", " Yes "] {
+            assert_eq!(parse_profile(on), Ok(true), "{on:?} should enable");
+        }
+        for off in ["0", "false", "Off", " no "] {
+            assert_eq!(parse_profile(off), Ok(false), "{off:?} should disable");
+        }
+        for bad in ["", "2", "enabled", "y"] {
+            let err = parse_profile(bad).unwrap_err();
+            assert!(err.contains("GRACEFUL_PROFILE"), "error names the knob: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_knob_requires_nonempty_path() {
+        assert_eq!(parse_trace(" /tmp/trace.json "), Ok("/tmp/trace.json".to_string()));
+        for bad in ["", "   ", "\t"] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(err.contains("GRACEFUL_TRACE"), "error names the knob: {err}");
+        }
     }
 }

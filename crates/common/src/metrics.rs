@@ -109,27 +109,48 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 /// (`graceful-runtime`). Observability only: nothing reads them on a result
 /// path, so they never affect determinism. The scaling benches report them to
 /// show how much work actually went through the pool.
+///
+/// Since the `graceful-obs` registry landed this module is a thin
+/// compatibility wrapper: the counters live in the registry under the
+/// `pool.*` names (`pool.regions`, `pool.inline_regions`, `pool.morsels`,
+/// `pool.worker_launches`) and this API reads/writes those same atomics, so
+/// `par::snapshot()` and `graceful_obs::registry::snapshot()` always agree.
 pub mod par {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use graceful_obs::registry::{counter, Counter};
+    use std::sync::OnceLock;
 
-    static REGIONS: AtomicU64 = AtomicU64::new(0);
-    static INLINE_REGIONS: AtomicU64 = AtomicU64::new(0);
-    static MORSELS: AtomicU64 = AtomicU64::new(0);
-    static WORKER_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+    struct Handles {
+        regions: Counter,
+        inline_regions: Counter,
+        morsels: Counter,
+        worker_launches: Counter,
+    }
+
+    fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| Handles {
+            regions: counter("pool.regions"),
+            inline_regions: counter("pool.inline_regions"),
+            morsels: counter("pool.morsels"),
+            worker_launches: counter("pool.worker_launches"),
+        })
+    }
 
     /// A parallel region ran on `workers` scoped threads over `morsels`
     /// morsels.
     pub fn record_region(morsels: u64, workers: u64) {
-        REGIONS.fetch_add(1, Ordering::Relaxed);
-        MORSELS.fetch_add(morsels, Ordering::Relaxed);
-        WORKER_LAUNCHES.fetch_add(workers, Ordering::Relaxed);
+        let h = handles();
+        h.regions.incr();
+        h.morsels.add(morsels);
+        h.worker_launches.add(workers);
     }
 
     /// A region ran inline on the calling thread (single-thread pool, a
     /// single morsel, or nested inside another region).
     pub fn record_inline(morsels: u64) {
-        INLINE_REGIONS.fetch_add(1, Ordering::Relaxed);
-        MORSELS.fetch_add(morsels, Ordering::Relaxed);
+        let h = handles();
+        h.inline_regions.incr();
+        h.morsels.add(morsels);
     }
 
     /// Point-in-time view of the counters.
@@ -146,11 +167,12 @@ pub mod par {
     }
 
     pub fn snapshot() -> ParSnapshot {
+        let h = handles();
         ParSnapshot {
-            regions: REGIONS.load(Ordering::Relaxed),
-            inline_regions: INLINE_REGIONS.load(Ordering::Relaxed),
-            morsels: MORSELS.load(Ordering::Relaxed),
-            worker_launches: WORKER_LAUNCHES.load(Ordering::Relaxed),
+            regions: h.regions.get(),
+            inline_regions: h.inline_regions.get(),
+            morsels: h.morsels.get(),
+            worker_launches: h.worker_launches.get(),
         }
     }
 }
@@ -225,5 +247,40 @@ mod tests {
         assert!(after.inline_regions > before.inline_regions);
         assert!(after.morsels >= before.morsels + 11);
         assert!(after.worker_launches >= before.worker_launches + 4);
+    }
+
+    #[test]
+    fn par_counters_are_registry_counters() {
+        // `par` is a compatibility view over the obs registry: both APIs
+        // must read the same atomics under the `pool.*` names.
+        par::record_region(5, 2);
+        let par_view = par::snapshot();
+        let reg_view = graceful_obs::registry::snapshot();
+        assert_eq!(par_view.regions, reg_view.counter("pool.regions"));
+        assert_eq!(par_view.inline_regions, reg_view.counter("pool.inline_regions"));
+        assert_eq!(par_view.morsels, reg_view.counter("pool.morsels"));
+        assert_eq!(par_view.worker_launches, reg_view.counter("pool.worker_launches"));
+    }
+
+    #[test]
+    fn registry_histogram_percentiles_match_paper_metrics() {
+        // The obs registry's p50/p95/p99 must agree bit-for-bit with this
+        // module's `percentile` on identical samples — the registry is the
+        // operational view, this module is the paper-metrics view, and the
+        // two must never tell different stories about the same data.
+        let samples: Vec<f64> =
+            (0..1000).map(|i| ((i * 7919) % 1000) as f64 * 0.25 + 1.0).collect();
+        let h = graceful_obs::registry::histogram("test.common.percentile_crosscheck");
+        for &s in &samples {
+            h.record(s);
+        }
+        let summary = h.summary().expect("samples recorded");
+        assert_eq!(summary.p50.to_bits(), percentile(&samples, 0.5).to_bits());
+        assert_eq!(summary.p95.to_bits(), percentile(&samples, 0.95).to_bits());
+        assert_eq!(summary.p99.to_bits(), percentile(&samples, 0.99).to_bits());
+        assert_eq!(
+            graceful_obs::registry::percentile(&samples, 0.95).to_bits(),
+            percentile(&samples, 0.95).to_bits()
+        );
     }
 }

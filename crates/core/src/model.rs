@@ -37,10 +37,14 @@ use graceful_common::config;
 use graceful_common::rng::Rng;
 use graceful_common::{GracefulError, Result};
 use graceful_nn::{AdamConfig, GnnConfig, GnnExecMode, GnnModel, TypedGraph};
+use graceful_obs::registry::{counter, gauge, histogram, Counter, Gauge, Histogram};
+use graceful_obs::trace;
 use graceful_plan::{Plan, QuerySpec};
 use graceful_runtime::Pool;
 use graceful_storage::Database;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Serialized-model format version (bumped on any layout change so stale
 /// files fail with a typed error instead of garbage predictions).
@@ -313,32 +317,66 @@ impl GracefulModel {
     ///
     /// Returns the per-epoch mean training losses. The run is deterministic
     /// in `cfg.seed` and independent of `cfg.threads` and `cfg.exec`.
+    ///
+    /// Observability (write-only, never on the result path): spans
+    /// `train/train` → `train/featurize` → `train/epoch` → `train/step`,
+    /// plus the registry metrics `train.epochs`, `train.samples`,
+    /// `train.epoch_loss` and the `train.rows_per_s` histogram.
     pub fn train(&mut self, corpora: &[&DatasetCorpus], cfg: &TrainConfig) -> Result<Vec<f32>> {
+        struct TrainMetrics {
+            epochs: Counter,
+            samples: Counter,
+            epoch_loss: Gauge,
+            rows_per_s: Histogram,
+        }
+        static METRICS: OnceLock<TrainMetrics> = OnceLock::new();
+        let m = METRICS.get_or_init(|| TrainMetrics {
+            epochs: counter("train.epochs"),
+            samples: counter("train.samples"),
+            epoch_loss: gauge("train.epoch_loss"),
+            rows_per_s: histogram("train.rows_per_s"),
+        });
         cfg.validate()?;
+        let _train_span =
+            trace::span("train", "train").arg("corpora", corpora.len()).arg("epochs", cfg.epochs);
         // Pre-featurize the whole training set once (actual cardinalities),
         // in parallel on the configured thread budget.
         let pool = Pool::new(cfg.threads);
-        let samples = self.featurize_corpora(&pool, corpora)?;
+        let samples = {
+            let _span = trace::span("train", "featurize");
+            self.featurize_corpora(&pool, corpora)?
+        };
         if samples.is_empty() {
             return Err(GracefulError::Model("no training samples".into()));
         }
+        m.samples.add(samples.len() as u64);
         let targets: Vec<f64> = samples.iter().map(|(_, t)| *t).collect();
         self.gnn.fit_target_norm(&targets)?;
         let mut rng = Rng::seed(cfg.seed ^ 0x7EA1);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut losses = Vec::with_capacity(cfg.epochs);
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let _epoch_span = trace::span("train", "epoch").arg("epoch", epoch);
+            let epoch_started = Instant::now();
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg.batch_size) {
+                let _step_span = trace::span("train", "step").arg("rows", chunk.len());
                 let graphs: Vec<&TypedGraph> = chunk.iter().map(|&i| &samples[i].0).collect();
                 let ts: Vec<f64> = chunk.iter().map(|&i| samples[i].1).collect();
                 epoch_loss +=
                     self.gnn.train_batch_in(cfg.exec, &graphs, &ts, &cfg.adam, cfg.huber_delta)?;
                 batches += 1;
             }
-            losses.push(epoch_loss / batches.max(1) as f32);
+            let mean = epoch_loss / batches.max(1) as f32;
+            losses.push(mean);
+            m.epochs.incr();
+            m.epoch_loss.set(mean as f64);
+            let secs = epoch_started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                m.rows_per_s.record(samples.len() as f64 / secs);
+            }
         }
         Ok(losses)
     }

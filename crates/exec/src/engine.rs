@@ -22,14 +22,19 @@
 //! layer: one tree-walking interpreter, or one batch VM whose register file
 //! is preallocated once and reused across all morsels the worker pulls.
 
-use crate::udf_eval::UdfEvalSpec;
+use crate::profile::ExecProfile;
+use crate::udf_eval::{record_udf_metrics, UdfEvalSpec, UdfEvalStats};
 use graceful_common::config::{self, ExecMode, UdfBackend};
 use graceful_common::{GracefulError, Result};
+use graceful_obs::registry::{counter, histogram, Counter, Histogram};
+use graceful_obs::trace;
 use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind};
 use graceful_runtime::Pool;
 use graceful_storage::{Database, Table, Value};
 use graceful_udf::CostWeights;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Per-row work-unit weights of the relational operators (≈ simulated
 /// nanoseconds, calibrated to a vectorized engine's per-tuple costs with the
@@ -98,6 +103,9 @@ pub struct ExecConfig {
     pub morsel_rows: usize,
     /// Execution strategy; see [`ExecMode`]. Both modes are bit-identical.
     pub mode: ExecMode,
+    /// Attach a per-operator [`ExecProfile`] to every [`QueryRun`]. Pure
+    /// observability: never changes any contracted result field.
+    pub profile: bool,
 }
 
 impl ExecConfig {
@@ -114,21 +122,32 @@ impl ExecConfig {
             threads: config::default_threads(),
             morsel_rows: config::DEFAULT_MORSEL_ROWS,
             mode: ExecMode::default(),
+            profile: false,
         }
     }
 
     /// [`ExecConfig::base`] with the documented `GRACEFUL_*` environment
     /// defaults applied (`GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`,
-    /// `GRACEFUL_THREADS`, `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`). Invalid
-    /// values are a typed [`GracefulError::Config`], not a panic.
+    /// `GRACEFUL_THREADS`, `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`,
+    /// `GRACEFUL_PROFILE`). Invalid values are a typed
+    /// [`GracefulError::Config`], not a panic.
+    ///
+    /// `GRACEFUL_TRACE` is also resolved here: a valid path arms the global
+    /// span-trace collector (`graceful-obs`) so the process can flush a
+    /// Chrome-trace JSON on demand; an invalid value is a config error like
+    /// every other knob.
     pub fn from_env() -> Result<Self> {
         let cfg = GracefulError::Config;
+        if let Some(path) = config::try_trace_from_env().map_err(cfg)? {
+            trace::configure(&path);
+        }
         Ok(ExecConfig {
             udf_backend: UdfBackend::try_from_env().map_err(cfg)?,
             udf_batch_size: config::try_udf_batch_from_env().map_err(cfg)?,
             threads: config::try_threads_from_env().map_err(cfg)?,
             morsel_rows: config::try_morsel_from_env().map_err(cfg)?,
             mode: ExecMode::try_from_env().map_err(cfg)?,
+            profile: config::try_profile_from_env().map_err(cfg)?,
             ..ExecConfig::base()
         })
     }
@@ -184,6 +203,11 @@ pub struct QueryRun {
     /// bit-identity contract: the pipeline executor's whole point is that it
     /// stays far below the materializing executor's peak.
     pub peak_inter_rows: usize,
+    /// Per-operator execution profile, attached when
+    /// [`ExecConfig::profile`] is on. Like `peak_inter_rows`, this is pure
+    /// observability — wall-clock times, batch counts — and **not** part of
+    /// the bit-identity contract.
+    pub profile: Option<ExecProfile>,
 }
 
 impl QueryRun {
@@ -239,12 +263,30 @@ impl<'a> Executor<'a> {
     /// query id so re-running the same query gives the same "measurement").
     ///
     /// Dispatches on [`ExecConfig::mode`]; both modes return bit-identical
-    /// `QueryRun`s (aside from the [`QueryRun::peak_inter_rows`] gauge).
+    /// `QueryRun`s (aside from the [`QueryRun::peak_inter_rows`] gauge and
+    /// the opt-in [`QueryRun::profile`]).
+    ///
+    /// Every call increments the registry counter `exec.queries` and records
+    /// its wall time into the `exec.query_wall_ns` histogram.
     pub fn run(&self, plan: &Plan, seed: u64) -> Result<QueryRun> {
-        match self.config.mode {
+        struct ExecMetrics {
+            queries: Counter,
+            wall_ns: Histogram,
+        }
+        static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+        let m = METRICS.get_or_init(|| ExecMetrics {
+            queries: counter("exec.queries"),
+            wall_ns: histogram("exec.query_wall_ns"),
+        });
+        let _span = trace::span("exec", "query").arg("seed", seed).arg("ops", plan.ops.len());
+        let started = Instant::now();
+        let run = match self.config.mode {
             ExecMode::Pipeline => self.run_pipelined(plan, seed),
             ExecMode::Materialize => self.run_materialized(plan, seed),
-        }
+        };
+        m.queries.incr();
+        m.wall_ns.record(started.elapsed().as_nanos() as f64);
+        run
     }
 
     /// Execute through the physical-operator pipeline (see
@@ -258,14 +300,19 @@ impl<'a> Executor<'a> {
     /// before its parent runs. Kept as the differential-testing reference.
     pub fn run_materialized(&self, plan: &Plan, seed: u64) -> Result<QueryRun> {
         plan.validate()?;
+        let started = Instant::now();
+        let profiling = self.config.profile;
         let mut out_rows = vec![0usize; plan.ops.len()];
         let mut op_work = vec![0f64; plan.ops.len()];
+        let mut wall_ns = vec![0u64; plan.ops.len()];
+        let mut udf_stats: Vec<Option<UdfEvalStats>> = vec![None; plan.ops.len()];
         let mut udf_input_rows = 0usize;
         let mut agg_value = 0.0;
         let mut peak_inter_rows = 0usize;
         let mut results: Vec<Option<Inter>> = (0..plan.ops.len()).map(|_| None).collect();
         for idx in 0..plan.ops.len() {
             let op = &plan.ops[idx];
+            let op_started = profiling.then(Instant::now);
             // Rows resident while this operator runs: every live
             // intermediate (its inputs included — they are only dropped
             // when the operator returns) plus the output it materializes.
@@ -297,12 +344,14 @@ impl<'a> Executor<'a> {
                 PlanOpKind::UdfFilter { udf, op: cmp, literal } => {
                     let child = results[op.children[0]].take().expect("child executed");
                     udf_input_rows = child.n_rows();
-                    self.exec_udf_filter(udf, *cmp, *literal, child, &mut op_work[idx])?
+                    let stats = udf_stats[idx].insert(UdfEvalStats::default());
+                    self.exec_udf_filter(udf, *cmp, *literal, child, &mut op_work[idx], stats)?
                 }
                 PlanOpKind::UdfProject { udf } => {
                     let child = results[op.children[0]].take().expect("child executed");
                     udf_input_rows = child.n_rows();
-                    self.exec_udf_project(udf, child, &mut op_work[idx])?
+                    let stats = udf_stats[idx].insert(UdfEvalStats::default());
+                    self.exec_udf_project(udf, child, &mut op_work[idx], stats)?
                 }
                 PlanOpKind::Agg { func, column } => {
                     let child = results[op.children[0]].take().expect("child executed");
@@ -322,10 +371,36 @@ impl<'a> Executor<'a> {
             }
             peak_inter_rows = peak_inter_rows.max(live_before + inter.n_rows());
             results[idx] = Some(inter);
+            if let Some(t) = op_started {
+                wall_ns[idx] = t.elapsed().as_nanos() as u64;
+            }
         }
         let total: f64 = op_work.iter().sum();
         let runtime_ns = total * jitter_factor(seed, self.config.jitter);
-        Ok(QueryRun { runtime_ns, out_rows, op_work, agg_value, udf_input_rows, peak_inter_rows })
+        let profile = profiling.then(|| {
+            // Every operator fully materializes in one pass here, so each
+            // counts as one batch.
+            let batches = vec![1u64; plan.ops.len()];
+            ExecProfile::assemble(
+                plan,
+                &self.config,
+                started.elapsed().as_nanos() as u64,
+                &wall_ns,
+                &batches,
+                &out_rows,
+                &op_work,
+                &udf_stats,
+            )
+        });
+        Ok(QueryRun {
+            runtime_ns,
+            out_rows,
+            op_work,
+            agg_value,
+            udf_input_rows,
+            peak_inter_rows,
+            profile,
+        })
     }
 
     /// Lower `plan` into its physical-operator pipelines without executing
@@ -488,6 +563,7 @@ impl<'a> Executor<'a> {
         udf: &graceful_udf::GeneratedUdf,
         child: &Inter,
         work: &mut f64,
+        stats: &mut UdfEvalStats,
         per_row_overhead: f64,
         mut consume: impl FnMut(usize, Value),
     ) -> Result<()> {
@@ -506,13 +582,15 @@ impl<'a> Executor<'a> {
         // Ordered merge: work totals and output rows in morsel-index order
         // (== row order); the first failing morsel wins deterministically.
         for (m, part) in parts.into_iter().enumerate() {
-            let (morsel_work, values) = part?;
+            let (morsel_work, values, morsel_stats) = part?;
             *work += morsel_work;
+            stats.merge(&morsel_stats);
             let base = m * morsel;
             for (j, value) in values.into_iter().enumerate() {
                 consume(base + j, value);
             }
         }
+        record_udf_metrics(stats);
         Ok(())
     }
 
@@ -523,18 +601,26 @@ impl<'a> Executor<'a> {
         literal: f64,
         child: Inter,
         work: &mut f64,
+        stats: &mut UdfEvalStats,
     ) -> Result<Inter> {
         let stride = child.tables.len();
         let mut rows = Vec::new();
-        self.exec_udf_rows(udf, &child, work, self.config.weights.udf_compare, |r, value| {
-            let keep = match value.as_f64() {
-                Some(v) => cmp_f64(cmp, v, literal),
-                None => false, // NULL and text outputs never pass the filter
-            };
-            if keep {
-                rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
-            }
-        })?;
+        self.exec_udf_rows(
+            udf,
+            &child,
+            work,
+            stats,
+            self.config.weights.udf_compare,
+            |r, value| {
+                let keep = match value.as_f64() {
+                    Some(v) => cmp_f64(cmp, v, literal),
+                    None => false, // NULL and text outputs never pass the filter
+                };
+                if keep {
+                    rows.extend_from_slice(&child.rows[r * stride..(r + 1) * stride]);
+                }
+            },
+        )?;
         Ok(Inter { tables: child.tables, rows, computed: None })
     }
 
@@ -543,12 +629,18 @@ impl<'a> Executor<'a> {
         udf: &graceful_udf::GeneratedUdf,
         child: Inter,
         work: &mut f64,
+        stats: &mut UdfEvalStats,
     ) -> Result<Inter> {
         let n = child.n_rows();
         let mut computed = Vec::with_capacity(n);
-        self.exec_udf_rows(udf, &child, work, self.config.weights.project_row, |_, value| {
-            computed.push(value)
-        })?;
+        self.exec_udf_rows(
+            udf,
+            &child,
+            work,
+            stats,
+            self.config.weights.project_row,
+            |_, value| computed.push(value),
+        )?;
         Ok(Inter { tables: child.tables, rows: child.rows, computed: Some(computed) })
     }
 

@@ -23,7 +23,11 @@
 //!   bit-identical differential reference;
 //! * [`udf_eval`] — the unified [`udf_eval::UdfEval`] trait with
 //!   tree-walker / batch-VM / columnar-SIMD implementors behind both
-//!   executors.
+//!   executors;
+//! * [`profile`] — the opt-in per-query [`profile::ExecProfile`]
+//!   (per-operator wall time, rows, batches, UDF backend effectiveness),
+//!   attached to [`QueryRun`] when [`ExecOptions::profile`] is on and
+//!   explicitly **outside** the bit-identity contract below.
 //!
 //! Filter and the UDF operators run morsel-parallel on the
 //! `graceful-runtime` pool; scans (an identity row-id fill), hash-join
@@ -37,11 +41,13 @@
 
 pub mod engine;
 pub mod physical;
+pub mod profile;
 pub mod session;
 pub mod udf_eval;
 
 pub use engine::{ExecConfig, Executor, OperatorWeights, QueryRun};
 pub use graceful_common::config::ExecMode;
 pub use physical::{Batch, Operator, PhysicalOp, PhysicalOpKind, PhysicalPlan, Pipeline};
+pub use profile::{ExecProfile, OpProfile, UdfOpProfile};
 pub use session::{ExecOptions, Session};
-pub use udf_eval::{UdfEval, UdfEvalSpec};
+pub use udf_eval::{UdfEval, UdfEvalSpec, UdfEvalStats};

@@ -44,15 +44,19 @@
 //! materializing path.
 
 use crate::engine::{cmp_f64, jitter_factor, AggState, ExecConfig, QueryRun};
-use crate::udf_eval::UdfEvalSpec;
+use crate::profile::ExecProfile;
+use crate::udf_eval::{record_udf_metrics, UdfEvalSpec, UdfEvalStats};
 use graceful_common::{GracefulError, Result};
+use graceful_obs::trace;
 use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind, Pred};
 use graceful_runtime::Pool;
 use graceful_storage::{Column, Database, Table, Value};
 use graceful_udf::ast::CmpOp;
 use graceful_udf::GeneratedUdf;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Physical plan representation (pure lowering, no data access)
@@ -367,6 +371,10 @@ pub struct OpStats {
     pub agg_value: Option<f64>,
     /// Peak rows this node kept resident (rebatch buffers, build tables).
     pub peak_resident: usize,
+    /// Input batches pushed into this node (profile bookkeeping).
+    pub batches: u64,
+    /// UDF evaluation counters if this node is a UDF operator.
+    pub udf_stats: Option<UdfEvalStats>,
 }
 
 /// Downstream consumer an operator emits its output batches into. Emission
@@ -453,6 +461,7 @@ struct FilterExec<'a> {
     stride: usize,
     rows_in: usize,
     rows_out: usize,
+    batches: u64,
     work: f64,
     weight: f64,
 }
@@ -499,6 +508,7 @@ impl FilterExec<'_> {
 impl Operator for FilterExec<'_> {
     fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
         self.rows_in += batch.rows.len() / self.stride;
+        self.batches += 1;
         self.buf.append(&batch);
         self.flush(false, ctx, emit)
     }
@@ -517,6 +527,7 @@ impl Operator for FilterExec<'_> {
             work: self.work,
             out_rows: Some(self.rows_out),
             peak_resident: self.buf.peak,
+            batches: self.batches,
             ..OpStats::default()
         }
     }
@@ -535,7 +546,9 @@ struct UdfExec<'a> {
     buf: Rebatcher,
     rows_in: usize,
     rows_out: usize,
+    batches: u64,
     work: f64,
+    eval_stats: UdfEvalStats,
 }
 
 impl UdfExec<'_> {
@@ -552,8 +565,9 @@ impl UdfExec<'_> {
             .eval_morsels(ctx.pool, take, ctx.morsel, |r| pending[r * stride + pos] as usize);
         // Ordered merge in morsel-index order (== row order).
         for (m, part) in parts.into_iter().enumerate() {
-            let (morsel_work, values) = part?;
+            let (morsel_work, values, morsel_stats) = part?;
             self.work += morsel_work;
+            self.eval_stats.merge(&morsel_stats);
             let range = Pool::morsel_range(m, take, ctx.morsel);
             match self.filter {
                 Some((cmp, literal)) => {
@@ -593,6 +607,7 @@ impl UdfExec<'_> {
 impl Operator for UdfExec<'_> {
     fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
         self.rows_in += batch.rows.len() / self.stride;
+        self.batches += 1;
         self.buf.append(&batch);
         self.flush(false, ctx, emit)
     }
@@ -608,6 +623,8 @@ impl Operator for UdfExec<'_> {
             out_rows: Some(self.rows_out),
             udf_input_rows: Some(self.rows_in),
             peak_resident: self.buf.peak,
+            batches: self.batches,
+            udf_stats: Some(self.eval_stats),
             ..OpStats::default()
         }
     }
@@ -661,6 +678,7 @@ struct ProbeExec<'a> {
     build: usize,
     rows_in: usize,
     rows_out: usize,
+    batches: u64,
     work: f64,
     build_w: f64,
     probe_w: f64,
@@ -669,6 +687,7 @@ struct ProbeExec<'a> {
 
 impl Operator for ProbeExec<'_> {
     fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        self.batches += 1;
         let side = &ctx.builds[self.build];
         let lstride = self.stride;
         let out_stride = lstride + side.stride;
@@ -719,6 +738,7 @@ impl Operator for ProbeExec<'_> {
             plan_idx: Some(self.plan_idx),
             work: self.work,
             out_rows: Some(self.rows_out),
+            batches: self.batches,
             ..OpStats::default()
         }
     }
@@ -736,6 +756,7 @@ struct AggExec<'a> {
     db: &'a Database,
     state: AggState,
     rows_in: usize,
+    batches: u64,
     work: f64,
     weight: f64,
 }
@@ -754,6 +775,7 @@ impl Operator for AggExec<'_> {
     fn push(&mut self, batch: Batch, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
         let n = batch.rows.len() / self.stride;
         self.rows_in += n;
+        self.batches += 1;
         if self.func == AggFunc::CountStar {
             self.state.count_rows(n);
             return Ok(());
@@ -790,6 +812,7 @@ impl Operator for AggExec<'_> {
             work: self.work,
             out_rows: Some(1),
             agg_value: Some(self.state.finish()),
+            batches: self.batches,
             ..OpStats::default()
         }
     }
@@ -817,16 +840,75 @@ fn cap_error(rows: usize) -> GracefulError {
 }
 
 // ---------------------------------------------------------------------------
+// Wall-time self-profiler
+
+/// Self-time wall profiler for one pipeline's operator chain (chain index 0
+/// is the scan source, `k + 1` is `pipe.ops[1..][k]`).
+///
+/// The batch cascade is recursive — an operator's `push` calls downstream
+/// `push`es before returning — so inclusive timings would double-count every
+/// upstream operator. Instead the driver marks enter/exit transitions and
+/// attributes each elapsed slice to the operator on top of the stack: time an
+/// operator spends before emitting (or after its emit returns) is its own;
+/// time inside a downstream push belongs to that downstream operator.
+///
+/// Single-threaded by design (the driver and the Emit cascade run on the
+/// driving thread; pool workers' time shows up as their operator's own,
+/// because the operator blocks on the parallel region it launched).
+struct ChainProf {
+    wall: Vec<Cell<u64>>,
+    stack: RefCell<Vec<usize>>,
+    last: Cell<Instant>,
+}
+
+impl ChainProf {
+    fn new(chain_len: usize) -> Self {
+        ChainProf {
+            wall: (0..chain_len).map(|_| Cell::new(0)).collect(),
+            stack: RefCell::new(Vec::with_capacity(chain_len)),
+            last: Cell::new(Instant::now()),
+        }
+    }
+
+    /// Nanoseconds since the previous mark; advances the mark.
+    fn mark(&self) -> u64 {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last.get()).as_nanos() as u64;
+        self.last.set(now);
+        dt
+    }
+
+    fn enter(&self, chain_idx: usize) {
+        let dt = self.mark();
+        if let Some(&top) = self.stack.borrow().last() {
+            self.wall[top].set(self.wall[top].get() + dt);
+        }
+        self.stack.borrow_mut().push(chain_idx);
+    }
+
+    fn exit(&self) {
+        let dt = self.mark();
+        let top = self.stack.borrow_mut().pop().expect("enter/exit balanced");
+        self.wall[top].set(self.wall[top].get() + dt);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 
 /// Execute `plan` through the pipeline executor. Equivalent to
 /// `Executor::run` under `ExecMode::Pipeline`.
 pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Result<QueryRun> {
+    let started = Instant::now();
+    let profiling = config.profile;
     let phys = lower(plan)?;
     let pool = Pool::new(config.threads);
     let n_ops = plan.ops.len();
     let mut out_rows = vec![0usize; n_ops];
     let mut op_work = vec![0f64; n_ops];
+    let mut wall_ns = vec![0u64; n_ops];
+    let mut batches = vec![0u64; n_ops];
+    let mut udf_stats: Vec<Option<UdfEvalStats>> = vec![None; n_ops];
     // `(plan_idx, rows_in)` of the UDF operator that owns `udf_input_rows`:
     // the materializing loop assigns it per UDF op in plan-index order, so
     // the highest-index UDF operator wins regardless of pipeline order.
@@ -834,7 +916,12 @@ pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Re
     let mut agg_value = 0.0;
     let mut peak_inter_rows = 0usize;
     let mut builds: Vec<BuildSide> = Vec::new();
+    // Self time of each pipeline's plan-less build sink, indexed like
+    // `phys.pipelines` (a probe's `build` field is a pipeline index); folded
+    // into the probing join operator's wall time.
+    let mut build_wall: Vec<u64> = Vec::new();
     for pipe in &phys.pipelines {
+        let _pipe_span = trace::span("exec", "pipeline").arg("ops", pipe.ops.len());
         let ctx = ExecCtx {
             pool: &pool,
             builds: &builds,
@@ -859,19 +946,33 @@ pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Re
         let mut ops: Vec<Box<dyn Operator + '_>> =
             pipe.ops[1..].iter().map(|op| instantiate(db, config, op)).collect::<Result<_>>()?;
         let morsel = ctx.morsel;
+        batches[scan_idx] += Pool::morsel_count(n, morsel) as u64;
+        let prof = profiling.then(|| ChainProf::new(pipe.ops.len()));
         for m in 0..Pool::morsel_count(n, morsel) {
+            if let Some(p) = &prof {
+                p.enter(0);
+            }
             let range = Pool::morsel_range(m, n, morsel);
             let batch = Batch { rows: range.map(|r| r as u32).collect(), computed: None };
-            feed(&mut ops, &ctx, batch)?;
+            let fed = feed(&mut ops, &ctx, batch, prof.as_ref(), 1);
+            if let Some(p) = &prof {
+                p.exit();
+            }
+            fed?;
         }
-        finish_all(&mut ops, &ctx)?;
+        finish_all(&mut ops, &ctx, prof.as_ref(), 1)?;
         let mut pipe_resident = n.min(morsel); // one in-flight scan batch
         for op in &ops {
             let s = op.stats();
             if let Some(i) = s.plan_idx {
                 op_work[i] += s.work;
+                batches[i] += s.batches;
                 if let Some(r) = s.out_rows {
                     out_rows[i] = r;
+                }
+                if let Some(us) = s.udf_stats {
+                    udf_stats[i].get_or_insert_with(UdfEvalStats::default).merge(&us);
+                    record_udf_metrics(&us);
                 }
             }
             if let Some(u) = s.udf_input_rows {
@@ -885,6 +986,32 @@ pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Re
             }
             pipe_resident += s.peak_resident;
         }
+        // Attribute the chain's wall self-times to their logical operators.
+        // Plan-less nodes fold elsewhere: a build sink's time is stashed for
+        // the probing join, a collect's folds into the last planned operator
+        // upstream of it.
+        let mut orphan_build = 0u64;
+        if let Some(p) = &prof {
+            wall_ns[scan_idx] += p.wall[0].get();
+            let mut last_planned = scan_idx;
+            for (k, phys_op) in pipe.ops[1..].iter().enumerate() {
+                let w = p.wall[k + 1].get();
+                match phys_op.plan_idx {
+                    Some(i) => {
+                        wall_ns[i] += w;
+                        last_planned = i;
+                        if let PhysicalOpKind::HashJoinProbe { build, .. } = &phys_op.kind {
+                            wall_ns[i] += build_wall.get(*build).copied().unwrap_or(0);
+                        }
+                    }
+                    None => match phys_op.kind {
+                        PhysicalOpKind::HashJoinBuild { .. } => orphan_build += w,
+                        _ => wall_ns[last_planned] += w,
+                    },
+                }
+            }
+        }
+        build_wall.push(orphan_build);
         // Build sides persist past their pipeline; buffers do not.
         let held: usize = builds.iter().map(|b| b.n_rows).sum();
         peak_inter_rows = peak_inter_rows.max(held + pipe_resident);
@@ -896,7 +1023,27 @@ pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Re
     let total: f64 = op_work.iter().sum();
     let runtime_ns = total * jitter_factor(seed, config.jitter);
     let udf_input_rows = udf_mark.map_or(0, |(_, u)| u);
-    Ok(QueryRun { runtime_ns, out_rows, op_work, agg_value, udf_input_rows, peak_inter_rows })
+    let profile = profiling.then(|| {
+        ExecProfile::assemble(
+            plan,
+            config,
+            started.elapsed().as_nanos() as u64,
+            &wall_ns,
+            &batches,
+            &out_rows,
+            &op_work,
+            &udf_stats,
+        )
+    });
+    Ok(QueryRun {
+        runtime_ns,
+        out_rows,
+        op_work,
+        agg_value,
+        udf_input_rows,
+        peak_inter_rows,
+        profile,
+    })
 }
 
 /// Instantiate the execution state for one lowered node (resolving its
@@ -921,6 +1068,7 @@ fn instantiate<'a>(
                 stride: *stride,
                 rows_in: 0,
                 rows_out: 0,
+                batches: 0,
                 work: 0.0,
                 weight: w.filter_pred,
             })
@@ -934,7 +1082,9 @@ fn instantiate<'a>(
             buf: Rebatcher::new(*stride),
             rows_in: 0,
             rows_out: 0,
+            batches: 0,
             work: 0.0,
+            eval_stats: UdfEvalStats::default(),
         }),
         PhysicalOpKind::UdfProject { udf, pos, stride } => Box::new(UdfExec {
             plan_idx: op.plan_idx.expect("udf project maps to a plan op"),
@@ -945,7 +1095,9 @@ fn instantiate<'a>(
             buf: Rebatcher::new(*stride),
             rows_in: 0,
             rows_out: 0,
+            batches: 0,
             work: 0.0,
+            eval_stats: UdfEvalStats::default(),
         }),
         PhysicalOpKind::HashJoinBuild { key, pos, stride } => Box::new(BuildExec {
             key_col: db.table(&key.table)?.column(&key.column)?,
@@ -966,6 +1118,7 @@ fn instantiate<'a>(
             build: *build,
             rows_in: 0,
             rows_out: 0,
+            batches: 0,
             work: 0.0,
             build_w: w.join_build_row,
             probe_w: w.join_probe_row,
@@ -980,6 +1133,7 @@ fn instantiate<'a>(
             db,
             state: AggState::new(*func),
             rows_in: 0,
+            batches: 0,
             work: 0.0,
             weight: w.agg_row,
         }),
@@ -989,22 +1143,48 @@ fn instantiate<'a>(
 
 /// Push one batch into operator `ops[0]`; its emissions cascade through the
 /// rest of the chain batch by batch, so no operator's full output is ever
-/// collected in one place.
-fn feed(ops: &mut [Box<dyn Operator + '_>], ctx: &ExecCtx<'_>, batch: Batch) -> Result<()> {
+/// collected in one place. `chain` is `ops[0]`'s chain index for the
+/// optional wall-time profiler.
+fn feed(
+    ops: &mut [Box<dyn Operator + '_>],
+    ctx: &ExecCtx<'_>,
+    batch: Batch,
+    prof: Option<&ChainProf>,
+    chain: usize,
+) -> Result<()> {
     let Some((first, rest)) = ops.split_first_mut() else {
         return Ok(());
     };
-    first.push(batch, ctx, &mut |b| feed(rest, ctx, b))
+    if let Some(p) = prof {
+        p.enter(chain);
+    }
+    let pushed = first.push(batch, ctx, &mut |b| feed(rest, ctx, b, prof, chain + 1));
+    if let Some(p) = prof {
+        p.exit();
+    }
+    pushed
 }
 
 /// Flush every operator in chain order, cascading flushed batches through
 /// the not-yet-finished downstream operators.
-fn finish_all(ops: &mut [Box<dyn Operator + '_>], ctx: &ExecCtx<'_>) -> Result<()> {
+fn finish_all(
+    ops: &mut [Box<dyn Operator + '_>],
+    ctx: &ExecCtx<'_>,
+    prof: Option<&ChainProf>,
+    chain: usize,
+) -> Result<()> {
     let Some((first, rest)) = ops.split_first_mut() else {
         return Ok(());
     };
-    first.finish(ctx, &mut |b| feed(rest, ctx, b))?;
-    finish_all(rest, ctx)
+    if let Some(p) = prof {
+        p.enter(chain);
+    }
+    let finished = first.finish(ctx, &mut |b| feed(rest, ctx, b, prof, chain + 1));
+    if let Some(p) = prof {
+        p.exit();
+    }
+    finished?;
+    finish_all(rest, ctx, prof, chain + 1)
 }
 
 fn udf_spec<'a>(

@@ -61,6 +61,7 @@ pub struct ExecOptions {
     weights: Option<OperatorWeights>,
     udf_weights: Option<CostWeights>,
     mode: Option<ExecMode>,
+    profile: Option<bool>,
 }
 
 impl ExecOptions {
@@ -124,6 +125,14 @@ impl ExecOptions {
         self
     }
 
+    /// Attach a per-operator [`crate::ExecProfile`] to every
+    /// [`QueryRun`]. Pure observability — profiled and unprofiled runs are
+    /// bit-identical in every contracted `QueryRun` field.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = Some(on);
+        self
+    }
+
     /// Apply the explicit options over `defaults`.
     fn over(self, defaults: ExecConfig) -> ExecConfig {
         ExecConfig {
@@ -138,6 +147,7 @@ impl ExecOptions {
             weights: self.weights.unwrap_or(defaults.weights),
             udf_weights: self.udf_weights.unwrap_or(defaults.udf_weights),
             mode: self.mode.unwrap_or(defaults.mode),
+            profile: self.profile.unwrap_or(defaults.profile),
         }
     }
 

@@ -26,10 +26,66 @@
 
 use graceful_common::config::UdfBackend;
 use graceful_common::Result;
+use graceful_obs::registry::{counter, Counter};
+use graceful_obs::trace;
 use graceful_runtime::Pool;
 use graceful_storage::{Column, DataType, Value};
-use graceful_udf::simd::{self, TypedCol};
+use graceful_udf::simd::{self, SimdBatchStats, TypedCol};
 use graceful_udf::{compile, CostCounter, CostWeights, Interpreter, Program, SimdShape, Vm};
+use std::sync::OnceLock;
+
+/// Evaluation-volume counters one [`UdfEval`] accumulates while it runs.
+/// Observability only — the engine never reads them on a result path, so
+/// they cannot affect the bit-identity contract. Per-morsel stats merge in
+/// morsel-index order like every other per-morsel result, making the totals
+/// themselves deterministic too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UdfEvalStats {
+    /// Rows evaluated.
+    pub rows: u64,
+    /// Internal evaluation batches. The tree-walker counts one batch per
+    /// row (its "batch" is a row); the VM/SIMD backends count their actual
+    /// `udf_batch_size`-bounded batches.
+    pub batches: u64,
+    /// SIMD fast-path effectiveness (zero for the scalar backends).
+    pub simd: SimdBatchStats,
+}
+
+impl UdfEvalStats {
+    /// Accumulate another evaluator's counters into this one.
+    pub fn merge(&mut self, other: &UdfEvalStats) {
+        self.rows += other.rows;
+        self.batches += other.batches;
+        self.simd.merge(&other.simd);
+    }
+}
+
+struct UdfMetrics {
+    rows: Counter,
+    batches: Counter,
+    simd_fast_rows: Counter,
+    simd_bail_rows: Counter,
+    simd_group_splits: Counter,
+}
+
+/// Fold `stats` into the process-wide registry (`udf.rows`, `udf.batches`,
+/// `udf.simd.fast_rows`, `udf.simd.bail_rows`, `udf.simd.group_splits`).
+/// Both executor modes call this once per UDF operator.
+pub(crate) fn record_udf_metrics(stats: &UdfEvalStats) {
+    static METRICS: OnceLock<UdfMetrics> = OnceLock::new();
+    let m = METRICS.get_or_init(|| UdfMetrics {
+        rows: counter("udf.rows"),
+        batches: counter("udf.batches"),
+        simd_fast_rows: counter("udf.simd.fast_rows"),
+        simd_bail_rows: counter("udf.simd.bail_rows"),
+        simd_group_splits: counter("udf.simd.group_splits"),
+    });
+    m.rows.add(stats.rows);
+    m.batches.add(stats.batches);
+    m.simd_fast_rows.add(stats.simd.fast_rows);
+    m.simd_bail_rows.add(stats.simd.bail_rows);
+    m.simd_group_splits.add(stats.simd.group_splits);
+}
 
 /// Batched UDF evaluation over gathered input rows.
 ///
@@ -41,7 +97,15 @@ pub trait UdfEval {
     /// input columns), appending one output [`Value`] per row to `values`
     /// and accumulating accounted work — UDF cost plus the operator's
     /// per-row overhead — into `work` with this backend's float grouping.
-    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()>;
+    /// Evaluation-volume counters accumulate into `stats` (write-only, never
+    /// consulted for results).
+    fn eval_rows(
+        &mut self,
+        rids: &[usize],
+        values: &mut Vec<Value>,
+        work: &mut f64,
+        stats: &mut UdfEvalStats,
+    ) -> Result<()>;
 }
 
 /// Everything resolved once per UDF operator: input columns, the compiled
@@ -93,7 +157,8 @@ impl<'a> UdfEvalSpec<'a> {
 
     /// Evaluate rows `0..n` — mapped to storage row ids by `rid_of` — in
     /// `morsel`-row morsels on `pool`, one evaluator per worker, returning
-    /// the per-morsel `(work, values)` pairs **in morsel-index order**.
+    /// the per-morsel `(work, values, stats)` triples **in morsel-index
+    /// order**.
     ///
     /// This is the one shared kernel behind both executor modes' UDF
     /// operators: the per-morsel float grouping and the merge order live
@@ -104,7 +169,7 @@ impl<'a> UdfEvalSpec<'a> {
         n: usize,
         morsel: usize,
         rid_of: impl Fn(usize) -> usize + Sync,
-    ) -> Vec<Result<(f64, Vec<Value>)>> {
+    ) -> Vec<Result<(f64, Vec<Value>, UdfEvalStats)>> {
         pool.map_init(
             Pool::morsel_count(n, morsel),
             || (self.new_eval(), Vec::new()),
@@ -112,10 +177,12 @@ impl<'a> UdfEvalSpec<'a> {
                 let range = Pool::morsel_range(m, n, morsel);
                 rids.clear();
                 rids.extend(range.clone().map(&rid_of));
+                let _span = trace::span("udf", "eval_morsel").arg("rows", rids.len());
                 let mut morsel_work = 0.0f64;
+                let mut stats = UdfEvalStats::default();
                 let mut values = Vec::with_capacity(range.len());
-                eval.eval_rows(rids, &mut values, &mut morsel_work)?;
-                Ok((morsel_work, values))
+                eval.eval_rows(rids, &mut values, &mut morsel_work, &mut stats)?;
+                Ok((morsel_work, values, stats))
             },
         )
     }
@@ -184,7 +251,13 @@ struct TreewalkEval<'a> {
 }
 
 impl UdfEval for TreewalkEval<'_> {
-    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()> {
+    fn eval_rows(
+        &mut self,
+        rids: &[usize],
+        values: &mut Vec<Value>,
+        work: &mut f64,
+        stats: &mut UdfEvalStats,
+    ) -> Result<()> {
         for &rid in rids {
             self.args.clear();
             self.args.extend(self.cols.iter().map(|c| c.value(rid)));
@@ -192,6 +265,9 @@ impl UdfEval for TreewalkEval<'_> {
             *work += out.cost.total + self.overhead;
             values.push(out.value);
         }
+        stats.rows += rids.len() as u64;
+        // The tree-walker's "batch" is a single row.
+        stats.batches += rids.len() as u64;
         Ok(())
     }
 }
@@ -211,7 +287,13 @@ struct VmEval<'a> {
 }
 
 impl UdfEval for VmEval<'_> {
-    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()> {
+    fn eval_rows(
+        &mut self,
+        rids: &[usize],
+        values: &mut Vec<Value>,
+        work: &mut f64,
+        stats: &mut UdfEvalStats,
+    ) -> Result<()> {
         let mut start = 0;
         while start < rids.len() {
             let end = (start + self.batch).min(rids.len());
@@ -228,6 +310,8 @@ impl UdfEval for VmEval<'_> {
             let col_slices: Vec<&[Value]> = self.col_bufs.iter().map(|b| b.as_slice()).collect();
             self.vm.eval_batch(self.prog, &col_slices, &mut self.outs, &mut cost)?;
             *work += cost.total + (end - start) as f64 * self.overhead;
+            stats.rows += (end - start) as u64;
+            stats.batches += 1;
             values.append(&mut self.outs);
             start = end;
         }
@@ -253,7 +337,13 @@ struct SimdEval<'a> {
 }
 
 impl UdfEval for SimdEval<'_> {
-    fn eval_rows(&mut self, rids: &[usize], values: &mut Vec<Value>, work: &mut f64) -> Result<()> {
+    fn eval_rows(
+        &mut self,
+        rids: &[usize],
+        values: &mut Vec<Value>,
+        work: &mut f64,
+        stats: &mut UdfEvalStats,
+    ) -> Result<()> {
         let mut start = 0;
         while start < rids.len() {
             let end = (start + self.batch).min(rids.len());
@@ -262,15 +352,18 @@ impl UdfEval for SimdEval<'_> {
             }
             self.outs.clear();
             let mut cost = CostCounter::new();
-            simd::eval_batch_typed(
+            simd::eval_batch_typed_with_stats(
                 &mut self.vm,
                 self.prog,
                 self.shape,
                 &self.typed_bufs,
                 &mut self.outs,
                 &mut cost,
+                &mut stats.simd,
             )?;
             *work += cost.total + (end - start) as f64 * self.overhead;
+            stats.rows += (end - start) as u64;
+            stats.batches += 1;
             values.append(&mut self.outs);
             start = end;
         }

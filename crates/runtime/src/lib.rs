@@ -37,14 +37,50 @@
 //! oversubscribes the machine, and because inline and forked execution share
 //! the same morsel structure, it never changes results either.
 //!
-//! The pool reports dispatch counters through the hooks in
-//! [`graceful_common::metrics::par`].
+//! # Observability
+//!
+//! The pool records dispatch counters (`pool.regions`, `pool.inline_regions`,
+//! `pool.morsels`, `pool.worker_launches`) and per-region histograms
+//! (`pool.morsels_per_worker`, `pool.worker_start_wait_ns` — how long each
+//! scoped worker took to start pulling morsels after the region forked) into
+//! the [`graceful_obs::registry`]; the legacy
+//! [`graceful_common::metrics::par`] snapshot API reads the same atomics.
+//! When span tracing is on ([`graceful_obs::trace`]), each region and each
+//! worker emit spans with their morsel counts as arguments. All of it is
+//! write-only: nothing here reads a metric to make a decision, so results
+//! stay bit-identical whether observability is on or off.
 
 use graceful_common::config;
-use graceful_common::metrics::par;
+use graceful_obs::registry::{counter, histogram, Counter, Histogram};
+use graceful_obs::trace;
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Registry handles resolved once; the pool's hot path only touches relaxed
+/// atomics after that.
+struct PoolMetrics {
+    regions: Counter,
+    inline_regions: Counter,
+    morsels: Counter,
+    worker_launches: Counter,
+    morsels_per_worker: Histogram,
+    worker_start_wait_ns: Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        regions: counter("pool.regions"),
+        inline_regions: counter("pool.inline_regions"),
+        morsels: counter("pool.morsels"),
+        worker_launches: counter("pool.worker_launches"),
+        morsels_per_worker: histogram("pool.morsels_per_worker"),
+        worker_start_wait_ns: histogram("pool.worker_start_wait_ns"),
+    })
+}
 
 thread_local! {
     static IN_POOL_REGION: Cell<bool> = const { Cell::new(false) };
@@ -133,9 +169,12 @@ impl Pool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> R + Sync,
     {
+        let metrics = pool_metrics();
         let workers = self.threads.min(n_morsels);
         if workers <= 1 || in_parallel_region() {
-            par::record_inline(n_morsels as u64);
+            metrics.inline_regions.incr();
+            metrics.morsels.add(n_morsels as u64);
+            let _span = trace::span("pool", "region_inline").arg("morsels", n_morsels);
             // The inline path is still a pool region: nested pools (e.g. an
             // executor inside a 1-worker corpus build) must also run inline,
             // so a pinned single-thread pool really is single-threaded.
@@ -143,14 +182,23 @@ impl Pool {
             let mut state = init();
             return (0..n_morsels).map(|m| f(&mut state, m)).collect();
         }
-        par::record_region(n_morsels as u64, workers as u64);
+        metrics.regions.incr();
+        metrics.morsels.add(n_morsels as u64);
+        metrics.worker_launches.add(workers as u64);
+        let _span = trace::span("pool", "region").arg("morsels", n_morsels).arg("workers", workers);
+        let forked_at = Instant::now();
         let cursor = AtomicUsize::new(0);
         let mut out: Vec<Option<R>> = (0..n_morsels).map(|_| None).collect();
         std::thread::scope(|s| {
+            // Shared state reaches the `move` closures as copied references,
+            // so each worker borrows rather than consumes it.
+            let (init, f, cursor, forked_at) = (&init, &f, &cursor, &forked_at);
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
+                .map(|w| {
+                    s.spawn(move || {
+                        metrics.worker_start_wait_ns.record(forked_at.elapsed().as_nanos() as f64);
                         IN_POOL_REGION.with(|c| c.set(true));
+                        let worker_span = trace::span("pool", "worker").arg("worker", w);
                         let mut state = init();
                         let mut produced = Vec::new();
                         loop {
@@ -158,8 +206,11 @@ impl Pool {
                             if m >= n_morsels {
                                 break;
                             }
+                            let _morsel_span = trace::span("pool", "morsel").arg("morsel", m);
                             produced.push((m, f(&mut state, m)));
                         }
+                        metrics.morsels_per_worker.record(produced.len() as f64);
+                        drop(worker_span.arg("morsels_pulled", produced.len()));
                         produced
                     })
                 })

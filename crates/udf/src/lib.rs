@@ -49,6 +49,6 @@ pub use interp::{EvalOutcome, Interpreter, MAX_WHILE_ITERS};
 pub use libfns::LibFn;
 pub use parser::parse_udf;
 pub use printer::print_udf;
-pub use simd::TypedCol;
+pub use simd::{SimdBatchStats, TypedCol};
 pub use typecheck::infer_return_type;
 pub use vm::Vm;

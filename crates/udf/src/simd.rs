@@ -359,6 +359,34 @@ enum RowResult {
 // ---------------------------------------------------------------------------
 // Public entry points
 
+/// Fast-path effectiveness counters for one (or more, when accumulated)
+/// typed-batch evaluations. Observability only: the engine never reads these
+/// to make a decision, so they cannot affect results. The per-row bail rate
+/// (`bail_rows / rows`) is the signal the SIMD fast-path widening work
+/// tracks: it is exactly the fraction of rows the lane model could not keep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimdBatchStats {
+    /// Rows evaluated in total.
+    pub rows: u64,
+    /// Rows completed on the columnar fast path.
+    pub fast_rows: u64,
+    /// Rows that fell back to the scalar VM (bail opcodes, untyped lanes,
+    /// group-budget exhaustion, undefined reads).
+    pub bail_rows: u64,
+    /// True control-flow divergences that split a selection group in two.
+    pub group_splits: u64,
+}
+
+impl SimdBatchStats {
+    /// Accumulate another batch's counters into this one.
+    pub fn merge(&mut self, other: &SimdBatchStats) {
+        self.rows += other.rows;
+        self.fast_rows += other.fast_rows;
+        self.bail_rows += other.bail_rows;
+        self.group_splits += other.group_splits;
+    }
+}
+
 /// Evaluate a batch with the columnar fast path, falling back row-by-row to
 /// the scalar VM wherever the lane model cannot follow. Appends one value per
 /// row to `out` and merges per-row costs into `cost` **in row order** —
@@ -371,6 +399,23 @@ pub fn eval_batch_typed(
     cols: &[TypedCol],
     out: &mut Vec<Value>,
     cost: &mut CostCounter,
+) -> Result<()> {
+    eval_batch_typed_with_stats(vm, prog, shape, cols, out, cost, &mut SimdBatchStats::default())
+}
+
+/// [`eval_batch_typed`] that additionally accumulates fast-path
+/// effectiveness counters into `stats`. Values, errors and costs are
+/// unaffected by the accounting (it only observes which `RowResult` variant
+/// each row produced), so this is what the execution engine's instrumented
+/// UDF path calls.
+pub fn eval_batch_typed_with_stats(
+    vm: &mut Vm,
+    prog: &Program,
+    shape: &SimdShape,
+    cols: &[TypedCol],
+    out: &mut Vec<Value>,
+    cost: &mut CostCounter,
+    stats: &mut SimdBatchStats,
 ) -> Result<()> {
     if cols.len() != prog.n_params() {
         return Err(GracefulError::Eval(format!(
@@ -392,16 +437,21 @@ pub fn eval_batch_typed(
     let mut start = 0;
     while start < rows {
         let end = (start + SIMD_CHUNK).min(rows);
-        let (results, group_costs) = run_chunk(vm, prog, shape, cols, start..end)?;
+        let (results, group_costs, groups_spawned) = run_chunk(vm, prog, shape, cols, start..end)?;
+        // Every divergence spawned two child groups on top of the root.
+        stats.group_splits += ((groups_spawned - 1) / 2) as u64;
         // Ordered merge: one value push + one cost merge per row, exactly the
         // per-row cadence of `Vm::eval_batch`; the first failing row wins.
         for r in results {
+            stats.rows += 1;
             match r {
                 RowResult::Columnar { value, group } => {
+                    stats.fast_rows += 1;
                     out.push(value);
                     cost.merge(&group_costs[group as usize]);
                 }
                 RowResult::Scalar(o) => {
+                    stats.bail_rows += 1;
                     out.push(o.value);
                     cost.merge(&o.cost);
                 }
@@ -449,7 +499,7 @@ fn run_chunk(
     shape: &SimdShape,
     cols: &[TypedCol],
     range: std::ops::Range<usize>,
-) -> Result<(Vec<RowResult>, Vec<CostCounter>)> {
+) -> Result<(Vec<RowResult>, Vec<CostCounter>, usize)> {
     let n = range.len();
     let w = vm.weights().clone();
     let mut results: Vec<Option<RowResult>> = (0..n).map(|_| None).collect();
@@ -685,7 +735,7 @@ fn run_chunk(
     }
     let results =
         results.into_iter().map(|r| r.expect("every chunk row resolved to a result")).collect();
-    Ok((results, group_costs))
+    Ok((results, group_costs, groups_spawned))
 }
 
 /// Re-run every row of `g` on the scalar VM (the authentic per-row

@@ -65,13 +65,20 @@ def score(production_year, kind_id):
     };
     // Engine configuration is programmatic: `Session::from_env()` applies
     // the documented GRACEFUL_* defaults once, `ExecOptions::new()` builds a
-    // fully env-free session (e.g. `.udf_backend(UdfBackend::Vm)`).
-    let session = Session::from_env().expect("valid GRACEFUL_* configuration");
+    // fully env-free session (e.g. `.udf_backend(UdfBackend::Vm)`). Here the
+    // environment defaults are kept but per-operator profiling is forced on
+    // (`GRACEFUL_PROFILE=1` would do the same).
+    let session =
+        ExecOptions::new().profile(true).build_with_env().expect("valid GRACEFUL_* configuration");
     let exec = session.executor(&db);
     let mut annotated = plan.clone();
     let run = exec.run_and_annotate(&mut annotated, 7).expect("plan executes");
     println!("\nexecuted plan:\n{}", annotated.explain());
     println!("measured runtime: {:.3} ms ({} rows kept)", run.runtime_ns * 1e-6, run.out_rows[1]);
+    // The profile is pure observability — outside the bit-identity contract.
+    if let Some(profile) = &run.profile {
+        println!("\n{}", profile.explain());
+    }
 
     // 4. Train a small model on a generated workload over the same database.
     let cfg = ScaleConfig {
@@ -116,4 +123,12 @@ def score(production_year, kind_id):
         run.runtime_ns * 1e-6,
         q
     );
+
+    // 6. With GRACEFUL_TRACE=/tmp/trace.json set, flush every span recorded
+    // above (query execution, pool regions, training epochs/steps) as
+    // Chrome-trace JSON — open it in chrome://tracing or ui.perfetto.dev.
+    if graceful::obs::trace::flush().expect("trace written") {
+        let path = graceful::obs::trace::configured_path().unwrap_or_default();
+        println!("wrote {} trace events to {path}", graceful::obs::trace::event_count());
+    }
 }

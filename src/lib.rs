@@ -57,6 +57,7 @@ pub use graceful_core as core_model;
 pub use graceful_exec as exec;
 pub use graceful_gbdt as gbdt;
 pub use graceful_nn as nn;
+pub use graceful_obs as obs;
 pub use graceful_plan as plan;
 pub use graceful_runtime as runtime;
 pub use graceful_storage as storage;
@@ -83,7 +84,7 @@ pub mod prelude {
     };
     pub use graceful_core::featurize::Featurizer;
     pub use graceful_core::model::{GracefulModel, TrainConfig, TrainOptions};
-    pub use graceful_exec::{ExecMode, ExecOptions, Executor, Session};
+    pub use graceful_exec::{ExecMode, ExecOptions, ExecProfile, Executor, Session};
     pub use graceful_nn::GnnExecMode;
     pub use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
     pub use graceful_runtime::Pool;

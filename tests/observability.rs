@@ -1,0 +1,233 @@
+//! Integration tests for the observability subsystem: per-operator query
+//! profiles ([`ExecProfile`]), Chrome-trace-event JSON export, and the
+//! unified metrics registry.
+//!
+//! The bit-identity side (profiled runs identical to unobserved runs) lives
+//! in `tests/parallel_determinism.rs`; here we check the *content* of the
+//! observations: every plan in a generated suite yields a profile covering
+//! every operator, the trace export parses as a valid event array, and the
+//! registry's snapshot/diff surfaces the engine counters.
+
+use graceful::obs::{registry, trace};
+use graceful::plan::{Plan, PlanOpKind};
+use graceful::prelude::*;
+use graceful::udf::generator::apply_adaptations;
+use serde::Deserialize;
+
+/// Generated plans (with every valid UDF placement) over one small database.
+fn suite_plans() -> (Database, Vec<(u64, Plan)>) {
+    let mut db = generate(&schema("tpc_h"), 0.02, 3);
+    let g = QueryGenerator::default();
+    let mut plans = Vec::new();
+    for seed in [7u64, 11, 42, 99, 1234] {
+        let mut rng = Rng::seed(seed);
+        let Ok(spec) = g.generate(&db, seed, &mut rng) else { continue };
+        if let Some(u) = &spec.udf {
+            if apply_adaptations(&mut db, &u.adaptations).is_err() {
+                continue;
+            }
+        }
+        for placement in graceful::plan::valid_placements(&spec) {
+            if let Ok(plan) = build_plan(&spec, placement) {
+                plans.push((seed, plan));
+            }
+        }
+    }
+    assert!(plans.len() >= 3, "query suite too small: {} plans", plans.len());
+    (db, plans)
+}
+
+fn profiled(backend: UdfBackend, mode: ExecMode) -> Session {
+    ExecOptions::new()
+        .udf_backend(backend)
+        .udf_batch_size(37)
+        .threads(2)
+        .morsel_rows(64)
+        .mode(mode)
+        .profile(true)
+        .build()
+        .expect("valid options")
+}
+
+/// Every plan in the suite, under every backend and both executor modes,
+/// yields an [`ExecProfile`] whose per-operator rows/work agree exactly with
+/// the contracted `QueryRun` fields, whose UDF counters appear exactly on
+/// the UDF operators, and whose explain rendering names every operator.
+#[test]
+fn profiles_cover_every_plan_in_the_suite() {
+    let (db, plans) = suite_plans();
+    let mut udf_plans = 0usize;
+    for (seed, plan) in &plans {
+        for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
+            for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+                let run =
+                    profiled(backend, mode).run(&db, plan, *seed).expect("profiled run succeeds");
+                let what = format!("{backend:?} x {mode:?} seed {seed}");
+                let prof = run.profile.as_ref().unwrap_or_else(|| panic!("{what}: no profile"));
+                assert_eq!(prof.ops.len(), plan.ops.len(), "{what}: op coverage");
+                assert_eq!(prof.mode, mode);
+                assert_eq!(prof.backend, backend);
+                assert_eq!(prof.threads, 2);
+                assert!(prof.total_wall_ns > 0, "{what}: zero total wall time");
+                let wall_sum: u64 = prof.ops.iter().map(|o| o.wall_ns).sum();
+                assert!(
+                    wall_sum <= prof.total_wall_ns,
+                    "{what}: self-times {wall_sum} exceed total {}",
+                    prof.total_wall_ns
+                );
+                for (i, (op, p)) in plan.ops.iter().zip(prof.ops.iter()).enumerate() {
+                    assert!(!p.name.is_empty(), "{what}: op {i} unnamed");
+                    assert_eq!(p.rows_out, run.out_rows[i], "{what}: op {i} rows");
+                    assert_eq!(
+                        p.work.to_bits(),
+                        run.op_work[i].to_bits(),
+                        "{what}: op {i} work diverges from the accounted value"
+                    );
+                    if mode == ExecMode::Materialize {
+                        assert_eq!(p.batches, 1, "{what}: materialize runs one pass per op");
+                    }
+                    let is_udf = matches!(
+                        op.kind,
+                        PlanOpKind::UdfFilter { .. } | PlanOpKind::UdfProject { .. }
+                    );
+                    assert_eq!(p.udf.is_some(), is_udf, "{what}: op {i} UDF counter presence");
+                    if let Some(u) = &p.udf {
+                        assert_eq!(u.backend, backend);
+                        if u.rows > 0 {
+                            assert!(u.batches > 0, "{what}: rows without batches");
+                        }
+                        if backend == UdfBackend::TreeWalk {
+                            assert_eq!(u.batches, u.rows, "tree-walker batches per row");
+                            assert_eq!(u.simd_fast_rows + u.simd_bail_rows, 0);
+                        }
+                        if backend == UdfBackend::Simd {
+                            // The typed fast path classifies every row it
+                            // sees as fast or bailed; an ineligible shape
+                            // falls back to the VM and records neither.
+                            let classified = u.simd_fast_rows + u.simd_bail_rows;
+                            assert!(
+                                classified == u.rows || classified == 0,
+                                "{what}: {classified} classified of {} rows",
+                                u.rows
+                            );
+                            assert!(u.bail_rate() >= 0.0 && u.bail_rate() <= 1.0);
+                        }
+                    }
+                }
+                // One UDF per query spec, so the per-op totals must add up
+                // to the contracted input-row count.
+                let udf_rows: u64 = prof.ops.iter().filter_map(|o| o.udf).map(|u| u.rows).sum();
+                assert_eq!(udf_rows as usize, run.udf_input_rows, "{what}: UDF row total");
+                if run.udf_input_rows > 0 {
+                    udf_plans += 1;
+                }
+                let text = prof.explain();
+                assert!(text.contains("QUERY PROFILE"), "{what}: explain header");
+                for p in &prof.ops {
+                    assert!(text.contains(&p.name), "{what}: explain omits {}", p.name);
+                }
+            }
+        }
+    }
+    assert!(udf_plans > 0, "suite exercised no UDF operators");
+}
+
+/// Profiles are strictly opt-in: a default session attaches none.
+#[test]
+fn profile_is_opt_in() {
+    let (db, plans) = suite_plans();
+    let (seed, plan) = &plans[0];
+    let run = Session::new().run(&db, plan, *seed).expect("run succeeds");
+    assert!(run.profile.is_none());
+}
+
+/// The subset of a Chrome trace event the export contract guarantees.
+/// Unknown keys (like `args`) are ignored by deserialization.
+#[derive(Debug, Deserialize)]
+struct Ev {
+    name: String,
+    cat: String,
+    ph: String,
+    ts: f64,
+    dur: f64,
+    pid: u64,
+    tid: u64,
+}
+
+/// The trace export is a valid Chrome-trace-event JSON array of complete
+/// events, both in memory and round-tripped through a file.
+#[test]
+fn chrome_trace_export_is_a_valid_event_array() {
+    // Empty (or near-empty) traces still parse as an array.
+    let events: Vec<Ev> = serde_json::from_str(&trace::export_json()).expect("empty trace parses");
+    drop(events);
+
+    trace::enable();
+    let (db, plans) = suite_plans();
+    for (seed, plan) in plans.iter().take(2) {
+        profiled(UdfBackend::Simd, ExecMode::Pipeline)
+            .run(&db, plan, *seed)
+            .expect("traced run succeeds");
+    }
+    trace::disable();
+
+    let json = trace::export_json();
+    let events: Vec<Ev> = serde_json::from_str(&json).expect("trace JSON parses");
+    assert!(!events.is_empty(), "no events recorded");
+    for e in &events {
+        assert_eq!(e.ph, "X", "only complete events are emitted");
+        assert!(e.ts >= 0.0 && e.dur >= 0.0, "negative time in {e:?}");
+        assert!(e.pid >= 1);
+        assert!(!e.name.is_empty() && !e.cat.is_empty());
+    }
+    assert!(events.iter().any(|e| e.cat == "exec" && e.name == "query"), "missing exec/query span");
+    assert!(
+        events.iter().any(|e| e.cat == "udf" && e.name == "eval_morsel"),
+        "missing udf/eval_morsel span"
+    );
+    // Worker spans carry distinct synthetic thread ids.
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(!tids.is_empty());
+
+    // File round-trip (the `GRACEFUL_TRACE=path` flush target).
+    let path = std::env::temp_dir().join("graceful-observability-trace.json");
+    let path = path.to_str().expect("utf-8 temp path");
+    trace::write_to(path).expect("trace file written");
+    let reread: Vec<Ev> =
+        serde_json::from_str(&std::fs::read_to_string(path).expect("trace file read"))
+            .expect("trace file parses");
+    assert!(reread.len() >= events.len());
+    let _ = std::fs::remove_file(path);
+}
+
+/// The registry's snapshot/diff view surfaces the engine's work counters:
+/// executed queries, UDF evaluation volume, and the query wall-time
+/// histogram.
+#[test]
+fn registry_snapshot_diff_tracks_engine_counters() {
+    let (db, plans) = suite_plans();
+    let before = registry::snapshot();
+    let mut ran = 0u64;
+    let mut udf_rows = 0u64;
+    for (seed, plan) in &plans {
+        let run = profiled(UdfBackend::Vm, ExecMode::Pipeline)
+            .run(&db, plan, *seed)
+            .expect("run succeeds");
+        ran += 1;
+        udf_rows += run.udf_input_rows as u64;
+    }
+    let delta = registry::snapshot().diff(&before);
+    // Other tests run concurrently in this binary and only ever add, so the
+    // deltas are lower bounds.
+    assert!(delta.counter("exec.queries") >= ran, "exec.queries under-counts");
+    assert!(delta.counter("udf.rows") >= udf_rows, "udf.rows under-counts");
+    assert!(delta.counter("udf.batches") >= 1);
+    let after = registry::snapshot();
+    let wall = after.histograms.get("exec.query_wall_ns").expect("wall histogram registered");
+    assert!(wall.count >= ran);
+    assert!(wall.p50 > 0.0 && wall.p99 >= wall.p50);
+    let rendered = after.render();
+    assert!(rendered.contains("exec.queries") && rendered.contains("exec.query_wall_ns"));
+}

@@ -18,12 +18,17 @@ use proptest::prelude::*;
 /// Small morsels and an awkward VM batch size so even the test-scale tables
 /// split into many morsels with ragged boundaries.
 fn session(backend: UdfBackend, threads: usize, mode: ExecMode) -> Session {
+    session_profiled(backend, threads, mode, false)
+}
+
+fn session_profiled(backend: UdfBackend, threads: usize, mode: ExecMode, profile: bool) -> Session {
     ExecOptions::new()
         .udf_backend(backend)
         .udf_batch_size(37)
         .threads(threads)
         .morsel_rows(64)
         .mode(mode)
+        .profile(profile)
         .build()
         .expect("valid options")
 }
@@ -95,6 +100,54 @@ proptest! {
             assert_runs_bit_identical(&references[1], &references[2], "vm vs simd");
         }
     }
+}
+
+/// Observability is outside the bit-identity contract and must stay there:
+/// with per-operator profiling *and* span tracing enabled, every contracted
+/// `QueryRun` field is bit-identical to the unobserved run — across thread
+/// counts {1, 2, 4}, all three UDF backends and both executor modes. The
+/// profile itself must exist and cover every plan operator.
+#[test]
+fn profiling_and_tracing_change_no_contracted_bit() {
+    graceful::obs::trace::enable();
+    let mut db = generate(&schema("tpc_h"), 0.02, 3);
+    let g = QueryGenerator::default();
+    for seed in [11u64, 42, 1234] {
+        let mut rng = Rng::seed(seed);
+        let Ok(spec) = g.generate(&db, seed, &mut rng) else { continue };
+        if let Some(u) = &spec.udf {
+            if apply_adaptations(&mut db, &u.adaptations).is_err() {
+                continue;
+            }
+        }
+        for placement in graceful::plan::valid_placements(&spec) {
+            let Ok(plan) = build_plan(&spec, placement) else { continue };
+            for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
+                for threads in [1usize, 2, 4] {
+                    for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+                        let plain = session_profiled(backend, threads, mode, false)
+                            .run(&db, &plan, seed)
+                            .expect("unprofiled run succeeds");
+                        let profiled = session_profiled(backend, threads, mode, true)
+                            .run(&db, &plan, seed)
+                            .expect("profiled run succeeds");
+                        assert_runs_bit_identical(
+                            &profiled,
+                            &plain,
+                            &format!("profiled vs plain: {backend:?} x {threads} x {mode:?}"),
+                        );
+                        assert!(plain.profile.is_none(), "profile must be opt-in");
+                        let prof = profiled.profile.expect("profile attached when enabled");
+                        assert_eq!(prof.ops.len(), plan.ops.len(), "one OpProfile per plan op");
+                        assert_eq!(prof.mode, mode);
+                        assert_eq!(prof.backend, backend);
+                    }
+                }
+            }
+        }
+    }
+    graceful::obs::trace::disable();
+    assert!(graceful::obs::trace::event_count() > 0, "tracing recorded spans");
 }
 
 /// Corpus labels — the paper's 142-hour bottleneck, and the training data of
