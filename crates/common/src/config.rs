@@ -21,12 +21,14 @@
 //! | `GRACEFUL_GNN_EXEC`       | GNN trainer mode: `batched` (level-synchronous) or `node-at-a-time` (reference) | `batched` |
 //! | `GRACEFUL_PROFILE`        | attach a per-operator `ExecProfile` to every `QueryRun`: `1`/`0` (also `true`/`false`, `on`/`off`, `yes`/`no`) | `0` |
 //! | `GRACEFUL_TRACE`          | enable span tracing and write Chrome-trace JSON to this path on flush | off |
+//! | `GRACEFUL_FLIGHT`         | enable the query flight recorder and write per-query JSONL records to this path on flush | off |
 //!
 //! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`, `GRACEFUL_THREADS`,
 //! `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`, `GRACEFUL_GNN_EXEC`,
-//! `GRACEFUL_PROFILE` and `GRACEFUL_TRACE` are validated strictly: an unknown
+//! `GRACEFUL_PROFILE`, `GRACEFUL_TRACE` and `GRACEFUL_FLIGHT` are validated
+//! strictly: an unknown
 //! backend name, a non-positive/unparsable thread, batch or morsel count, an
-//! unrecognized boolean or an empty trace path is
+//! unrecognized boolean or an empty trace/flight path is
 //! a hard error (listing the valid options), not a silent fallback — a typo
 //! in an experiment environment must not silently re-run the wrong
 //! configuration. Results never depend on any of them: the runtime merges
@@ -267,6 +269,30 @@ pub fn try_trace_from_env() -> Result<Option<String>, String> {
     }
 }
 
+/// Parse a `GRACEFUL_FLIGHT` value: a non-empty output path for the
+/// flight-recorder JSONL. An empty (or all-whitespace) value is an error —
+/// an accidentally blank variable must not silently disable the recording
+/// the experiment asked for.
+pub fn parse_flight(value: &str) -> Result<String, String> {
+    let path = value.trim();
+    if path.is_empty() {
+        Err("invalid GRACEFUL_FLIGHT ``: expected a non-empty output path for the \
+             flight-recorder JSONL (unset the variable to disable recording)"
+            .to_string())
+    } else {
+        Ok(path.to_string())
+    }
+}
+
+/// Resolve the flight-recorder output path from `GRACEFUL_FLIGHT` (unset →
+/// `None`, recording off); an empty value is an error.
+pub fn try_flight_from_env() -> Result<Option<String>, String> {
+    match std::env::var("GRACEFUL_FLIGHT") {
+        Ok(v) => parse_flight(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
 /// Raw `GRACEFUL_GNN_EXEC` value (unset → `None`). This crate cannot depend
 /// on `graceful-nn`, so the value is parsed (and strictly validated) by
 /// `graceful_nn::GnnExecMode::parse` at the train-options layer — this
@@ -413,6 +439,15 @@ mod tests {
         for bad in ["", "   ", "\t"] {
             let err = parse_trace(bad).unwrap_err();
             assert!(err.contains("GRACEFUL_TRACE"), "error names the knob: {err}");
+        }
+    }
+
+    #[test]
+    fn flight_knob_requires_nonempty_path() {
+        assert_eq!(parse_flight(" /tmp/flight.jsonl "), Ok("/tmp/flight.jsonl".to_string()));
+        for bad in ["", "   ", "\t"] {
+            let err = parse_flight(bad).unwrap_err();
+            assert!(err.contains("GRACEFUL_FLIGHT"), "error names the knob: {err}");
         }
     }
 }

@@ -17,7 +17,10 @@
 //!   enumeration, cost distributions, and the UBC / AuC / Conservative
 //!   decision strategies,
 //! * [`experiments`] — shared leave-one-out harness used by the bench
-//!   targets that regenerate each table/figure.
+//!   targets that regenerate each table/figure,
+//! * [`telemetry`] — model-aware execution (predict → run → q-error into
+//!   the metrics registry and flight recorder) and the flight-record →
+//!   training-label on-ramp.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub mod corpus;
 pub mod experiments;
 pub mod featurize;
 pub mod model;
+pub mod telemetry;
 
 pub use advisor::{AdvisorDecision, PullUpAdvisor, Strategy};
 pub use corpus::{
@@ -49,3 +53,4 @@ pub use corpus::{
 };
 pub use featurize::Featurizer;
 pub use model::GracefulModel;
+pub use telemetry::{labels_from_flight, run_with_model, ModelRun};

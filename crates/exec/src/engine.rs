@@ -132,14 +132,18 @@ impl ExecConfig {
     /// `GRACEFUL_PROFILE`). Invalid values are a typed
     /// [`GracefulError::Config`], not a panic.
     ///
-    /// `GRACEFUL_TRACE` is also resolved here: a valid path arms the global
-    /// span-trace collector (`graceful-obs`) so the process can flush a
-    /// Chrome-trace JSON on demand; an invalid value is a config error like
+    /// `GRACEFUL_TRACE` and `GRACEFUL_FLIGHT` are also resolved here: a
+    /// valid path arms the global span-trace collector / query flight
+    /// recorder (`graceful-obs`) so the process can flush Chrome-trace JSON
+    /// / per-query JSONL on demand; an invalid value is a config error like
     /// every other knob.
     pub fn from_env() -> Result<Self> {
         let cfg = GracefulError::Config;
         if let Some(path) = config::try_trace_from_env().map_err(cfg)? {
             trace::configure(&path);
+        }
+        if let Some(path) = config::try_flight_from_env().map_err(cfg)? {
+            graceful_obs::flight::configure(&path);
         }
         Ok(ExecConfig {
             udf_backend: UdfBackend::try_from_env().map_err(cfg)?,
@@ -286,6 +290,11 @@ impl<'a> Executor<'a> {
         };
         m.queries.incr();
         m.wall_ns.record(started.elapsed().as_nanos() as f64);
+        // Estimator-quality telemetry (q-error histograms, flight record) —
+        // write-only observability, one atomic load when everything is off.
+        if let Ok(r) = &run {
+            crate::analyze::observe_run(plan, &self.config, r, seed);
+        }
         run
     }
 

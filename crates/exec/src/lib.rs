@@ -27,7 +27,11 @@
 //! * [`profile`] — the opt-in per-query [`profile::ExecProfile`]
 //!   (per-operator wall time, rows, batches, UDF backend effectiveness),
 //!   attached to [`QueryRun`] when [`ExecOptions::profile`] is on and
-//!   explicitly **outside** the bit-identity contract below.
+//!   explicitly **outside** the bit-identity contract below;
+//! * [`analyze`] — estimator-quality telemetry: after every run, predicted
+//!   cardinalities/costs are scored against the measured truth (q-error
+//!   registry histograms, the `graceful-obs` flight recorder, and the
+//!   `explain analyze` record built by [`analyze::flight_record`]).
 //!
 //! Filter and the UDF operators run morsel-parallel on the
 //! `graceful-runtime` pool; scans (an identity row-id fill), hash-join
@@ -39,12 +43,14 @@
 //! labels never depend on the machine's parallelism or the engine's
 //! execution strategy.
 
+pub mod analyze;
 pub mod engine;
 pub mod physical;
 pub mod profile;
 pub mod session;
 pub mod udf_eval;
 
+pub use analyze::{estimated_work, flight_record, static_udf_row_cost};
 pub use engine::{ExecConfig, Executor, OperatorWeights, QueryRun};
 pub use graceful_common::config::ExecMode;
 pub use physical::{Batch, Operator, PhysicalOp, PhysicalOpKind, PhysicalPlan, Pipeline};

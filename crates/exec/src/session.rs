@@ -214,6 +214,24 @@ impl Session {
     pub fn run_and_annotate(&self, db: &Database, plan: &mut Plan, seed: u64) -> Result<QueryRun> {
         self.executor(db).run_and_annotate(plan, seed)
     }
+
+    /// Convenience: execute one plan and build its
+    /// [`FlightRecord`](graceful_obs::flight::FlightRecord) — the `explain
+    /// analyze` input, rendered with `FlightRecord::render_analyze()`.
+    /// Annotate the plan with a cardinality estimator first to get per-op
+    /// q-errors (they are `None` on un-annotated plans). The record is built
+    /// locally from the run; the global flight recorder (when enabled)
+    /// captures its own copy inside [`Session::run`] as usual.
+    pub fn run_analyzed(
+        &self,
+        db: &Database,
+        plan: &Plan,
+        seed: u64,
+    ) -> Result<(QueryRun, graceful_obs::flight::FlightRecord)> {
+        let run = self.run(db, plan, seed)?;
+        let record = crate::analyze::flight_record(plan, &self.config, &run, seed, None);
+        Ok((run, record))
+    }
 }
 
 impl Default for Session {

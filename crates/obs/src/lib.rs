@@ -2,9 +2,9 @@
 //! registry and lightweight span tracing, shared by every layer (runtime
 //! pool, execution engine, UDF backends, trainer).
 //!
-//! The crate is dependency-free (std only) and sits *below*
-//! `graceful-common` in the crate graph, so any crate in the workspace can
-//! record into it without cycles.
+//! The crate depends only on std and the in-tree serde shims and sits
+//! *below* `graceful-common` in the crate graph, so any crate in the
+//! workspace can record into it without cycles.
 //!
 //! # Design constraints
 //!
@@ -23,8 +23,11 @@
 //!   attributable.
 //!
 //! See [`registry`] for counters/gauges/histograms with a snapshot/diff API,
-//! and [`trace`] for scoped spans exported as Chrome-trace-event JSON
-//! (loadable in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! [`trace`] for scoped spans exported as Chrome-trace-event JSON
+//! (loadable in `chrome://tracing` or <https://ui.perfetto.dev>), and
+//! [`flight`] for the per-query JSONL flight recorder capturing predicted
+//! vs. actual cardinalities/costs with their q-errors.
 
+pub mod flight;
 pub mod registry;
 pub mod trace;

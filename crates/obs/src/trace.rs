@@ -151,6 +151,11 @@ impl SpanGuard {
     }
 }
 
+fn dropped_metric() -> &'static crate::registry::Counter {
+    static DROPPED_METRIC: OnceLock<crate::registry::Counter> = OnceLock::new();
+    DROPPED_METRIC.get_or_init(|| crate::registry::counter("trace.dropped_events"))
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(active) = self.0.take() else { return };
@@ -158,6 +163,7 @@ impl Drop for SpanGuard {
         if RECORDED.fetch_add(1, Ordering::Relaxed) >= EVENT_CAP as u64 {
             RECORDED.fetch_sub(1, Ordering::Relaxed);
             DROPPED.fetch_add(1, Ordering::Relaxed);
+            dropped_metric().incr();
             return;
         }
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);

@@ -223,6 +223,73 @@ impl Plan {
         count
     }
 
+    /// A stable structural fingerprint of the plan: FNV-1a over every
+    /// operator's kind, arguments (tables, predicates, join columns, UDF
+    /// name + source, comparison + literal bits, aggregate) and child
+    /// indices. Annotation slots (`est_out_rows` / `actual_out_rows`) are
+    /// deliberately **excluded**, so the fingerprint identifies the plan
+    /// *shape* across annotated and unannotated copies — the key the flight
+    /// recorder and featurization caches join on. The hash is a fixed
+    /// algorithm over explicit bytes (not `std::hash`), so it is stable
+    /// across runs, platforms and compiler versions.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            // Separator so concatenated fields cannot alias.
+            h ^= 0xff;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        eat(&(self.ops.len() as u64).to_le_bytes());
+        eat(&(self.root as u64).to_le_bytes());
+        for op in &self.ops {
+            eat(op.kind.name().as_bytes());
+            for &c in &op.children {
+                eat(&(c as u64).to_le_bytes());
+            }
+            match &op.kind {
+                PlanOpKind::Scan { table } => eat(table.as_bytes()),
+                PlanOpKind::Filter { preds } => {
+                    for p in preds {
+                        eat(p.display().as_bytes());
+                    }
+                }
+                PlanOpKind::Join { left_col, right_col } => {
+                    eat(left_col.to_string().as_bytes());
+                    eat(right_col.to_string().as_bytes());
+                }
+                PlanOpKind::UdfFilter { udf, op, literal } => {
+                    eat(udf.def.name.as_bytes());
+                    eat(udf.source.as_bytes());
+                    eat(op.symbol().as_bytes());
+                    eat(&literal.to_bits().to_le_bytes());
+                }
+                PlanOpKind::UdfProject { udf } => {
+                    eat(udf.def.name.as_bytes());
+                    eat(udf.source.as_bytes());
+                }
+                PlanOpKind::Agg { func, column } => {
+                    eat(func.name().as_bytes());
+                    if let Some(c) = column {
+                        eat(c.to_string().as_bytes());
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// [`Plan::fingerprint`] rendered as 16 lowercase hex digits — the form
+    /// stored in flight-recorder records.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
     /// EXPLAIN-style rendering with cardinality annotations.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -310,6 +377,33 @@ mod tests {
         assert_eq!(p.ops_above(0), vec![2, 3]);
         assert_eq!(p.ops_above(2), vec![3]);
         assert!(p.ops_above(3).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_annotation_invariant() {
+        let p = two_table_plan();
+        let fp = p.fingerprint();
+        assert_eq!(p.fingerprint(), fp, "deterministic");
+        assert_eq!(p.fingerprint_hex(), format!("{fp:016x}"));
+        assert_eq!(p.fingerprint_hex().len(), 16);
+
+        // Annotations do not move the fingerprint...
+        let mut annotated = p.clone();
+        annotated.ops[0].est_out_rows = 123.0;
+        annotated.ops[2].actual_out_rows = 45.0;
+        assert_eq!(annotated.fingerprint(), fp);
+
+        // ...but structural changes do.
+        let mut other_table = p.clone();
+        other_table.ops[1].kind = PlanOpKind::Scan { table: "c".into() };
+        assert_ne!(other_table.fingerprint(), fp);
+        let mut other_agg = p.clone();
+        other_agg.ops[3].kind =
+            PlanOpKind::Agg { func: AggFunc::Sum, column: Some(ColRef::new("a", "id")) };
+        assert_ne!(other_agg.fingerprint(), fp);
+        let mut other_shape = p.clone();
+        other_shape.ops[2].children = vec![1, 0];
+        assert_ne!(other_shape.fingerprint(), fp);
     }
 
     #[test]

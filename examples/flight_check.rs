@@ -1,0 +1,47 @@
+//! Validate a flight-recorder JSONL file: parse every line back into
+//! [`graceful::obs::flight::FlightRecord`]s and summarize the estimator
+//! quality they carry. Exits non-zero on a missing file, a malformed
+//! record, or an empty recording — CI runs this over the JSONL produced
+//! under `GRACEFUL_FLIGHT` to pin the on-disk format.
+//!
+//! ```sh
+//! GRACEFUL_FLIGHT=/tmp/flight.jsonl cargo run --release --example quickstart
+//! cargo run --release --example flight_check /tmp/flight.jsonl
+//! ```
+
+use graceful::obs::flight;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: flight_check <flight.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("flight_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let records = match flight::parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flight_check: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if records.is_empty() {
+        eprintln!("flight_check: {path}: no flight records");
+        std::process::exit(1);
+    }
+    let model_scored = records.iter().filter(|r| r.model_q.is_some()).count();
+    let card_qs: Vec<f64> =
+        records.iter().flat_map(|r| r.ops.iter().filter_map(|o| o.card_q)).collect();
+    let worst = card_qs.iter().copied().fold(f64::NAN, f64::max);
+    println!(
+        "{path}: {} records OK ({model_scored} model-scored, {} per-op cardinality q-errors{})",
+        records.len(),
+        card_qs.len(),
+        if card_qs.is_empty() { String::new() } else { format!(", worst {worst:.2}") }
+    );
+}

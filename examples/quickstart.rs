@@ -6,7 +6,8 @@
 //!
 //! Steps: generate a database → write a UDF → build and execute a query plan
 //! → train a small GRACEFUL model on a generated workload → predict the
-//! query's runtime and compare against the measured truth.
+//! query's runtime and compare against the measured truth, with an
+//! `explain analyze` report of predicted vs. actual per operator.
 
 use graceful::prelude::*;
 use graceful_plan::{AggFunc, ColRef, Plan, PlanOp, PlanOpKind};
@@ -112,23 +113,35 @@ def score(production_year, kind_id):
         agg_col: None,
     };
     let est = ActualCard::new(&corpus.db);
-    let mut plan2 = annotated.clone();
-    est.annotate(&mut plan2).unwrap();
     let _ = ColRef::new("title", "id"); // (ColRef is part of the public plan API)
-    let pred = model.predict(&corpus.db, &spec, &plan2, &est).expect("prediction");
-    let q = q_error(pred, run.runtime_ns);
+    let scored = run_with_model(&session, &corpus.db, &model, &spec, &annotated, &est, 7)
+        .expect("model-scored run");
     println!(
         "\npredicted {:.3} ms vs measured {:.3} ms  (Q-error {:.2})",
-        pred * 1e-6,
-        run.runtime_ns * 1e-6,
-        q
+        scored.predicted_ns * 1e-6,
+        scored.run.runtime_ns * 1e-6,
+        scored.q
     );
 
-    // 6. With GRACEFUL_TRACE=/tmp/trace.json set, flush every span recorded
+    // 6. `explain analyze`: predicted vs. actual per operator, q-errors per
+    // row-count and work estimate, worst-estimated operator flagged. The
+    // same report renders from any record parsed back out of the flight
+    // recorder's JSONL.
+    println!("\n{}", scored.record.render_analyze());
+
+    // 7. With GRACEFUL_TRACE=/tmp/trace.json set, flush every span recorded
     // above (query execution, pool regions, training epochs/steps) as
     // Chrome-trace JSON — open it in chrome://tracing or ui.perfetto.dev.
+    // With GRACEFUL_FLIGHT=/tmp/flight.jsonl set, flush one JSONL flight
+    // record per executed query (parse them back with
+    // `graceful::obs::flight::parse_jsonl`, or re-label a training corpus
+    // via `labels_from_flight`).
     if graceful::obs::trace::flush().expect("trace written") {
         let path = graceful::obs::trace::configured_path().unwrap_or_default();
         println!("wrote {} trace events to {path}", graceful::obs::trace::event_count());
+    }
+    if graceful::obs::flight::flush().expect("flight records written") {
+        let path = graceful::obs::flight::configured_path().unwrap_or_default();
+        println!("wrote {} flight records to {path}", graceful::obs::flight::record_count());
     }
 }

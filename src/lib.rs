@@ -84,8 +84,10 @@ pub mod prelude {
     };
     pub use graceful_core::featurize::Featurizer;
     pub use graceful_core::model::{GracefulModel, TrainConfig, TrainOptions};
+    pub use graceful_core::telemetry::{labels_from_flight, run_with_model, ModelRun};
     pub use graceful_exec::{ExecMode, ExecOptions, ExecProfile, Executor, Session};
     pub use graceful_nn::GnnExecMode;
+    pub use graceful_obs::flight::{FlightOp, FlightRecord};
     pub use graceful_plan::{build_plan, QueryGenerator, QuerySpec, UdfPlacement, UdfUsage};
     pub use graceful_runtime::Pool;
     pub use graceful_storage::datagen::{generate, schema, DATASET_NAMES};

@@ -5,14 +5,26 @@
 //! The bit-identity side (profiled runs identical to unobserved runs) lives
 //! in `tests/parallel_determinism.rs`; here we check the *content* of the
 //! observations: every plan in a generated suite yields a profile covering
-//! every operator, the trace export parses as a valid event array, and the
-//! registry's snapshot/diff surfaces the engine counters.
+//! every operator, the trace export parses as a valid event array, the
+//! registry's snapshot/diff surfaces the engine counters, and the flight
+//! recorder's JSONL round-trips the estimator-quality telemetry bit for bit.
 
-use graceful::obs::{registry, trace};
+use graceful::obs::{flight, registry, trace};
 use graceful::plan::{Plan, PlanOpKind};
 use graceful::prelude::*;
 use graceful::udf::generator::apply_adaptations;
 use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// The span tracer and the flight recorder are process-global; tests that
+/// enable either serialize on this lock so buffer contents stay
+/// attributable to one test at a time.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Generated plans (with every valid UDF placement) over one small database.
 fn suite_plans() -> (Database, Vec<(u64, Plan)>) {
@@ -158,6 +170,7 @@ struct Ev {
 /// events, both in memory and round-tripped through a file.
 #[test]
 fn chrome_trace_export_is_a_valid_event_array() {
+    let _g = obs_lock();
     // Empty (or near-empty) traces still parse as an array.
     let events: Vec<Ev> = serde_json::from_str(&trace::export_json()).expect("empty trace parses");
     drop(events);
@@ -230,4 +243,196 @@ fn registry_snapshot_diff_tracks_engine_counters() {
     assert!(wall.p50 > 0.0 && wall.p99 >= wall.p50);
     let rendered = after.render();
     assert!(rendered.contains("exec.queries") && rendered.contains("exec.query_wall_ns"));
+}
+
+/// The acceptance bar of the estimator-quality telemetry: q-errors
+/// recomputed *offline* from the parsed flight JSONL — with the same shared
+/// `q_error` function — match the stored per-op values, the registry's
+/// `est.*` histogram summaries, and the `explain analyze` rendering **bit
+/// for bit**.
+#[test]
+fn flight_qerrors_recompute_offline_bit_for_bit() {
+    let _g = obs_lock();
+    let (db, plans) = suite_plans();
+    // Annotate with the naive estimator: deterministic, and wrong enough to
+    // produce q-errors worth histogramming.
+    let estimator = NaiveCard::new(&db);
+    let mut annotated = plans.clone();
+    for (_, plan) in &mut annotated {
+        estimator.annotate(plan).expect("naive estimator annotates");
+    }
+
+    flight::clear();
+    flight::enable();
+    let mut live = Vec::new();
+    for (seed, plan) in &annotated {
+        for backend in [UdfBackend::TreeWalk, UdfBackend::Vm] {
+            let (_, record) = profiled(backend, ExecMode::Pipeline)
+                .run_analyzed(&db, plan, *seed)
+                .expect("analyzed run succeeds");
+            live.push(record);
+        }
+    }
+    flight::disable();
+
+    let parsed = flight::parse_jsonl(&flight::export_jsonl()).expect("flight JSONL parses");
+    // Concurrent tests in this binary never annotate plans, so the
+    // annotated records in the buffer are exactly this test's runs.
+    let ours: Vec<&FlightRecord> =
+        parsed.iter().filter(|r| r.ops.iter().any(|o| o.card_q.is_some())).collect();
+    assert_eq!(ours.len(), live.len(), "one record per analyzed run");
+
+    // (1) Per-op q-errors recompute bit-for-bit from the serialized
+    // predicted/actual pairs; collect them per registry key as we go.
+    let mut card: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut cost: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for rec in &ours {
+        let backend = rec.backend.to_ascii_lowercase();
+        for op in &rec.ops {
+            let cq = q_error(op.est_rows, op.rows as f64);
+            assert_eq!(cq.to_bits(), op.card_q.expect("annotated").to_bits(), "card q-error");
+            let wq = q_error(op.est_work, op.work);
+            assert_eq!(wq.to_bits(), op.cost_q.expect("annotated").to_bits(), "cost q-error");
+            let key = if op.kind.starts_with("UDF") {
+                format!("{}.{backend}", op.kind.to_ascii_lowercase())
+            } else {
+                op.kind.to_ascii_lowercase()
+            };
+            card.entry(key.clone()).or_default().push(cq);
+            cost.entry(key).or_default().push(wq);
+        }
+    }
+    assert!(card.keys().any(|k| k.contains('.')), "no backend-keyed UDF operator exercised");
+
+    // (2) The registry's est.* histograms aggregate exactly these samples:
+    // counts match, and min/max/percentiles are bit-identical to the same
+    // statistics over the offline multiset (this test is the binary's sole
+    // writer of annotated+profiled runs).
+    let snap = registry::snapshot();
+    for (by_key, prefix) in [(&card, "est.card.qerror"), (&cost, "est.cost.qerror")] {
+        for (key, samples) in by_key {
+            let name = format!("{prefix}.{key}");
+            let h = snap.histograms.get(&name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(h.count, samples.len() as u64, "{name}: sample count");
+            let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(h.min.to_bits(), min.to_bits(), "{name}: min");
+            assert_eq!(h.max.to_bits(), max.to_bits(), "{name}: max");
+            for (q, got) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+                assert_eq!(
+                    registry::percentile(samples, q).to_bits(),
+                    got.to_bits(),
+                    "{name}: p{}",
+                    (q * 100.0) as u32
+                );
+            }
+        }
+    }
+
+    // (3) explain analyze renders bit-for-bit from the parsed copy.
+    for rec in &live {
+        let twin = ours
+            .iter()
+            .find(|r| ***r == *rec)
+            .unwrap_or_else(|| panic!("no parsed twin for seed {}", rec.seed));
+        let report = twin.render_analyze();
+        assert_eq!(report, rec.render_analyze(), "explain analyze drifted through JSONL");
+        assert!(report.contains("EXPLAIN ANALYZE") && report.contains("q(card)"));
+        assert!(report.contains("<- worst estimate"), "worst-estimate marker missing");
+    }
+}
+
+/// Flushing is explicit and idempotent for both sinks: the buffers are
+/// retained, so flushing twice (with recording off in between) writes the
+/// same bytes, and the flight flush parses back into complete records.
+#[test]
+fn trace_and_flight_flush_are_idempotent() {
+    let _g = obs_lock();
+    let (db, plans) = suite_plans();
+    let (seed, plan) = &plans[0];
+
+    trace::enable();
+    profiled(UdfBackend::Vm, ExecMode::Pipeline).run(&db, plan, *seed).expect("traced run");
+    trace::disable();
+    let tpath = std::env::temp_dir().join("graceful-obs-flush-trace.json");
+    let tpath = tpath.to_str().expect("utf-8 temp path");
+    trace::write_to(tpath).expect("first trace flush");
+    let first = std::fs::read(tpath).expect("trace file read");
+    trace::write_to(tpath).expect("second trace flush");
+    assert_eq!(
+        first,
+        std::fs::read(tpath).expect("trace file reread"),
+        "trace flush not idempotent"
+    );
+    let _ = std::fs::remove_file(tpath);
+
+    let fpath = std::env::temp_dir().join("graceful-obs-flush-flight.jsonl");
+    let fpath = fpath.to_str().expect("utf-8 temp path");
+    flight::clear();
+    flight::configure(fpath);
+    assert_eq!(flight::configured_path().as_deref(), Some(fpath));
+    flight::enable();
+    profiled(UdfBackend::Vm, ExecMode::Pipeline).run(&db, plan, *seed).expect("recorded run");
+    flight::disable();
+    assert!(flight::flush().expect("first flight flush"), "configured flush writes a file");
+    let first = std::fs::read_to_string(fpath).expect("flight file read");
+    assert!(flight::flush().expect("second flight flush"));
+    let second = std::fs::read_to_string(fpath).expect("flight file reread");
+    assert_eq!(first, second, "flight flush not idempotent");
+    let records = flight::parse_jsonl(&second).expect("flushed JSONL parses");
+    assert!(!records.is_empty(), "flush lost the recorded run");
+    let _ = std::fs::remove_file(fpath);
+}
+
+/// Two sessions recording concurrently interleave whole records, never
+/// fragments: every record either thread produced parses back from the
+/// shared buffer complete and field-for-field equal to the locally rebuilt
+/// one.
+#[test]
+fn concurrent_sessions_write_complete_flight_records() {
+    let _g = obs_lock();
+    let (db, plans) = suite_plans();
+    flight::clear();
+    flight::enable();
+    trace::enable();
+    let expected: Vec<FlightRecord> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            [(UdfBackend::Vm, ExecMode::Pipeline), (UdfBackend::Simd, ExecMode::Materialize)]
+                .into_iter()
+                .map(|(backend, mode)| {
+                    let (db, plans) = (&db, &plans);
+                    s.spawn(move || {
+                        let session = profiled(backend, mode);
+                        plans
+                            .iter()
+                            .map(|(seed, plan)| {
+                                let run = session.run(db, plan, *seed).expect("concurrent run");
+                                graceful::exec::flight_record(
+                                    plan,
+                                    session.config(),
+                                    &run,
+                                    *seed,
+                                    None,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker thread")).collect()
+    });
+    trace::disable();
+    flight::disable();
+
+    let parsed = flight::parse_jsonl(&flight::export_jsonl()).expect("every line is one record");
+    assert!(parsed.len() >= expected.len(), "records went missing");
+    for rec in &expected {
+        assert!(
+            parsed.contains(rec),
+            "record for seed {} ({} / {}) is missing or torn",
+            rec.seed,
+            rec.backend,
+            rec.mode
+        );
+    }
 }

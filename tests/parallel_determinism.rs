@@ -103,15 +103,18 @@ proptest! {
 }
 
 /// Observability is outside the bit-identity contract and must stay there:
-/// with per-operator profiling *and* span tracing enabled, every contracted
-/// `QueryRun` field is bit-identical to the unobserved run — across thread
-/// counts {1, 2, 4}, all three UDF backends and both executor modes. The
-/// profile itself must exist and cover every plan operator.
+/// with per-operator profiling, span tracing *and* the flight recorder
+/// enabled, every contracted `QueryRun` field is bit-identical to the
+/// unobserved run — across thread counts {1, 2, 4}, all three UDF backends
+/// and both executor modes. The profile itself must exist and cover every
+/// plan operator, and every observed run must land one flight record.
 #[test]
-fn profiling_and_tracing_change_no_contracted_bit() {
+fn profiling_tracing_and_flight_recording_change_no_contracted_bit() {
+    use graceful::obs::flight;
     graceful::obs::trace::enable();
     let mut db = generate(&schema("tpc_h"), 0.02, 3);
     let g = QueryGenerator::default();
+    let mut recorded_runs = 0u64;
     for seed in [11u64, 42, 1234] {
         let mut rng = Rng::seed(seed);
         let Ok(spec) = g.generate(&db, seed, &mut rng) else { continue };
@@ -125,19 +128,30 @@ fn profiling_and_tracing_change_no_contracted_bit() {
             for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
                 for threads in [1usize, 2, 4] {
                     for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+                        // Plain run: no profile, no flight recording.
+                        flight::disable();
                         let plain = session_profiled(backend, threads, mode, false)
                             .run(&db, &plan, seed)
                             .expect("unprofiled run succeeds");
-                        let profiled = session_profiled(backend, threads, mode, true)
+                        // Observed run: profiled and flight-recorded.
+                        let records_before = flight::record_count();
+                        flight::enable();
+                        let observed = session_profiled(backend, threads, mode, true)
                             .run(&db, &plan, seed)
-                            .expect("profiled run succeeds");
+                            .expect("observed run succeeds");
+                        flight::disable();
                         assert_runs_bit_identical(
-                            &profiled,
+                            &observed,
                             &plain,
-                            &format!("profiled vs plain: {backend:?} x {threads} x {mode:?}"),
+                            &format!("observed vs plain: {backend:?} x {threads} x {mode:?}"),
                         );
                         assert!(plain.profile.is_none(), "profile must be opt-in");
-                        let prof = profiled.profile.expect("profile attached when enabled");
+                        assert!(
+                            flight::record_count() > records_before,
+                            "flight recorder missed the run"
+                        );
+                        recorded_runs += 1;
+                        let prof = observed.profile.expect("profile attached when enabled");
                         assert_eq!(prof.ops.len(), plan.ops.len(), "one OpProfile per plan op");
                         assert_eq!(prof.mode, mode);
                         assert_eq!(prof.backend, backend);
@@ -148,6 +162,7 @@ fn profiling_and_tracing_change_no_contracted_bit() {
     }
     graceful::obs::trace::disable();
     assert!(graceful::obs::trace::event_count() > 0, "tracing recorded spans");
+    assert!(recorded_runs > 0, "no combination was exercised");
 }
 
 /// Corpus labels — the paper's 142-hour bottleneck, and the training data of
