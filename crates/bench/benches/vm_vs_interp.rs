@@ -8,10 +8,12 @@
 //! `BENCH_simd.json` at the repo root.
 //!
 //! Acceptance bars: VM ≥ 2× the tree-walker on the corpus mix at batch 1024
-//! (the bytecode subsystem's bar), and the SIMD path ≥ 2× the batch VM on
-//! numeric-heavy UDFs at batch ≥ 1024 (this PR's bar). String-method UDFs
-//! have no typed lane representation and stay on the scalar path — their
-//! SIMD column reports ≈ 1×.
+//! (the bytecode subsystem's bar), the SIMD path ≥ 2× the batch VM on
+//! numeric-heavy UDFs at batch ≥ 1024, and — now that trip-count analysis
+//! keeps constant-trip `for` loops on the lanes instead of bailing — ≥ 1× on
+//! the counted-loop cases. String-method UDFs have no typed lane
+//! representation and stay on the scalar path — their SIMD column reports
+//! ≈ 1×.
 //!
 //! Run with `cargo bench --bench vm_vs_interp`.
 
@@ -27,8 +29,12 @@ struct Case {
     name: &'static str,
     source: &'static str,
     rows: usize,
-    /// Numeric-heavy cases carry the SIMD acceptance bar.
+    /// Numeric-heavy cases carry the 2× SIMD acceptance bar.
     numeric: bool,
+    /// Cases dominated by a constant-trip loop: previously every such row
+    /// bailed to the scalar VM; trip-count analysis now keeps them columnar,
+    /// and they carry the ≥ 1× counted-loop bar.
+    counted: bool,
     make_args: fn(usize) -> Vec<Value>,
 }
 
@@ -38,6 +44,7 @@ const CASES: &[Case] = &[
         source: "def f(x, y):\n    z = x * 1.5 + y\n    w = z * z - x / (y + 1)\n    return w + z * 0.25\n",
         rows: 60_000,
         numeric: true,
+        counted: false,
         make_args: |i| vec![Value::Int((i % 100) as i64), Value::Float((i % 37) as f64 + 0.5)],
     },
     Case {
@@ -45,20 +52,35 @@ const CASES: &[Case] = &[
         source: "def f(x, y):\n    w = np.clip(x, 0, 50) + math.sqrt(y)\n    return np.sign(w - 25) * math.log(w + 1) + int(x / 3)\n",
         rows: 40_000,
         numeric: true,
+        counted: false,
         make_args: |i| vec![Value::Int((i % 100) as i64), Value::Float((i % 17) as f64 + 0.25)],
     },
     Case {
         name: "branch_loop",
         source: "def f(x, y):\n    z = 0\n    if x < 50:\n        z = x * 2 + y\n    else:\n        for i in range(12):\n            z = z + math.sqrt(x + i)\n    return z\n",
         rows: 30_000,
-        numeric: false, // half the rows divert into a loop → scalar fallback
+        // Half the rows divert into the `range(12)` loop — which the
+        // trip-count analysis proves constant, so they stay columnar.
+        numeric: false,
+        counted: true,
         make_args: |i| vec![Value::Int((i % 100) as i64), Value::Int((i % 7) as i64)],
+    },
+    Case {
+        name: "counted_loop",
+        source: "def f(x, y):\n    z = 0\n    for i in range(16):\n        z = z + (x + i) * 0.5 + y\n    return z\n",
+        rows: 30_000,
+        // Every row runs the proven 16-trip loop on the lanes — the case
+        // that was 100% scalar fallback before trip-count analysis.
+        numeric: false,
+        counted: true,
+        make_args: |i| vec![Value::Int((i % 100) as i64), Value::Float((i % 13) as f64 + 0.5)],
     },
     Case {
         name: "string_methods",
         source: "def f(s, y):\n    t = s.upper()\n    if t.startswith('AB'):\n        return len(t) + y\n    return t.find('X') + y\n",
         rows: 20_000,
         numeric: false,
+        counted: false,
         make_args: |i| {
             let s = if i % 3 == 0 { "abcdefgh" } else { "xyzzy prefix" };
             vec![Value::Text(s.to_string()), Value::Int((i % 11) as i64)]
@@ -91,6 +113,7 @@ fn main() {
     let batch_sizes = [64usize, 1024, 4096];
     let mut rows_out: Vec<Row> = Vec::new();
     let mut worst_numeric_simd_vs_vm_1024 = f64::INFINITY;
+    let mut worst_counted_simd_vs_vm_1024 = f64::INFINITY;
     for case in CASES {
         let udf = parse_udf(case.source).expect("bench UDF parses");
         let prog = compile(&udf).expect("bench UDF compiles");
@@ -163,6 +186,9 @@ fn main() {
             if case.numeric && batch >= 1024 {
                 worst_numeric_simd_vs_vm_1024 = worst_numeric_simd_vs_vm_1024.min(simd_vs_vm);
             }
+            if case.counted && batch >= 1024 {
+                worst_counted_simd_vs_vm_1024 = worst_counted_simd_vs_vm_1024.min(simd_vs_vm);
+            }
             rows_out.push(Row {
                 case: case.name,
                 batch,
@@ -179,6 +205,13 @@ fn main() {
     );
     if worst_numeric_simd_vs_vm_1024 < 2.0 {
         println!("WARNING: below the 2x acceptance bar");
+    }
+    println!(
+        "worst counted-loop SIMD speedup over the batch VM at batch >= 1024: \
+         {worst_counted_simd_vs_vm_1024:.2}x (bar: >= 1x)"
+    );
+    if worst_counted_simd_vs_vm_1024 < 1.0 {
+        println!("WARNING: below the 1x counted-loop acceptance bar");
     }
 
     // The bytecode subsystem's original acceptance measurement: the
@@ -206,8 +239,10 @@ fn main() {
         .collect();
     let json = format!(
         "{{\"bench\":\"vm_vs_interp\",\"worst_numeric_simd_vs_vm_at_1024\":{:.4},\
+         \"worst_counted_loop_simd_vs_vm_at_1024\":{:.4},\
          \"corpus_mix_vm_vs_tree_at_1024\":{:.4},\"results\":[{}]}}\n",
         worst_numeric_simd_vs_vm_1024,
+        worst_counted_simd_vs_vm_1024,
         corpus_speedup,
         json_rows.join(",")
     );

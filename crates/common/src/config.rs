@@ -22,10 +22,12 @@
 //! | `GRACEFUL_PROFILE`        | attach a per-operator `ExecProfile` to every `QueryRun`: `1`/`0` (also `true`/`false`, `on`/`off`, `yes`/`no`) | `0` |
 //! | `GRACEFUL_TRACE`          | enable span tracing and write Chrome-trace JSON to this path on flush | off |
 //! | `GRACEFUL_FLIGHT`         | enable the query flight recorder and write per-query JSONL records to this path on flush | off |
+//! | `GRACEFUL_VERIFY`         | bytecode verification of every compiled UDF: `strict` or `off` (bench-only) | `strict` |
 //!
 //! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`, `GRACEFUL_THREADS`,
 //! `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`, `GRACEFUL_GNN_EXEC`,
-//! `GRACEFUL_PROFILE`, `GRACEFUL_TRACE` and `GRACEFUL_FLIGHT` are validated
+//! `GRACEFUL_PROFILE`, `GRACEFUL_TRACE`, `GRACEFUL_FLIGHT` and
+//! `GRACEFUL_VERIFY` are validated
 //! strictly: an unknown
 //! backend name, a non-positive/unparsable thread, batch or morsel count, an
 //! unrecognized boolean or an empty trace/flight path is
@@ -95,6 +97,50 @@ impl UdfBackend {
     /// run the wrong backend.
     pub fn from_env() -> Self {
         Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Whether compiled UDF bytecode is statically verified before execution.
+///
+/// Under [`VerifyMode::Strict`] (the default) every `compile()` result runs
+/// through `graceful_udf::analysis::verify` — jump targets in bounds, no
+/// use-before-def registers, return on all paths, cost-charge placement —
+/// and a failing program is rejected with a typed `GracefulError::Verify`
+/// before any backend executes it. [`VerifyMode::Off`] skips the check and
+/// exists for compile-throughput benchmarking only: with verification off, a
+/// buggy compiler output reaches the interpreters unchecked, so it must
+/// never be set in experiments or tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Verify every compiled program; reject failures with a typed error.
+    #[default]
+    Strict,
+    /// Skip verification (bench-only escape hatch).
+    Off,
+}
+
+impl VerifyMode {
+    /// Parse a verification mode (`strict` | `off`, case insensitive).
+    /// Unknown names are an error listing the valid options.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "strict" | "on" => Ok(VerifyMode::Strict),
+            "off" => Ok(VerifyMode::Off),
+            other => Err(format!(
+                "invalid GRACEFUL_VERIFY `{other}`: valid values are `strict` \
+                 (alias `on`; the default) and `off` (bench-only — skips \
+                 bytecode verification)"
+            )),
+        }
+    }
+
+    /// Resolve from `GRACEFUL_VERIFY`; unset means [`VerifyMode::Strict`],
+    /// an unknown value is an error (see [`VerifyMode::parse`]).
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var("GRACEFUL_VERIFY") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => Ok(VerifyMode::default()),
+        }
     }
 }
 
@@ -430,6 +476,19 @@ mod tests {
         for bad in ["", "2", "enabled", "y"] {
             let err = parse_profile(bad).unwrap_err();
             assert!(err.contains("GRACEFUL_PROFILE"), "error names the knob: {err}");
+        }
+    }
+
+    #[test]
+    fn verify_knob_parses_modes_and_rejects_unknown() {
+        assert_eq!(VerifyMode::parse("strict"), Ok(VerifyMode::Strict));
+        assert_eq!(VerifyMode::parse(" On "), Ok(VerifyMode::Strict));
+        assert_eq!(VerifyMode::parse("OFF"), Ok(VerifyMode::Off));
+        assert_eq!(VerifyMode::default(), VerifyMode::Strict);
+        for bad in ["", "lax", "1", "disabled"] {
+            let err = VerifyMode::parse(bad).unwrap_err();
+            assert!(err.contains("GRACEFUL_VERIFY"), "error names the knob: {err}");
+            assert!(err.contains("strict") && err.contains("off"), "lists options: {err}");
         }
     }
 

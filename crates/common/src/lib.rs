@@ -49,6 +49,14 @@ pub enum GracefulError {
     /// `Session`/`ExecOptions` validation instead of panicking, so embedding
     /// programs can report misconfiguration like any other error.
     Config(String),
+    /// Compiled UDF bytecode failed static verification (out-of-bounds jump
+    /// target or register, use of a possibly-uninitialized register, a path
+    /// that falls off the end of the program, misplaced cost charges, ...).
+    /// Raised by `graceful_udf::analysis::verify` — under the default
+    /// `GRACEFUL_VERIFY=strict` every `compile()` result is checked, so a
+    /// compiler bug surfaces here as a typed error instead of as
+    /// backend-divergent behaviour or a release-mode panic downstream.
+    Verify(String),
 }
 
 impl fmt::Display for GracefulError {
@@ -66,6 +74,7 @@ impl fmt::Display for GracefulError {
             GracefulError::Model(m) => write!(f, "model error: {m}"),
             GracefulError::Benchmark(m) => write!(f, "benchmark error: {m}"),
             GracefulError::Config(m) => write!(f, "configuration error: {m}"),
+            GracefulError::Verify(m) => write!(f, "bytecode verification failed: {m}"),
         }
     }
 }

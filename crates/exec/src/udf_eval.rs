@@ -131,6 +131,12 @@ impl<'a> UdfEvalSpec<'a> {
     /// Resolve an operator's evaluation plan: compile the UDF once for the
     /// bytecode backends and decide columnar eligibility.
     ///
+    /// Compilation runs the bytecode verifier (under the default
+    /// `GRACEFUL_VERIFY=strict`), so a program that reaches an evaluator has
+    /// proven jump targets, register/constant bounds, cost-charge placement
+    /// and definite initialization — a rejected UDF surfaces here as a typed
+    /// [`graceful_common::GracefulError::Verify`] before any row runs.
+    ///
     /// `overhead` is the operator's own per-row work (comparison against the
     /// filter literal, projection bookkeeping) charged alongside the UDF
     /// cost.

@@ -1,0 +1,166 @@
+//! Forward dataflow over the basic-block CFG: a worklist solver generic
+//! over any join-semilattice domain.
+//!
+//! A [`Domain`] supplies the lattice (entry fact, join) and the transfer
+//! functions (per instruction, plus an optional per-*edge* refinement for
+//! instructions whose effect differs between their outgoing edges — the
+//! canonical case being [`Instr::ForNext`], which binds the loop variable
+//! only when the loop continues). The solver iterates blocks in reverse
+//! postorder until the block-entry facts reach a fixpoint; termination
+//! follows from join monotonicity plus finite ascending chains (the interval
+//! domain widens inside its `join` to bound its chains).
+//!
+//! "Unreachable" is represented *outside* the domain: a block whose entry
+//! fact is still `None` was never reached, so domains never need an explicit
+//! bottom-of-everything element.
+
+use super::cfg::{Cfg, EdgeKind};
+use crate::bytecode::{Instr, Program};
+
+/// A forward join-semilattice dataflow domain.
+pub trait Domain {
+    /// The per-program-point fact (typically one lattice element per
+    /// register).
+    type Fact: Clone + PartialEq;
+
+    /// Fact holding at the program entry (parameters initialized, etc.).
+    fn entry(&self) -> Self::Fact;
+
+    /// Join `other` into `fact` (least upper bound, possibly widened).
+    /// Returns whether `fact` changed. Must be monotone: joining can only
+    /// move facts up the lattice.
+    fn join(&self, fact: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Effect of executing `instr` — the part common to all outgoing edges.
+    fn transfer(&self, instr: &Instr, fact: &mut Self::Fact);
+
+    /// Edge-specific refinement applied *after* [`Domain::transfer`] along
+    /// one outgoing edge of a block terminator. The default is a no-op.
+    fn refine(&self, instr: &Instr, edge: EdgeKind, fact: &mut Self::Fact) {
+        let _ = (instr, edge, fact);
+    }
+}
+
+/// Fixpoint of one solve: the fact at each **block entry**.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// `block_in[b]` — fact on entry to block `b`; `None` means the solver
+    /// never reached the block (dataflow bottom).
+    pub block_in: Vec<Option<F>>,
+}
+
+/// Run the worklist solver for `dom` over `prog`'s CFG.
+pub fn solve<D: Domain>(cfg: &Cfg, prog: &Program, dom: &D) -> Solution<D::Fact> {
+    let nb = cfg.blocks.len();
+    let mut block_in: Vec<Option<D::Fact>> = vec![None; nb];
+    block_in[0] = Some(dom.entry());
+    // Process in RPO positions for fast convergence; a simple dedup'd queue.
+    let mut queued = vec![false; nb];
+    let mut work = std::collections::VecDeque::with_capacity(nb);
+    work.push_back(0usize);
+    queued[0] = true;
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let Some(in_fact) = block_in[b].clone() else { continue };
+        let mut out = in_fact;
+        let blk = cfg.blocks[b];
+        for pc in blk.range() {
+            dom.transfer(&prog.instrs[pc], &mut out);
+        }
+        let term = &prog.instrs[blk.terminator()];
+        for &(succ, kind) in &cfg.succs[b] {
+            let mut f = out.clone();
+            dom.refine(term, kind, &mut f);
+            let changed = match &mut block_in[succ] {
+                Some(cur) => dom.join(cur, &f),
+                slot @ None => {
+                    *slot = Some(f);
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                work.push_back(succ);
+            }
+        }
+    }
+    Solution { block_in }
+}
+
+/// Expand a block-level [`Solution`] to per-instruction entry facts:
+/// `result[pc]` is the fact holding **before** `prog.instrs[pc]` executes,
+/// `None` for unreachable instructions.
+pub fn per_instr_facts<D: Domain>(
+    cfg: &Cfg,
+    prog: &Program,
+    dom: &D,
+    sol: &Solution<D::Fact>,
+) -> Vec<Option<D::Fact>> {
+    let mut out: Vec<Option<D::Fact>> = vec![None; prog.instrs.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let Some(in_fact) = &sol.block_in[b] else { continue };
+        let mut f = in_fact.clone();
+        for pc in blk.range() {
+            out[pc] = Some(f.clone());
+            dom.transfer(&prog.instrs[pc], &mut f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, CmpOp, Expr, Stmt, UdfDef};
+    use crate::bytecode::compile;
+
+    /// A toy domain counting an upper bound of executed `Cost` markers,
+    /// saturating at 7 — enough to exercise join/fixpoint plumbing without
+    /// the real domains.
+    struct CostCount;
+    impl Domain for CostCount {
+        type Fact = u8;
+        fn entry(&self) -> u8 {
+            0
+        }
+        fn join(&self, fact: &mut u8, other: &u8) -> bool {
+            let new = (*fact).max(*other);
+            let changed = new != *fact;
+            *fact = new;
+            changed
+        }
+        fn transfer(&self, instr: &Instr, fact: &mut u8) {
+            if matches!(instr, Instr::Cost(_)) {
+                *fact = (*fact + 1).min(7);
+            }
+        }
+    }
+
+    #[test]
+    fn solver_reaches_a_fixpoint_on_loopy_programs() {
+        let u = UdfDef {
+            name: "f".into(),
+            params: vec!["x".into()],
+            body: vec![
+                Stmt::While {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::name("x"), Expr::Int(3)),
+                    body: vec![Stmt::Assign {
+                        target: "x".into(),
+                        expr: Expr::bin(BinOp::Add, Expr::name("x"), Expr::Int(1)),
+                    }],
+                },
+                Stmt::Return(Expr::name("x")),
+            ],
+        };
+        let p = compile(&u).unwrap();
+        let cfg = Cfg::build(&p).unwrap();
+        let sol = solve(&cfg, &p, &CostCount);
+        // Every reachable block got a fact, and the back edge pushed the
+        // loop head to the saturated bound.
+        for b in cfg.rpo() {
+            assert!(sol.block_in[b].is_some(), "reachable block {b} unsolved");
+        }
+        let facts = per_instr_facts(&cfg, &p, &CostCount, &sol);
+        assert!(facts.iter().flatten().any(|&f| f == 7), "loop joins saturate the counter");
+    }
+}

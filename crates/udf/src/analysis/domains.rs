@@ -1,0 +1,796 @@
+//! Concrete dataflow domains over the bytecode register file.
+//!
+//! All four domains are **conservative with respect to the shared kernels**
+//! in [`crate::ops`]: every transfer was written against the actual kernel
+//! semantics (wrapping integer arithmetic, NULL propagation, the
+//! `Text * Int` repetition special case, `for` limits clamped to `>= 0`),
+//! and the differential property suite keeps them honest. Two of the domains
+//! carry conditional claims, which is what makes them sound without a full
+//! product lattice:
+//!
+//! - [`Ty`] is the register's type **when it is non-NULL** (a register that
+//!   always holds NULL satisfies any type claim vacuously — NULL constants
+//!   are therefore [`Ty::Bottom`], the join identity).
+//! - [`Itv`] bounds the register's value **when it holds an `Int`** (a
+//!   register that never holds an `Int` is [`Itv::Never`]). Because every
+//!   `Int`-producing binary path requires both operands to be `Int`,
+//!   interval arithmetic composes without consulting the type domain, and
+//!   overflow is handled by *checked* corner arithmetic (the kernels wrap,
+//!   so saturating bounds would be unsound) falling back to [`Itv::Top`].
+
+use super::cfg::EdgeKind;
+use super::dataflow::Domain;
+use crate::ast::{BinOp, UnOp};
+use crate::bytecode::{Instr, Operand, Program};
+use crate::libfns::LibFn;
+use graceful_storage::Value;
+
+fn set<T: Copy>(fact: &mut [T], reg: u16, v: T) {
+    if let Some(slot) = fact.get_mut(reg as usize) {
+        *slot = v;
+    }
+}
+
+fn get<T: Copy>(fact: &[T], reg: u16, default: T) -> T {
+    fact.get(reg as usize).copied().unwrap_or(default)
+}
+
+// -- definite initialization --------------------------------------------------
+
+/// Definite initialization: `fact[r]` is true when register `r` has been
+/// written on **every** path reaching the program point. Parameters start
+/// initialized; joins intersect. [`Instr::CheckDef`] *sets* the bit — the VM
+/// errors the row out unless the slot is defined, so any fall-through is a
+/// runtime guarantee (eliding this makes the verifier reject legitimate
+/// compiler output for conditionally-assigned variables).
+pub struct DefiniteInit {
+    n_regs: usize,
+    n_params: usize,
+}
+
+impl DefiniteInit {
+    /// Domain for one program.
+    pub fn new(prog: &Program) -> DefiniteInit {
+        DefiniteInit { n_regs: prog.n_regs as usize, n_params: prog.n_params() }
+    }
+}
+
+impl Domain for DefiniteInit {
+    type Fact = Vec<bool>;
+
+    fn entry(&self) -> Vec<bool> {
+        let mut f = vec![false; self.n_regs];
+        for slot in f.iter_mut().take(self.n_params.min(self.n_regs)) {
+            *slot = true;
+        }
+        f
+    }
+
+    fn join(&self, fact: &mut Vec<bool>, other: &Vec<bool>) -> bool {
+        let mut changed = false;
+        for (a, b) in fact.iter_mut().zip(other.iter()) {
+            if *a && !b {
+                *a = false;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, instr: &Instr, fact: &mut Vec<bool>) {
+        match instr {
+            Instr::Copy { dst, .. }
+            | Instr::Unary { dst, .. }
+            | Instr::Binary { dst, .. }
+            | Instr::Compare { dst, .. }
+            | Instr::CastBool { dst, .. }
+            | Instr::Call { dst, .. } => set(fact, *dst, true),
+            Instr::ForInit { counter, limit, .. } => {
+                set(fact, *counter, true);
+                set(fact, *limit, true);
+            }
+            Instr::WhileInit { counter } | Instr::WhileIter { counter } => {
+                set(fact, *counter, true)
+            }
+            Instr::CheckDef { slot } | Instr::MarkDef { slot } => set(fact, *slot, true),
+            Instr::Jump { .. }
+            | Instr::JumpIfFalse { .. }
+            | Instr::JumpIfTrue { .. }
+            | Instr::ForNext { .. }
+            | Instr::Cost(_)
+            | Instr::Return { .. }
+            | Instr::ReturnNull => {}
+        }
+    }
+
+    fn refine(&self, instr: &Instr, edge: EdgeKind, fact: &mut Vec<bool>) {
+        // The loop variable and the advanced counter are written only when
+        // the loop continues into its body.
+        if let Instr::ForNext { counter, var_slot, .. } = instr {
+            if edge == EdgeKind::Next {
+                set(fact, *var_slot, true);
+                set(fact, *counter, true);
+            }
+        }
+    }
+}
+
+// -- type lattice -------------------------------------------------------------
+
+/// Flat type lattice: the register's runtime type **when it is non-NULL**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// The register is never non-NULL (NULL constants, expressions that
+    /// always propagate NULL); the join identity.
+    Bottom,
+    /// `Value::Int` when non-NULL.
+    Int,
+    /// `Value::Float` when non-NULL.
+    Float,
+    /// `Value::Bool` when non-NULL.
+    Bool,
+    /// `Value::Text` when non-NULL.
+    Text,
+    /// Unknown / merged.
+    Top,
+}
+
+impl Ty {
+    fn join(self, other: Ty) -> Ty {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Ty::Bottom, b) => b,
+            (a, Ty::Bottom) => a,
+            _ => Ty::Top,
+        }
+    }
+}
+
+/// Forward type analysis against the kernel semantics of [`crate::ops`].
+pub struct TypeDomain<'a> {
+    consts: &'a [Value],
+    n_regs: usize,
+}
+
+impl<'a> TypeDomain<'a> {
+    /// Domain for one program.
+    pub fn new(prog: &'a Program) -> TypeDomain<'a> {
+        TypeDomain { consts: &prog.consts, n_regs: prog.n_regs as usize }
+    }
+
+    fn op_ty(&self, fact: &[Ty], op: Operand) -> Ty {
+        if op.is_const() {
+            match self.consts.get(op.index()) {
+                Some(Value::Int(_)) => Ty::Int,
+                Some(Value::Float(_)) => Ty::Float,
+                Some(Value::Bool(_)) => Ty::Bool,
+                Some(Value::Text(_)) => Ty::Text,
+                Some(Value::Null) => Ty::Bottom,
+                None => Ty::Top,
+            }
+        } else {
+            get(fact, op.index() as u16, Ty::Top)
+        }
+    }
+}
+
+/// Result type of `apply_binary` given non-NULL operand types. `Bottom`
+/// means "never non-NULL" (e.g. `Text - Text` always yields NULL).
+fn binary_ty(op: BinOp, l: Ty, r: Ty) -> Ty {
+    use Ty::*;
+    if l == Bottom || r == Bottom {
+        return Bottom; // NULL propagation
+    }
+    if l == Top || r == Top {
+        return Top;
+    }
+    let text = l == Text || r == Text;
+    match op {
+        BinOp::Add => match (l, r) {
+            (Text, Text) => Text,
+            _ if text => Bottom,
+            (Int, Int) => Int,
+            _ => Float,
+        },
+        BinOp::Mul => match (l, r) {
+            (Text, Int) => Text, // string repetition
+            _ if text => Bottom,
+            (Int, Int) => Int,
+            _ => Float,
+        },
+        BinOp::Sub | BinOp::Mod | BinOp::FloorDiv => match (l, r) {
+            _ if text => Bottom,
+            (Int, Int) => Int,
+            _ => Float,
+        },
+        BinOp::Div => {
+            if text {
+                Bottom
+            } else {
+                Float
+            }
+        }
+        // `Int ** Int` is Int for exponents 0..=16 and Float otherwise —
+        // value-dependent, so the type alone cannot decide.
+        BinOp::Pow => match (l, r) {
+            _ if text => Bottom,
+            (Int, Int) => Top,
+            _ => Float,
+        },
+    }
+}
+
+/// Result type of `apply_lib` given the first argument's type (only
+/// `builtin abs` is argument-type-directed).
+fn call_ty(func: LibFn, arg0: Ty) -> Ty {
+    use LibFn::*;
+    match func {
+        MathFloor | MathCeil | BuiltinInt | BuiltinLen | StrFind | StrSplitCount => Ty::Int,
+        MathSqrt | NpSqrt | MathPow | NpPower | MathLog | NpLog | MathExp | NpExp | MathSin
+        | MathCos | MathAtan | MathFabs | NpAbs | NpMinimum | NpMaximum | NpClip | NpSign
+        | NpRound | BuiltinRound | BuiltinFloat | BuiltinMin | BuiltinMax => Ty::Float,
+        BuiltinStr | StrUpper | StrLower | StrStrip | StrReplace => Ty::Text,
+        StrStartswith | StrEndswith => Ty::Bool,
+        BuiltinAbs => match arg0 {
+            Ty::Int => Ty::Int,
+            Ty::Top => Ty::Top,
+            Ty::Bottom => Ty::Bottom,
+            _ => Ty::Float,
+        },
+    }
+}
+
+impl Domain for TypeDomain<'_> {
+    type Fact = Vec<Ty>;
+
+    fn entry(&self) -> Vec<Ty> {
+        vec![Ty::Top; self.n_regs]
+    }
+
+    fn join(&self, fact: &mut Vec<Ty>, other: &Vec<Ty>) -> bool {
+        let mut changed = false;
+        for (a, b) in fact.iter_mut().zip(other.iter()) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, instr: &Instr, fact: &mut Vec<Ty>) {
+        match instr {
+            Instr::Copy { dst, src } => {
+                let t = self.op_ty(fact, *src);
+                set(fact, *dst, t);
+            }
+            Instr::Unary { op, dst, src } => {
+                let t = match (op, self.op_ty(fact, *src)) {
+                    (UnOp::Not, _) => Ty::Bool,
+                    (UnOp::Neg, Ty::Int) => Ty::Int,
+                    (UnOp::Neg, Ty::Float) => Ty::Float,
+                    (UnOp::Neg, Ty::Top) => Ty::Top,
+                    // Negating Bool/Text/NULL yields NULL.
+                    (UnOp::Neg, _) => Ty::Bottom,
+                };
+                set(fact, *dst, t);
+            }
+            Instr::Binary { op, dst, l, r } => {
+                let t = binary_ty(*op, self.op_ty(fact, *l), self.op_ty(fact, *r));
+                set(fact, *dst, t);
+            }
+            Instr::Compare { dst, .. } | Instr::CastBool { dst, .. } => set(fact, *dst, Ty::Bool),
+            Instr::Call { func, dst, base, has_recv, .. } => {
+                let arg0 = get(fact, base + *has_recv as u16, Ty::Top);
+                set(fact, *dst, call_ty(*func, arg0));
+            }
+            Instr::ForInit { counter, limit, .. } => {
+                set(fact, *counter, Ty::Int);
+                set(fact, *limit, Ty::Int);
+            }
+            Instr::WhileInit { counter } | Instr::WhileIter { counter } => {
+                set(fact, *counter, Ty::Int)
+            }
+            Instr::Jump { .. }
+            | Instr::JumpIfFalse { .. }
+            | Instr::JumpIfTrue { .. }
+            | Instr::ForNext { .. }
+            | Instr::CheckDef { .. }
+            | Instr::MarkDef { .. }
+            | Instr::Cost(_)
+            | Instr::Return { .. }
+            | Instr::ReturnNull => {}
+        }
+    }
+
+    fn refine(&self, instr: &Instr, edge: EdgeKind, fact: &mut Vec<Ty>) {
+        if let Instr::ForNext { counter, var_slot, .. } = instr {
+            if edge == EdgeKind::Next {
+                set(fact, *var_slot, Ty::Int);
+                set(fact, *counter, Ty::Int);
+            }
+        }
+    }
+}
+
+// -- null-ness ----------------------------------------------------------------
+
+/// Two-point null-ness lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nullness {
+    /// The register is proven non-NULL.
+    NonNull,
+    /// The register may hold NULL.
+    Maybe,
+}
+
+/// Forward null-ness analysis. Deliberately coarse on arithmetic: any
+/// binary operator or library call may yield NULL for *some* operand-type
+/// combination (division by zero, `float(text)`, ...), and this domain does
+/// not consult the type lattice — so only constants, copies, comparisons,
+/// boolean coercions and loop counters are proven [`Nullness::NonNull`].
+/// That is exactly what trip-count analysis needs: loop limits in the corpus
+/// are literals or copies of literals.
+pub struct NullDomain<'a> {
+    consts: &'a [Value],
+    n_regs: usize,
+}
+
+impl<'a> NullDomain<'a> {
+    /// Domain for one program.
+    pub fn new(prog: &'a Program) -> NullDomain<'a> {
+        NullDomain { consts: &prog.consts, n_regs: prog.n_regs as usize }
+    }
+
+    fn op_nullness(&self, fact: &[Nullness], op: Operand) -> Nullness {
+        if op.is_const() {
+            match self.consts.get(op.index()) {
+                Some(Value::Null) | None => Nullness::Maybe,
+                Some(_) => Nullness::NonNull,
+            }
+        } else {
+            get(fact, op.index() as u16, Nullness::Maybe)
+        }
+    }
+}
+
+impl Domain for NullDomain<'_> {
+    type Fact = Vec<Nullness>;
+
+    fn entry(&self) -> Vec<Nullness> {
+        // Parameters come from table columns, which can be NULL.
+        vec![Nullness::Maybe; self.n_regs]
+    }
+
+    fn join(&self, fact: &mut Vec<Nullness>, other: &Vec<Nullness>) -> bool {
+        let mut changed = false;
+        for (a, b) in fact.iter_mut().zip(other.iter()) {
+            if *a == Nullness::NonNull && *b == Nullness::Maybe {
+                *a = Nullness::Maybe;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, instr: &Instr, fact: &mut Vec<Nullness>) {
+        match instr {
+            Instr::Copy { dst, src } => {
+                let n = self.op_nullness(fact, *src);
+                set(fact, *dst, n);
+            }
+            Instr::Unary { op, dst, .. } => {
+                let n = match op {
+                    UnOp::Not => Nullness::NonNull, // truthy() of anything is Bool
+                    UnOp::Neg => Nullness::Maybe,   // -Text / -Bool / -NULL are NULL
+                };
+                set(fact, *dst, n);
+            }
+            Instr::Compare { dst, .. } | Instr::CastBool { dst, .. } => {
+                set(fact, *dst, Nullness::NonNull)
+            }
+            Instr::Binary { dst, .. } | Instr::Call { dst, .. } => set(fact, *dst, Nullness::Maybe),
+            Instr::ForInit { counter, limit, .. } => {
+                set(fact, *counter, Nullness::NonNull);
+                set(fact, *limit, Nullness::NonNull);
+            }
+            Instr::WhileInit { counter } | Instr::WhileIter { counter } => {
+                set(fact, *counter, Nullness::NonNull)
+            }
+            Instr::Jump { .. }
+            | Instr::JumpIfFalse { .. }
+            | Instr::JumpIfTrue { .. }
+            | Instr::ForNext { .. }
+            | Instr::CheckDef { .. }
+            | Instr::MarkDef { .. }
+            | Instr::Cost(_)
+            | Instr::Return { .. }
+            | Instr::ReturnNull => {}
+        }
+    }
+
+    fn refine(&self, instr: &Instr, edge: EdgeKind, fact: &mut Vec<Nullness>) {
+        if let Instr::ForNext { counter, var_slot, .. } = instr {
+            if edge == EdgeKind::Next {
+                set(fact, *var_slot, Nullness::NonNull);
+                set(fact, *counter, Nullness::NonNull);
+            }
+        }
+    }
+}
+
+// -- integer intervals --------------------------------------------------------
+
+/// Interval claim about a register: a bound on its value **when it holds an
+/// `Int`** (other types make the claim vacuous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Itv {
+    /// The register never holds `Value::Int`; the join identity.
+    Never,
+    /// If the register holds `Value::Int(v)`, then `lo <= v <= hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// No information.
+    Top,
+}
+
+impl Itv {
+    fn singleton(n: i64) -> Itv {
+        Itv::Range { lo: n, hi: n }
+    }
+
+    /// Widened join: a growing bound goes straight to the type extreme, so
+    /// loop-carried chains (`z = z + 1`) converge in O(1) joins per edge.
+    fn join(self, other: Itv) -> Itv {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Itv::Never, b) => b,
+            (a, Itv::Never) => a,
+            (Itv::Top, _) | (_, Itv::Top) => Itv::Top,
+            (Itv::Range { lo: a, hi: b }, Itv::Range { lo: c, hi: d }) => {
+                let lo = if c < a { i64::MIN } else { a };
+                let hi = if d > b { i64::MAX } else { b };
+                Itv::Range { lo, hi }
+            }
+        }
+    }
+}
+
+/// Forward interval analysis with widening at joins. Arithmetic uses
+/// *checked* corner computation — the kernels wrap on overflow, so any
+/// overflowing corner degrades the result to [`Itv::Top`] rather than a
+/// (wrong) saturated bound.
+pub struct IntervalDomain<'a> {
+    consts: &'a [Value],
+    n_regs: usize,
+}
+
+impl<'a> IntervalDomain<'a> {
+    /// Domain for one program.
+    pub fn new(prog: &'a Program) -> IntervalDomain<'a> {
+        IntervalDomain { consts: &prog.consts, n_regs: prog.n_regs as usize }
+    }
+
+    fn op_itv(&self, fact: &[Itv], op: Operand) -> Itv {
+        if op.is_const() {
+            match self.consts.get(op.index()) {
+                Some(Value::Int(n)) => Itv::singleton(*n),
+                Some(_) => Itv::Never,
+                None => Itv::Top,
+            }
+        } else {
+            get(fact, op.index() as u16, Itv::Top)
+        }
+    }
+}
+
+/// Interval of `apply_binary`'s result. An `Int` result requires **both**
+/// operands to be `Int` (the string-repetition and float paths yield
+/// `Text`/`Float`/NULL), so `Never` on either side propagates.
+fn binary_itv(op: BinOp, l: Itv, r: Itv) -> Itv {
+    use Itv::*;
+    if l == Never || r == Never {
+        return Never;
+    }
+    match op {
+        // True division always yields Float or NULL.
+        BinOp::Div => Never,
+        // Euclidean remainder is non-negative and below |divisor|; the
+        // single overflowing pair (`i64::MIN % -1`) is pinned to 0.
+        BinOp::Mod => match r {
+            Range { lo: c, hi: d } => {
+                if c == 0 && d == 0 {
+                    Never // division by zero yields NULL
+                } else {
+                    let bound = c.saturating_abs().max(d.saturating_abs()).saturating_sub(1);
+                    Range { lo: 0, hi: bound.max(0) }
+                }
+            }
+            _ => Range { lo: 0, hi: i64::MAX },
+        },
+        BinOp::FloorDiv | BinOp::Pow => Top,
+        BinOp::Add | BinOp::Sub | BinOp::Mul => match (l, r) {
+            (Range { lo: a, hi: b }, Range { lo: c, hi: d }) => {
+                let corners: [Option<i64>; 4] = match op {
+                    BinOp::Add => [a.checked_add(c), b.checked_add(d), None, None],
+                    BinOp::Sub => [a.checked_sub(d), b.checked_sub(c), None, None],
+                    _ => [a.checked_mul(c), a.checked_mul(d), b.checked_mul(c), b.checked_mul(d)],
+                };
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                let used = if op == BinOp::Mul { 4 } else { 2 };
+                for corner in corners.iter().take(used) {
+                    match corner {
+                        Some(v) => {
+                            lo = lo.min(*v);
+                            hi = hi.max(*v);
+                        }
+                        None => return Top, // a corner overflowed; kernels wrap
+                    }
+                }
+                Range { lo, hi }
+            }
+            _ => Top,
+        },
+    }
+}
+
+impl Domain for IntervalDomain<'_> {
+    type Fact = Vec<Itv>;
+
+    fn entry(&self) -> Vec<Itv> {
+        vec![Itv::Top; self.n_regs]
+    }
+
+    fn join(&self, fact: &mut Vec<Itv>, other: &Vec<Itv>) -> bool {
+        let mut changed = false;
+        for (a, b) in fact.iter_mut().zip(other.iter()) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, instr: &Instr, fact: &mut Vec<Itv>) {
+        match instr {
+            Instr::Copy { dst, src } => {
+                let i = self.op_itv(fact, *src);
+                set(fact, *dst, i);
+            }
+            Instr::Unary { op, dst, src } => {
+                let i = match (op, self.op_itv(fact, *src)) {
+                    (UnOp::Not, _) => Itv::Never, // Bool result
+                    // `i64::MIN` wraps under negation; any other range flips.
+                    (UnOp::Neg, Itv::Range { lo, hi }) if lo > i64::MIN => {
+                        Itv::Range { lo: -hi, hi: -lo }
+                    }
+                    (UnOp::Neg, Itv::Never) => Itv::Never,
+                    (UnOp::Neg, _) => Itv::Top,
+                };
+                set(fact, *dst, i);
+            }
+            Instr::Binary { op, dst, l, r } => {
+                let i = binary_itv(*op, self.op_itv(fact, *l), self.op_itv(fact, *r));
+                set(fact, *dst, i);
+            }
+            Instr::Compare { dst, .. } | Instr::CastBool { dst, .. } => set(fact, *dst, Itv::Never),
+            Instr::Call { func, dst, .. } => {
+                use LibFn::*;
+                let i = match func {
+                    // Saturating |x|, `s.find` (−1 or an index), lengths and
+                    // split counts have known sign structure; the float→int
+                    // casts cover the full i64 range.
+                    BuiltinAbs | BuiltinLen => Itv::Range { lo: 0, hi: i64::MAX },
+                    StrFind => Itv::Range { lo: -1, hi: i64::MAX },
+                    StrSplitCount => Itv::Range { lo: 1, hi: i64::MAX },
+                    MathFloor | MathCeil | BuiltinInt => Itv::Top,
+                    // Everything else yields Float/Text/Bool/NULL.
+                    _ => Itv::Never,
+                };
+                set(fact, *dst, i);
+            }
+            Instr::ForInit { counter, limit, .. } => {
+                set(fact, *counter, Itv::singleton(0));
+                // The limit is the clamped trip count `max(n, 0)`.
+                set(fact, *limit, Itv::Range { lo: 0, hi: i64::MAX });
+            }
+            Instr::WhileInit { counter } => set(fact, *counter, Itv::singleton(0)),
+            Instr::WhileIter { counter } => {
+                let i = match get(fact, *counter, Itv::Top) {
+                    Itv::Range { lo, hi } => match (lo.checked_add(1), hi.checked_add(1)) {
+                        (Some(lo), Some(hi)) => Itv::Range { lo, hi },
+                        _ => Itv::Top,
+                    },
+                    _ => Itv::Top,
+                };
+                set(fact, *counter, i);
+            }
+            Instr::Jump { .. }
+            | Instr::JumpIfFalse { .. }
+            | Instr::JumpIfTrue { .. }
+            | Instr::ForNext { .. }
+            | Instr::CheckDef { .. }
+            | Instr::MarkDef { .. }
+            | Instr::Cost(_)
+            | Instr::Return { .. }
+            | Instr::ReturnNull => {}
+        }
+    }
+
+    fn refine(&self, instr: &Instr, edge: EdgeKind, fact: &mut Vec<Itv>) {
+        if let Instr::ForNext { counter, limit, var_slot, .. } = instr {
+            if edge == EdgeKind::Next {
+                // On the continuing edge `0 <= var < limit` and the counter
+                // advances to `var + 1`.
+                let (var, ctr) = match get(fact, *limit, Itv::Top) {
+                    Itv::Range { hi, .. } => (
+                        Itv::Range { lo: 0, hi: hi.saturating_sub(1).max(0) },
+                        Itv::Range { lo: 1, hi: hi.max(1) },
+                    ),
+                    _ => (Itv::Range { lo: 0, hi: i64::MAX }, Itv::Range { lo: 1, hi: i64::MAX }),
+                };
+                set(fact, *var_slot, var);
+                set(fact, *counter, ctr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cfg::Cfg;
+    use super::super::dataflow::{per_instr_facts, solve};
+    use super::*;
+    use crate::ast::{CmpOp, Expr, Stmt, UdfDef};
+    use crate::bytecode::compile;
+
+    fn udf(params: &[&str], body: Vec<Stmt>) -> Program {
+        let u = UdfDef {
+            name: "f".into(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            body,
+        };
+        compile(&u).unwrap()
+    }
+
+    /// Fact holding at the (first) `Return{src: reg}` for the returned slot.
+    fn at_return<D: Domain>(p: &Program, dom: &D) -> (D::Fact, u16) {
+        let cfg = Cfg::build(p).unwrap();
+        let sol = solve(&cfg, p, dom);
+        let facts = per_instr_facts(&cfg, p, dom, &sol);
+        for (pc, i) in p.instrs.iter().enumerate() {
+            if let Instr::Return { src } = i {
+                if !src.is_const() {
+                    return (facts[pc].clone().expect("return reachable"), src.index() as u16);
+                }
+            }
+        }
+        panic!("no register return in test program");
+    }
+
+    #[test]
+    fn definite_init_rejects_branch_only_assignments_until_checked() {
+        let p = udf(
+            &["x"],
+            vec![
+                Stmt::If {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::name("x"), Expr::Int(0)),
+                    then_body: vec![Stmt::Assign { target: "z".into(), expr: Expr::Int(1) }],
+                    else_body: vec![],
+                },
+                Stmt::Return(Expr::name("z")),
+            ],
+        );
+        let dom = DefiniteInit::new(&p);
+        let cfg = Cfg::build(&p).unwrap();
+        let sol = solve(&cfg, &p, &dom);
+        let facts = per_instr_facts(&cfg, &p, &dom, &sol);
+        let z = p.slots.slot_of("z").unwrap() as usize;
+        // Before the CheckDef, z is not definitely assigned; after it (at the
+        // Return), the runtime guarantee makes it definite.
+        let check_pc = p
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::CheckDef { slot } if *slot == z as u16))
+            .expect("compiler guards the read");
+        assert!(!facts[check_pc].as_ref().unwrap()[z]);
+        let (at_ret, slot) = at_return(&p, &dom);
+        assert_eq!(slot as usize, z);
+        assert!(at_ret[z], "CheckDef establishes definiteness");
+    }
+
+    #[test]
+    fn type_lattice_tracks_constants_params_and_loop_vars() {
+        // z = 2 + 3 → Int; parameters are Top; loop vars are Int.
+        let p = udf(
+            &["x"],
+            vec![
+                Stmt::Assign {
+                    target: "z".into(),
+                    expr: Expr::bin(crate::ast::BinOp::Add, Expr::Int(2), Expr::Int(3)),
+                },
+                Stmt::Return(Expr::name("z")),
+            ],
+        );
+        let dom = TypeDomain::new(&p);
+        let (f, slot) = at_return(&p, &dom);
+        assert_eq!(f[slot as usize], Ty::Int);
+        assert_eq!(f[p.slots.slot_of("x").unwrap() as usize], Ty::Top);
+        // Division is Float even over Ints; comparisons are Bool.
+        assert_eq!(binary_ty(BinOp::Div, Ty::Int, Ty::Int), Ty::Float);
+        assert_eq!(binary_ty(BinOp::Add, Ty::Text, Ty::Text), Ty::Text);
+        assert_eq!(binary_ty(BinOp::Sub, Ty::Text, Ty::Int), Ty::Bottom);
+        assert_eq!(binary_ty(BinOp::Pow, Ty::Int, Ty::Int), Ty::Top);
+    }
+
+    #[test]
+    fn nullness_proves_constants_and_copies_only() {
+        let p = udf(
+            &["x"],
+            vec![
+                Stmt::Assign { target: "n".into(), expr: Expr::Int(5) },
+                Stmt::Assign { target: "m".into(), expr: Expr::name("n") },
+                Stmt::Return(Expr::name("m")),
+            ],
+        );
+        let dom = NullDomain::new(&p);
+        let (f, slot) = at_return(&p, &dom);
+        assert_eq!(f[slot as usize], Nullness::NonNull, "copied constant is non-null");
+        assert_eq!(
+            f[p.slots.slot_of("x").unwrap() as usize],
+            Nullness::Maybe,
+            "params may be NULL"
+        );
+    }
+
+    #[test]
+    fn intervals_propagate_singletons_and_widen_loops() {
+        let p = udf(
+            &["x"],
+            vec![
+                Stmt::Assign { target: "n".into(), expr: Expr::Int(12) },
+                Stmt::Return(Expr::name("n")),
+            ],
+        );
+        let dom = IntervalDomain::new(&p);
+        let (f, slot) = at_return(&p, &dom);
+        assert_eq!(f[slot as usize], Itv::singleton(12));
+        // A loop-carried increment widens instead of iterating 2^63 times.
+        let p = udf(
+            &["x"],
+            vec![
+                Stmt::Assign { target: "z".into(), expr: Expr::Int(0) },
+                Stmt::While {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::name("z"), Expr::name("x")),
+                    body: vec![Stmt::Assign {
+                        target: "z".into(),
+                        expr: Expr::bin(crate::ast::BinOp::Add, Expr::name("z"), Expr::Int(1)),
+                    }],
+                },
+                Stmt::Return(Expr::name("z")),
+            ],
+        );
+        let dom = IntervalDomain::new(&p);
+        // The solve must terminate (widening) and the loop-carried counter
+        // must not stay a singleton; after the widened bound hits i64::MAX
+        // the `+ 1` corner overflows, so Top is the sound fixpoint.
+        let (f, slot) = at_return(&p, &dom);
+        assert!(
+            matches!(f[slot as usize], Itv::Top | Itv::Range { lo: _, hi: i64::MAX }),
+            "expected a widened fact, got {:?}",
+            f[slot as usize]
+        );
+        // Checked corners: an overflowing multiply degrades to Top.
+        assert_eq!(binary_itv(BinOp::Mul, Itv::singleton(i64::MAX), Itv::singleton(2)), Itv::Top);
+        assert_eq!(binary_itv(BinOp::Add, Itv::singleton(3), Itv::singleton(4)), Itv::singleton(7));
+        assert_eq!(binary_itv(BinOp::Div, Itv::Top, Itv::Top), Itv::Never);
+    }
+}

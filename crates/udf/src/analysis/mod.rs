@@ -1,0 +1,41 @@
+//! Static analysis of compiled UDF bytecode.
+//!
+//! [`crate::bytecode::compile`] lowers a UDF into a flat [`Program`](crate::bytecode::Program) that
+//! three backends execute — the tree-walker (via the shared slot table), the
+//! batch VM and the columnar SIMD executor. Those backends trust a pile of
+//! structural invariants (jump targets in bounds, registers written before
+//! read, cost markers adjacent to the instructions they describe, every path
+//! ending in a return). This module makes that trust *checked*:
+//!
+//! - [`mod@cfg`] builds a basic-block control-flow graph over the instruction
+//!   stream, with edge kinds and dominators.
+//! - [`dataflow`] is a forward worklist solver, generic over any
+//!   join-semilattice [`dataflow::Domain`].
+//! - [`domains`] instantiates it four ways: definite initialization, a type
+//!   lattice, null-ness, and integer intervals (with widening).
+//! - [`verify`](verify::verify) runs on every `compile()` result (under the
+//!   default `GRACEFUL_VERIFY=strict`) and turns a violated invariant into a
+//!   typed [`GracefulError::Verify`](graceful_common::GracefulError::Verify)
+//!   instead of backend-divergent behaviour or a release-mode panic.
+//! - [`tripcount`] proves constant trip counts for `for` loops, which lets
+//!   [`Program::simd_shape`](crate::bytecode::Program::simd_shape) reclassify
+//!   them from [`InstrClass::Bail`](crate::bytecode::InstrClass::Bail) into
+//!   [`InstrClass::Counted`](crate::bytecode::InstrClass::Counted) segments
+//!   the columnar executor runs on the lane registers.
+//!
+//! Every analysis here is conservative: a domain may say "don't know" (top)
+//! but must never claim a fact the interpreters can falsify — the property
+//! suite runs the verifier over the whole generated corpus and the counted
+//! loops differentially against all three backends to keep it honest.
+
+pub mod cfg;
+pub mod dataflow;
+pub mod domains;
+pub mod tripcount;
+pub mod verify;
+
+pub use cfg::{Cfg, EdgeKind};
+pub use dataflow::{per_instr_facts, solve, Domain, Solution};
+pub use domains::{DefiniteInit, IntervalDomain, Itv, NullDomain, Nullness, Ty, TypeDomain};
+pub use tripcount::{trip_counts, MAX_COUNTED_TRIPS};
+pub use verify::verify;

@@ -23,6 +23,7 @@
 use crate::ast::{Expr, Stmt, UdfDef, UnOp};
 use crate::interp::MAX_WHILE_ITERS;
 use crate::libfns::LibFn;
+use graceful_common::config::VerifyMode;
 use graceful_common::{GracefulError, Result};
 use graceful_storage::Value;
 
@@ -237,12 +238,32 @@ pub(crate) fn check_params(udf: &UdfDef) -> Result<()> {
     Ok(())
 }
 
+/// Process-wide verification mode, parsed from `GRACEFUL_VERIFY` once (same
+/// pattern as every other `GRACEFUL_*` knob: read once, strict validation,
+/// a bad value is a typed [`GracefulError::Config`] on first use).
+static VERIFY_MODE: std::sync::OnceLock<std::result::Result<VerifyMode, String>> =
+    std::sync::OnceLock::new();
+
+fn verify_mode() -> Result<VerifyMode> {
+    VERIFY_MODE.get_or_init(VerifyMode::try_from_env).clone().map_err(GracefulError::Config)
+}
+
 /// Compile a UDF definition to bytecode.
 ///
-/// Fails only for duplicate parameter names and for degenerate inputs the
-/// register encoding cannot express (>32k registers or constants) — every
-/// UDF the generator or parser produces compiles.
+/// Fails for duplicate parameter names, for degenerate inputs the register
+/// encoding cannot express (>32k registers or constants) — every UDF the
+/// generator or parser produces compiles — and, under the default
+/// `GRACEFUL_VERIFY=strict`, for any program the bytecode verifier
+/// ([`crate::analysis::verify()`]) rejects, so a compiler bug surfaces here as
+/// a typed error instead of as backend-divergent behaviour downstream.
 pub fn compile(udf: &UdfDef) -> Result<Program> {
+    compile_with(udf, verify_mode()?)
+}
+
+/// [`compile`] with an explicit [`VerifyMode`] (the env-independent entry
+/// point: tests and the lint harness pass `VerifyMode::Strict` directly so
+/// they never race the process environment).
+pub fn compile_with(udf: &UdfDef, mode: VerifyMode) -> Result<Program> {
     check_params(udf)?;
     let slots = SlotTable::build(udf);
     let mut c = Compiler {
@@ -260,13 +281,17 @@ pub fn compile(udf: &UdfDef) -> Result<Program> {
     }
     c.block(&udf.body, &mut assigned)?;
     c.emit(Instr::ReturnNull);
-    Ok(Program {
+    let prog = Program {
         instrs: c.instrs,
         consts: c.consts,
         n_regs: c.max_regs,
         slots,
         name: udf.name.clone(),
-    })
+    };
+    if mode == VerifyMode::Strict {
+        crate::analysis::verify(&prog)?;
+    }
+    Ok(prog)
 }
 
 struct Compiler<'a> {
@@ -607,8 +632,16 @@ pub enum InstrClass {
     Split,
     /// Terminates a selection's rows with a value.
     Return,
-    /// Not vectorizable (loops, string/length builtins): rows that reach it
-    /// leave the fast path and fall back to the per-row [`crate::vm::Vm`].
+    /// A `ForInit`/`ForNext` of a loop with a statically proven constant
+    /// trip count (see [`crate::analysis::tripcount`]): every row iterates
+    /// the same number of times, so the columnar executor unrolls the loop
+    /// across the whole selection, replaying the per-iteration cost charges.
+    /// The executor still re-checks the limit lanes at run time and bails
+    /// the selection on any surprise.
+    Counted,
+    /// Not vectorizable (data-dependent loops, string/length builtins): rows
+    /// that reach it leave the fast path and fall back to the per-row
+    /// [`crate::vm::Vm`].
     Bail,
 }
 
@@ -619,10 +652,17 @@ pub struct SimdShape {
     /// `class[pc]` for every instruction of the program.
     pub class: Vec<InstrClass>,
     /// True when at least one entry→`Return` path exists that touches only
-    /// `Vector`/`Split` instructions — i.e. some rows *can* complete on the
-    /// fast path. When false the columnar executor is pure overhead (every
-    /// selection would bail) and callers should go straight to the batch VM.
+    /// `Vector`/`Split`/`Counted` instructions — i.e. some rows *can*
+    /// complete on the fast path. When false the columnar executor is pure
+    /// overhead (every selection would bail) and callers should go straight
+    /// to the batch VM.
     pub has_fast_path: bool,
+    /// `trip_count[pc]` — the proven constant trip count when `pc` is a
+    /// `Counted` `ForInit`/`ForNext`, `None` everywhere else. Metadata for
+    /// observability/lint tooling: the executor itself re-derives nothing
+    /// from it (it re-checks the limit lanes at run time), so a stale shape
+    /// can cost performance but never correctness.
+    pub trip_count: Vec<Option<u32>>,
 }
 
 impl Program {
@@ -638,10 +678,12 @@ impl Program {
     /// are rejected per-selection by the executor's type checks.
     pub fn simd_shape(&self) -> SimdShape {
         use LibFn::*;
+        let trip_count = crate::analysis::trip_counts(self);
         let class: Vec<InstrClass> = self
             .instrs
             .iter()
-            .map(|i| match i {
+            .enumerate()
+            .map(|(pc, i)| match i {
                 Instr::Copy { .. }
                 | Instr::Unary { .. }
                 | Instr::Binary { .. }
@@ -664,15 +706,22 @@ impl Program {
                 },
                 Instr::JumpIfFalse { .. } | Instr::JumpIfTrue { .. } => InstrClass::Split,
                 Instr::Return { .. } | Instr::ReturnNull => InstrClass::Return,
-                // Loops re-enter their body with data-dependent trip counts —
-                // per-row state the columnar model does not carry.
+                // A `for` loop whose trip count is provably one constant has
+                // no per-row iteration state: every row runs the body the
+                // same number of times, so the executor can unroll it across
+                // the selection. Data-dependent loops keep per-row state the
+                // columnar model does not carry.
+                Instr::ForInit { .. } | Instr::ForNext { .. } if trip_count[pc].is_some() => {
+                    InstrClass::Counted
+                }
                 Instr::ForInit { .. }
                 | Instr::ForNext { .. }
                 | Instr::WhileInit { .. }
                 | Instr::WhileIter { .. } => InstrClass::Bail,
             })
             .collect();
-        // DFS over the CFG restricted to Vector/Split/Return instructions.
+        // DFS over the CFG restricted to Vector/Split/Counted/Return
+        // instructions.
         let mut visited = vec![false; class.len()];
         let mut stack = vec![0usize];
         let mut has_fast_path = false;
@@ -687,17 +736,24 @@ impl Program {
                     has_fast_path = true;
                     break;
                 }
-                InstrClass::Vector | InstrClass::Split => match &self.instrs[pc] {
-                    Instr::Jump { target } => stack.push(*target as usize),
-                    Instr::JumpIfFalse { target, .. } | Instr::JumpIfTrue { target, .. } => {
-                        stack.push(*target as usize);
-                        stack.push(pc + 1);
+                InstrClass::Vector | InstrClass::Split | InstrClass::Counted => {
+                    match &self.instrs[pc] {
+                        Instr::Jump { target } => stack.push(*target as usize),
+                        Instr::JumpIfFalse { target, .. } | Instr::JumpIfTrue { target, .. } => {
+                            stack.push(*target as usize);
+                            stack.push(pc + 1);
+                        }
+                        // A counted ForNext both enters the body and exits.
+                        Instr::ForNext { exit, .. } => {
+                            stack.push(*exit as usize);
+                            stack.push(pc + 1);
+                        }
+                        _ => stack.push(pc + 1),
                     }
-                    _ => stack.push(pc + 1),
-                },
+                }
             }
         }
-        SimdShape { class, has_fast_path }
+        SimdShape { class, has_fast_path, trip_count }
     }
 }
 
@@ -843,8 +899,8 @@ mod tests {
 
     #[test]
     fn simd_shape_marks_loops_as_bail_but_keeps_branchy_fast_paths() {
-        // One branch returns straight-line, the other loops: the program
-        // still has a fast path (the loop-free branch).
+        // One branch returns straight-line, the other runs a *data-dependent*
+        // loop: the program still has a fast path (the loop-free branch).
         let u = udf(
             &["x"],
             vec![
@@ -853,7 +909,7 @@ mod tests {
                     then_body: vec![Stmt::Return(Expr::name("x"))],
                     else_body: vec![Stmt::For {
                         var: "i".into(),
-                        count: Expr::Int(3),
+                        count: Expr::name("x"),
                         body: vec![Stmt::Assign { target: "z".into(), expr: Expr::name("i") }],
                     }],
                 },
@@ -865,6 +921,35 @@ mod tests {
         assert!(shape.has_fast_path);
         assert!(shape.class.contains(&InstrClass::Bail), "loop instructions classified Bail");
         assert!(shape.class.contains(&InstrClass::Split), "branch classified Split");
+        assert!(shape.trip_count.iter().all(Option::is_none), "no provable trip count");
+    }
+
+    #[test]
+    fn simd_shape_counts_constant_trip_loops() {
+        // A literal `range(3)` loop is Counted, not Bail, and the shape
+        // records its proven trip count on both loop instructions.
+        let u = udf(
+            &["x"],
+            vec![
+                Stmt::For {
+                    var: "i".into(),
+                    count: Expr::Int(3),
+                    body: vec![Stmt::Assign { target: "z".into(), expr: Expr::name("i") }],
+                },
+                Stmt::Return(Expr::Int(0)),
+            ],
+        );
+        let p = compile(&u).unwrap();
+        let shape = p.simd_shape();
+        assert!(shape.has_fast_path, "counted loops keep the fast path alive");
+        assert!(!shape.class.contains(&InstrClass::Bail));
+        assert_eq!(
+            shape.class.iter().filter(|c| **c == InstrClass::Counted).count(),
+            2,
+            "ForInit and ForNext both Counted"
+        );
+        assert_eq!(shape.trip_count.iter().flatten().count(), 2);
+        assert_eq!(shape.trip_count.iter().flatten().copied().max(), Some(3));
     }
 
     #[test]

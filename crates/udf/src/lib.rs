@@ -27,6 +27,7 @@
 //! * [`generator`] — the synthetic UDF generator of Section V (0–3 branches,
 //!   0–3 loops, 10–150 ops, library calls, data-adaptation actions).
 
+pub mod analysis;
 pub mod ast;
 pub mod bytecode;
 pub mod costs;
@@ -42,7 +43,7 @@ pub mod typecheck;
 pub mod vm;
 
 pub use ast::{BinOp, CmpOp, Expr, Stmt, UdfDef, UnOp};
-pub use bytecode::{compile, InstrClass, Program, SimdShape, SlotTable};
+pub use bytecode::{compile, compile_with, InstrClass, Program, SimdShape, SlotTable};
 pub use costs::{CostCounter, CostWeights};
 pub use generator::{AdaptAction, GeneratedUdf, UdfGenConfig, UdfGenerator};
 pub use interp::{EvalOutcome, Interpreter, MAX_WHILE_ITERS};

@@ -19,11 +19,17 @@
 //! * Conditional jumps ([`InstrClass::Split`]) evaluate the condition column
 //!   and split the selection by truthiness — branch divergence becomes two
 //!   smaller groups, each compacted to dense lanes.
+//! * `for` loops with a statically proven constant trip count
+//!   ([`InstrClass::Counted`], see [`crate::analysis::tripcount`]) stay on
+//!   the fast path: every row runs the same iterations, so the group unrolls
+//!   the loop in lockstep over the lane registers, replaying the scalar VM's
+//!   per-iteration charges. The limit lanes are re-checked at run time.
 //! * Rows that reach a non-vectorizable instruction ([`InstrClass::Bail`]:
-//!   loops, string builtins, a not-yet-defined variable read, or an operand
-//!   whose runtime type the lane model cannot hold) **leave the fast path**:
-//!   their group falls back to the per-row [`Vm::eval`], which recomputes
-//!   those rows from scratch with the reference scalar semantics.
+//!   data-dependent loops, string builtins, a not-yet-defined variable read,
+//!   or an operand whose runtime type the lane model cannot hold) **leave
+//!   the fast path**: their group falls back to the per-row [`Vm::eval`],
+//!   which recomputes those rows from scratch with the reference scalar
+//!   semantics.
 //!
 //! # Bit-identical values *and* costs
 //!
@@ -425,6 +431,17 @@ pub fn eval_batch_typed_with_stats(
             cols.len()
         )));
     }
+    // A shape computed for a different (or since-recompiled) program would
+    // misclassify instructions — the executor indexes `shape.class[pc]`
+    // unchecked past this point.
+    if shape.class.len() != prog.instrs.len() {
+        return Err(GracefulError::Verify(format!(
+            "{}: SIMD shape covers {} instructions but the program has {}",
+            prog.name,
+            shape.class.len(),
+            prog.instrs.len()
+        )));
+    }
     let rows = cols.first().map_or(0, TypedCol::len);
     if let Some(bad) = cols.iter().find(|c| c.len() != rows) {
         return Err(GracefulError::Eval(format!(
@@ -721,11 +738,51 @@ fn run_chunk(
                     }
                     break;
                 }
-                // Bail-class opcodes are intercepted before this match.
-                Instr::ForInit { .. }
-                | Instr::ForNext { .. }
-                | Instr::WhileInit { .. }
-                | Instr::WhileIter { .. } => {
+                // Counted loops (`InstrClass::Counted`): the trip count was
+                // proven constant, so the group unrolls the loop in lockstep —
+                // every lane runs the same iterations, replaying the exact
+                // per-iteration charges of `Vm::run`. The limit is re-checked
+                // at run time (uniform non-null Int across the lanes); any
+                // surprise degrades to the scalar fallback, never to a wrong
+                // answer.
+                Instr::ForInit { counter, limit, src } => {
+                    let n_lanes = g.sel.len();
+                    let trips = match resolve(&g, &prog.consts, *src) {
+                        Ok(Src::Const(Value::Int(n))) => Some((*n).max(0)),
+                        Ok(Src::Col(c)) => uniform_int(c).map(|n| n.max(0)),
+                        _ => None,
+                    };
+                    let Some(n) = trips else {
+                        fallback_group(vm, prog, cols, range.start, &g, &mut results);
+                        break;
+                    };
+                    g.regs[*limit as usize] = Some(broadcast_int(n, n_lanes));
+                    g.regs[*counter as usize] = Some(broadcast_int(0, n_lanes));
+                }
+                Instr::ForNext { counter, limit, var_slot, exit } => {
+                    let n_lanes = g.sel.len();
+                    let c = g.regs[*counter as usize].as_ref().and_then(uniform_int);
+                    let n = g.regs[*limit as usize].as_ref().and_then(uniform_int);
+                    let (Some(c), Some(n)) = (c, n) else {
+                        fallback_group(vm, prog, cols, range.start, &g, &mut results);
+                        break;
+                    };
+                    if c < n {
+                        // Same charge point as the scalar VM: one loop_iter
+                        // per entered iteration, before the body.
+                        g.cost.add_loop_iter(&w);
+                        g.regs[*var_slot as usize] = Some(broadcast_int(c, n_lanes));
+                        g.defined[*var_slot as usize] = true;
+                        g.regs[*counter as usize] = Some(broadcast_int(c + 1, n_lanes));
+                    } else {
+                        g.pc = *exit as usize;
+                        continue;
+                    }
+                }
+                // While loops are always Bail-class and intercepted before
+                // this match; reaching here means a corrupt shape — take the
+                // safe road.
+                Instr::WhileInit { .. } | Instr::WhileIter { .. } => {
                     fallback_group(vm, prog, cols, range.start, &g, &mut results);
                     break;
                 }
@@ -733,9 +790,22 @@ fn run_chunk(
             g.pc = pc + 1;
         }
     }
-    let results =
-        results.into_iter().map(|r| r.expect("every chunk row resolved to a result")).collect();
-    Ok((results, group_costs, groups_spawned))
+    // Every row must have resolved (columnar return, scalar fallback, or a
+    // recorded error). A gap is a bookkeeping bug in this module — surface
+    // it as a typed error rather than a release-mode panic mid-query.
+    let mut resolved = Vec::with_capacity(results.len());
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Some(r) => resolved.push(r),
+            None => {
+                return Err(GracefulError::Verify(format!(
+                    "{}: chunk row {i} never resolved to a result",
+                    prog.name
+                )))
+            }
+        }
+    }
+    Ok((resolved, group_costs, groups_spawned))
 }
 
 /// Re-run every row of `g` on the scalar VM (the authentic per-row
@@ -756,6 +826,27 @@ fn fallback_group(
             Ok(o) => RowResult::Scalar(o),
             Err(e) => RowResult::Failed(e),
         });
+    }
+}
+
+/// One `Int` value broadcast across `n` non-null lanes (loop counters and
+/// limits of counted loops).
+fn broadcast_int(v: i64, n: usize) -> LaneCol {
+    LaneCol { lanes: Lanes::Int(vec![v; n]), nulls: vec![false; n] }
+}
+
+/// The single `Int` every lane of `c` holds, if the column is uniform,
+/// non-null and int-typed — the run-time guard of counted-loop execution.
+fn uniform_int(c: &LaneCol) -> Option<i64> {
+    if c.nulls.iter().any(|&b| b) {
+        return None;
+    }
+    match &c.lanes {
+        Lanes::Int(v) => {
+            let first = *v.first()?;
+            v.iter().all(|&x| x == first).then_some(first)
+        }
+        _ => None,
     }
 }
 
@@ -873,7 +964,10 @@ fn binary_dispatch(
                 Lanes::Int(zip_i64(a, b, |x, y| x.checked_div_euclid(y).unwrap_or(i64::MAX)))
             }
             BinOp::Pow => {
-                let k = int_pow_exponent.expect("int pow reached with non-const exponent");
+                // The dispatch above bailed every int-base/dynamic-int-
+                // exponent combination; a `None` here would mean that guard
+                // rotted, so refuse the selection instead of guessing.
+                let Some(k) = int_pow_exponent else { return Err(Bail) };
                 if (0..=16).contains(&k) {
                     Lanes::Int(a.iter().map(|&x| x.saturating_pow(k as u32)).collect())
                 } else {
@@ -1195,8 +1289,10 @@ mod tests {
 
     #[test]
     fn loops_fall_back_to_the_scalar_vm_per_row() {
-        // Straight-line prefix, then a loop on one branch: loop rows leave
-        // the fast path, the others stay columnar.
+        // Straight-line prefix, then a *data-dependent* loop on one branch:
+        // loop rows leave the fast path, the others stay columnar. (A
+        // constant-count loop would be Counted and stay columnar — see the
+        // next test.)
         let u = udf(
             &["x", "y"],
             vec![
@@ -1209,7 +1305,7 @@ mod tests {
                     then_body: vec![Stmt::Return(E::name("z"))],
                     else_body: vec![Stmt::For {
                         var: "i".into(),
-                        count: E::Int(5),
+                        count: E::name("y"),
                         body: vec![Stmt::Assign {
                             target: "z".into(),
                             expr: E::bin(BinOp::Add, E::name("z"), E::name("i")),
@@ -1220,7 +1316,97 @@ mod tests {
             ],
         );
         let n = 300;
-        differential(&u, &[int_col(n, |i| i as i64 % 50), int_col(n, |_| 0)]);
+        differential(&u, &[int_col(n, |i| i as i64 % 50), int_col(n, |i| i as i64 % 4)]);
+    }
+
+    #[test]
+    fn counted_loops_stay_columnar_with_zero_bails() {
+        // for i in range(12) with the limit copied through a local: trip
+        // count proven by the dataflow stack, every row completes on the
+        // fast path — values and costs still bit-identical to both scalar
+        // backends.
+        let u = udf(
+            &["x", "y"],
+            vec![
+                Stmt::Assign { target: "n".into(), expr: E::Int(12) },
+                Stmt::Assign { target: "z".into(), expr: E::name("y") },
+                Stmt::For {
+                    var: "i".into(),
+                    count: E::name("n"),
+                    body: vec![Stmt::Assign {
+                        target: "z".into(),
+                        expr: E::bin(
+                            BinOp::Add,
+                            E::name("z"),
+                            E::bin(BinOp::Mul, E::name("i"), E::name("x")),
+                        ),
+                    }],
+                },
+                Stmt::Return(E::name("z")),
+            ],
+        );
+        let prog = compile(&u).unwrap();
+        let shape = prog.simd_shape();
+        assert!(shape.class.contains(&InstrClass::Counted), "loop reclassified");
+        assert!(!shape.class.contains(&InstrClass::Bail), "nothing bails");
+        assert_eq!(shape.trip_count.iter().flatten().copied().max(), Some(12));
+
+        let n = 2500; // spans multiple chunks
+        let cols = [int_col(n, |i| i as i64 % 13 - 6), int_col(n, |i| i as i64 % 7)];
+        differential(&u, &cols);
+
+        // And the stats must confirm the fast path took every row.
+        let typed: Vec<TypedCol> = cols.iter().map(|c| TypedCol::from_values(c).unwrap()).collect();
+        let mut stats = SimdBatchStats::default();
+        let mut out = Vec::new();
+        eval_batch_typed_with_stats(
+            &mut Vm::default(),
+            &prog,
+            &shape,
+            &typed,
+            &mut out,
+            &mut CostCounter::new(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(stats.bail_rows, 0, "counted loop must not bail: {stats:?}");
+        assert_eq!(stats.fast_rows, n as u64);
+    }
+
+    #[test]
+    fn counted_loop_with_branch_divergence_inside_the_body_matches() {
+        // Divergence *inside* a counted loop body: groups split mid-loop and
+        // each continues its own lockstep iterations.
+        let u = udf(
+            &["x", "y"],
+            vec![
+                Stmt::Assign { target: "z".into(), expr: E::Int(0) },
+                Stmt::For {
+                    var: "i".into(),
+                    count: E::Int(4),
+                    body: vec![Stmt::If {
+                        cond: E::cmp(CmpOp::Lt, E::name("x"), E::Int(25)),
+                        then_body: vec![Stmt::Assign {
+                            target: "z".into(),
+                            expr: E::bin(BinOp::Add, E::name("z"), E::name("i")),
+                        }],
+                        else_body: vec![Stmt::Assign {
+                            target: "z".into(),
+                            expr: E::bin(BinOp::Sub, E::name("z"), E::name("y")),
+                        }],
+                    }],
+                },
+                Stmt::Return(E::name("z")),
+            ],
+        );
+        let n = 400;
+        differential(&u, &[int_col(n, |i| i as i64 % 50), int_col(n, |i| i as i64 % 9)]);
+        // Null rows in the limit-feeding columns don't exist here, but null
+        // *data* rows must still match through the loop.
+        let xs: Vec<Value> =
+            (0..64).map(|i| if i % 5 == 0 { Value::Null } else { Value::Int(i) }).collect();
+        let ys: Vec<Value> = (0..64).map(Value::Int).collect();
+        differential(&u, &[xs, ys]);
     }
 
     #[test]

@@ -219,13 +219,27 @@ impl Vm {
                     regs[*counter as usize] = Value::Int(0);
                 }
                 Instr::ForNext { counter, limit, var_slot, exit } => {
+                    // `ForInit` (which the verifier proves immediately
+                    // precedes on every path) stores `Int` in both registers;
+                    // anything else is corrupted state and must be a typed
+                    // error, not a release-mode panic.
                     let c = match &regs[*counter as usize] {
                         Value::Int(c) => *c,
-                        other => unreachable!("for counter holds {other:?}"),
+                        other => {
+                            return Err(GracefulError::Verify(format!(
+                                "{}: pc {pc}: for counter holds {other:?}, expected Int",
+                                prog.name
+                            )))
+                        }
                     };
                     let n = match &regs[*limit as usize] {
                         Value::Int(n) => *n,
-                        other => unreachable!("for limit holds {other:?}"),
+                        other => {
+                            return Err(GracefulError::Verify(format!(
+                                "{}: pc {pc}: for limit holds {other:?}, expected Int",
+                                prog.name
+                            )))
+                        }
                     };
                     if c < n {
                         cost.add_loop_iter(w);
@@ -244,7 +258,12 @@ impl Vm {
                     cost.add_loop_iter(w);
                     let iters = match &regs[*counter as usize] {
                         Value::Int(c) => *c + 1,
-                        other => unreachable!("while counter holds {other:?}"),
+                        other => {
+                            return Err(GracefulError::Verify(format!(
+                                "{}: pc {pc}: while counter holds {other:?}, expected Int",
+                                prog.name
+                            )))
+                        }
                     };
                     if iters as u64 > MAX_WHILE_ITERS {
                         return Err(GracefulError::IterationLimit { limit: MAX_WHILE_ITERS });

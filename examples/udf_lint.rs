@@ -1,0 +1,122 @@
+//! Lint the generated UDF corpus through the bytecode verifier and a set of
+//! structural lints over the compiled programs. Exits non-zero on the first
+//! corpus whose programs produce any diagnostic — CI runs this in both debug
+//! and `--release` to pin the compiler/verifier contract.
+//!
+//! Checks per program:
+//! - `compile_with(.., Strict)` succeeds (jump targets, register/const
+//!   bounds, cost-charge placement, loop pairing, definite initialization),
+//!   and an explicit re-`verify` of the result is clean;
+//! - the SIMD shape covers every instruction, `Counted` classification and
+//!   recorded trip counts agree instruction-by-instruction, and no proven
+//!   trip count exceeds [`MAX_COUNTED_TRIPS`](graceful::udf::analysis::MAX_COUNTED_TRIPS);
+//! - the entry block dominates every reachable block of the CFG;
+//! - the constant pool carries no duplicates.
+//!
+//! ```sh
+//! cargo run --release --example udf_lint
+//! ```
+
+use graceful::prelude::*;
+use graceful::storage::datagen::{generate, schema};
+use graceful::udf::analysis::{verify, Cfg, MAX_COUNTED_TRIPS};
+use graceful::udf::bytecode::Instr;
+use graceful::udf::{compile_with, InstrClass, Program};
+use graceful_common::config::VerifyMode;
+
+const SCHEMAS: [&str; 6] = ["tpc_h", "imdb", "ssb", "airline", "baseball", "movielens"];
+const SEEDS_PER_SCHEMA: u64 = 250;
+
+fn lint(prog: &Program) -> Vec<String> {
+    let mut diags = Vec::new();
+    if let Err(e) = verify(prog) {
+        diags.push(format!("re-verification failed: {e}"));
+    }
+
+    let shape = prog.simd_shape();
+    if shape.class.len() != prog.instrs.len() {
+        diags.push(format!(
+            "SIMD shape covers {} instructions, program has {}",
+            shape.class.len(),
+            prog.instrs.len()
+        ));
+    }
+    for (pc, class) in shape.class.iter().enumerate() {
+        let trip = shape.trip_count.get(pc).copied().flatten();
+        if (*class == InstrClass::Counted) != trip.is_some() {
+            diags.push(format!("pc {pc}: class {class:?} disagrees with trip count {trip:?}"));
+        }
+        if *class == InstrClass::Counted
+            && !matches!(prog.instrs[pc], Instr::ForInit { .. } | Instr::ForNext { .. })
+        {
+            diags.push(format!("pc {pc}: Counted on a non-loop instruction"));
+        }
+        if let Some(n) = trip {
+            if i64::from(n) > MAX_COUNTED_TRIPS {
+                diags.push(format!("pc {pc}: trip count {n} exceeds {MAX_COUNTED_TRIPS}"));
+            }
+        }
+    }
+
+    match Cfg::build(prog) {
+        Ok(cfg) => {
+            let idoms = cfg.idoms();
+            for b in cfg.rpo() {
+                if !cfg.dominates(&idoms, 0, b) {
+                    diags.push(format!("entry does not dominate reachable block {b}"));
+                }
+            }
+        }
+        Err(e) => diags.push(format!("CFG construction failed: {e}")),
+    }
+
+    for (i, c) in prog.consts.iter().enumerate() {
+        if prog.consts[..i].contains(c) {
+            diags.push(format!("constant pool entry {i} ({c:?}) is a duplicate"));
+        }
+    }
+    diags
+}
+
+fn main() {
+    let mut programs = 0usize;
+    let mut counted_loops = 0usize;
+    let mut diagnostics = 0usize;
+    for name in SCHEMAS {
+        let db = generate(&schema(name), 0.02, 7);
+        let gen = UdfGenerator::default();
+        for seed in 0..SEEDS_PER_SCHEMA {
+            let mut rng = Rng::seed(seed);
+            let u = match gen.generate(&db, &mut rng) {
+                Ok(u) => u,
+                Err(e) => {
+                    eprintln!("udf_lint: {name}/{seed}: generator failed: {e}");
+                    diagnostics += 1;
+                    continue;
+                }
+            };
+            let prog = match compile_with(&u.def, VerifyMode::Strict) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("udf_lint: {name}/{seed} {}: rejected: {e}", u.def.name);
+                    diagnostics += 1;
+                    continue;
+                }
+            };
+            programs += 1;
+            counted_loops += prog.simd_shape().trip_count.iter().flatten().count() / 2;
+            for d in lint(&prog) {
+                eprintln!("udf_lint: {name}/{seed} {}: {d}", prog.name);
+                diagnostics += 1;
+            }
+        }
+    }
+    if diagnostics > 0 {
+        eprintln!("udf_lint: {diagnostics} diagnostics over {programs} programs");
+        std::process::exit(1);
+    }
+    println!(
+        "udf_lint: {programs} programs verified clean ({} schemas, {counted_loops} counted loops)",
+        SCHEMAS.len()
+    );
+}

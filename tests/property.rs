@@ -261,6 +261,153 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The bytecode verifier accepts every program the compiler emits over
+    /// the generated corpus. `compile()` already runs it (strict is the
+    /// default [`graceful_common::config::VerifyMode`]); a second explicit
+    /// pass proves verification is idempotent on an accepted program.
+    #[test]
+    fn verifier_accepts_every_compiled_program(seed in 0u64..5_000) {
+        use graceful_common::config::VerifyMode;
+        let db = generate(&schema("imdb"), 0.02, 11);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        let prog = graceful::udf::compile_with(&u.def, VerifyMode::Strict)
+            .expect("strict compile verifies");
+        graceful::udf::analysis::verify(&prog).expect("verification is idempotent");
+    }
+
+    /// Corrupted bytecode — the mutations a decoder bug or a stale plan
+    /// cache could produce — is rejected with a typed
+    /// [`GracefulError::Verify`] before anything executes it: never a panic,
+    /// never a silent accept.
+    #[test]
+    fn corrupted_bytecode_is_rejected_not_executed(seed in 0u64..2_000) {
+        use graceful::udf::bytecode::{Instr, Operand};
+        use graceful_common::GracefulError;
+        let db = generate(&schema("ssb"), 0.02, 12);
+        let gen = UdfGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let u = gen.generate(&db, &mut rng).unwrap();
+        let prog = compile(&u.def).unwrap();
+        let verify = graceful::udf::analysis::verify;
+
+        // Jump target far past the end of the program.
+        let jump_pc = prog.instrs.iter().position(|i| {
+            matches!(i, Instr::Jump { .. } | Instr::JumpIfFalse { .. } | Instr::JumpIfTrue { .. })
+        });
+        if let Some(pc) = jump_pc {
+            let mut bad = prog.clone();
+            match &mut bad.instrs[pc] {
+                Instr::Jump { target }
+                | Instr::JumpIfFalse { target, .. }
+                | Instr::JumpIfTrue { target, .. } => *target = 1_000_000,
+                _ => unreachable!(),
+            }
+            prop_assert!(matches!(verify(&bad), Err(GracefulError::Verify(_))));
+        }
+
+        // Dropped trailing return (the compiler always ends on one):
+        // control can now fall off the end of the instruction stream.
+        let mut bad = prog.clone();
+        let last = bad.instrs.len() - 1;
+        bad.instrs[last] = Instr::Cost(graceful::udf::bytecode::CostKind::Stmt);
+        prop_assert!(matches!(verify(&bad), Err(GracefulError::Verify(_))));
+
+        // Write to a register past the frame.
+        let mut bad = prog.clone();
+        bad.instrs.insert(0, Instr::Copy { dst: prog.n_regs + 7, src: Operand::constant(0) });
+        prop_assert!(matches!(verify(&bad), Err(GracefulError::Verify(_))));
+
+        // Read of a constant-pool index that does not exist.
+        let mut bad = prog.clone();
+        let oob = Operand::constant(prog.consts.len() as u16 + 5);
+        bad.instrs.insert(0, Instr::Copy { dst: 0, src: oob });
+        prop_assert!(matches!(verify(&bad), Err(GracefulError::Verify(_))));
+    }
+
+    /// A constant-trip `for` loop — which bailed every row to the scalar VM
+    /// before trip-count analysis — now runs entirely on SIMD lanes (zero
+    /// bail rows) and stays bit-identical to the scalar VM and the
+    /// tree-walker across random inputs.
+    #[test]
+    fn counted_loops_run_columnar_and_bit_identical(seed in 0u64..5_000) {
+        use graceful::udf::{InstrClass, TypedCol};
+        let u = parse_udf(
+            "def f(x0):\n    z = 0\n    for i in range(12):\n        z = z + i * x0\n    return z\n",
+        )
+        .unwrap();
+        let prog = compile(&u).unwrap();
+        let shape = prog.simd_shape();
+        prop_assert!(shape.class.contains(&InstrClass::Counted), "loop is counted");
+        prop_assert!(!shape.class.contains(&InstrClass::Bail), "nothing bails");
+
+        let mut rng = Rng::seed(seed);
+        let rows = 256;
+        let data: Vec<Value> =
+            (0..rows).map(|_| Value::Int(rng.normal(0.0, 50.0) as i64)).collect();
+        let cols = vec![TypedCol::from_values(&data).expect("int column types")];
+
+        let mut simd_vm = Vm::default();
+        let mut simd_out = Vec::new();
+        let mut simd_cost = graceful::udf::CostCounter::new();
+        let mut stats = graceful::udf::SimdBatchStats::default();
+        graceful::udf::simd::eval_batch_typed_with_stats(
+            &mut simd_vm, &prog, &shape, &cols, &mut simd_out, &mut simd_cost, &mut stats,
+        )
+        .expect("SIMD path evaluates");
+        prop_assert_eq!(stats.bail_rows, 0, "counted loop must not bail");
+        prop_assert_eq!(stats.fast_rows, rows as u64);
+
+        let slices = vec![data.as_slice()];
+        let mut vm = Vm::default();
+        let mut vm_out = Vec::new();
+        let mut vm_cost = graceful::udf::CostCounter::new();
+        vm.eval_batch(&prog, &slices, &mut vm_out, &mut vm_cost).unwrap();
+        prop_assert_eq!(&simd_out, &vm_out);
+        prop_assert_eq!(&simd_cost, &vm_cost);
+        prop_assert_eq!(simd_cost.total.to_bits(), vm_cost.total.to_bits());
+
+        let mut interp = Interpreter::default();
+        let mut tw_cost = graceful::udf::CostCounter::new();
+        for r in 0..rows {
+            let o = interp.eval(&u, &[data[r].clone()]).unwrap();
+            prop_assert_eq!(&o.value, &simd_out[r], "row {} value", r);
+            tw_cost.merge(&o.cost);
+        }
+        prop_assert_eq!(&simd_cost, &tw_cost);
+        prop_assert_eq!(simd_cost.total.to_bits(), tw_cost.total.to_bits());
+    }
+}
+
+/// Neutralising a definedness guard (`CheckDef` → plain `Cost(Stmt)`) on a
+/// branch-only assignment turns a guarded read into a use-before-def, and the
+/// verifier must say so — with the variable named in the diagnostic.
+#[test]
+fn verifier_names_the_variable_in_use_before_def_mutations() {
+    use graceful::udf::bytecode::{CostKind, Instr};
+    use graceful_common::GracefulError;
+    let u = parse_udf("def f(x0):\n    if x0 < 0:\n        z = 1\n    return z\n").unwrap();
+    let prog = compile(&u).unwrap();
+    let pc = prog
+        .instrs
+        .iter()
+        .position(|i| matches!(i, Instr::CheckDef { .. }))
+        .expect("branch-only assignment compiles a CheckDef guard");
+    let mut bad = prog.clone();
+    bad.instrs[pc] = Instr::Cost(CostKind::Stmt);
+    match graceful::udf::analysis::verify(&bad) {
+        Err(GracefulError::Verify(msg)) => {
+            assert!(msg.contains("read before it is written"), "got: {msg}");
+            assert!(msg.contains("`z`"), "diagnostic names the slot: {msg}");
+        }
+        other => panic!("expected Verify error, got {other:?}"),
+    }
+}
+
 /// A pathological `while True` UDF must be cut off by the typed
 /// [`GracefulError::IterationLimit`] — and both backends must report the
 /// exact same error.
