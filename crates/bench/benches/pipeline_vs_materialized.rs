@@ -9,15 +9,22 @@
 //! (overwriting any previous one) goes to `BENCH_pipeline.json` at the repo
 //! root — the perf trajectory's first end-to-end engine datapoint.
 //!
+//! A second section measures the **verified rewrites** on a wide join
+//! chain whose payload lanes are provably dead: rewrites on vs off, both
+//! modes, bit-identity asserted, with the wall-clock delta recorded under
+//! `"case":"dead_column_wide_join"` in the same JSON.
+//!
 //! Scale knobs apply as everywhere (`GRACEFUL_SCALE`,
 //! `GRACEFUL_QUERIES_PER_DB`, …). Thread counts follow `GRACEFUL_THREADS`
 //! through the `Session` path.
 
 use graceful_bench::announce;
-use graceful_common::config::{ExecMode, UdfBackend};
+use graceful_common::config::{ExecMode, ScaleConfig, UdfBackend};
 use graceful_common::rng::Rng;
 use graceful_exec::{ExecOptions, QueryRun, Session};
-use graceful_plan::{build_plan, Plan, QueryGenerator};
+use graceful_plan::{
+    build_plan, AggFunc, ColRef, Plan, PlanOp, PlanOpKind, QueryGenerator, RewriteSet,
+};
 use graceful_storage::datagen::{generate, schema};
 use graceful_storage::Database;
 use graceful_udf::generator::apply_adaptations;
@@ -97,6 +104,98 @@ fn run_all(
     (stats, runs)
 }
 
+/// Dead-column-pruning case: a three-table join chain
+/// (`lineitem ⋈ orders ⋈ customer`) whose aggregate reads only the
+/// lineitem side, so liveness analysis proves every payload lane of both
+/// hash builds dead — the verified rewrite stores zero-width build tuples
+/// and one-lane probe output instead of the full three-lane tuples.
+/// Measures rewrites on vs off in both executor modes, asserting the
+/// contracted `QueryRun` fields stay bit-identical (the verified-rewrite
+/// guarantee), and reports the wall-clock and peak-footprint deltas.
+fn dead_column_case(cfg: &ScaleConfig, json_rows: &mut Vec<String>) {
+    let db = generate(&schema("tpc_h"), cfg.data_scale, cfg.seed);
+    let plan = Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "customer_t".into() }, vec![]),
+            PlanOp::new(PlanOpKind::Scan { table: "orders_t".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Join {
+                    left_col: ColRef::new("orders_t", "cust_id"),
+                    right_col: ColRef::new("customer_t", "id"),
+                },
+                vec![1, 0],
+            ),
+            PlanOp::new(PlanOpKind::Scan { table: "lineitem_t".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Join {
+                    left_col: ColRef::new("lineitem_t", "order_id"),
+                    right_col: ColRef::new("orders_t", "id"),
+                },
+                vec![3, 2],
+            ),
+            PlanOp::new(
+                PlanOpKind::Agg {
+                    func: AggFunc::Sum,
+                    column: Some(ColRef::new("lineitem_t", "price")),
+                },
+                vec![4],
+            ),
+        ],
+        root: 5,
+    };
+    // The pruning must actually fire, or the case measures nothing.
+    let rw = RewriteSet::analyze(&plan, &db);
+    assert!(
+        !rw.live_above[4].contains("orders_t") && !rw.live_above[4].contains("customer_t"),
+        "only lineitem_t is read above the top join"
+    );
+    assert!(!rw.live_above[2].contains("customer_t"), "customer_t payload is dead");
+
+    let iters = (cfg.queries_per_db / 4).max(64) as u64;
+    println!(
+        "\ndead-column case: lineitem ⋈ orders ⋈ customer, agg reads lineitem only ({iters} iters)"
+    );
+    for mode in [ExecMode::Materialize, ExecMode::Pipeline] {
+        let mut timed = Vec::new();
+        for rewrites in [false, true] {
+            let session = ExecOptions::new()
+                .mode(mode)
+                .rewrites(rewrites)
+                .build_with_env()
+                .expect("valid GRACEFUL_* configuration");
+            let exec = session.executor(&db);
+            exec.run(&plan, cfg.seed).expect("warmup executes");
+            let started = Instant::now();
+            let mut last = None;
+            for _ in 0..iters {
+                last = Some(exec.run(&plan, cfg.seed).expect("plan executes"));
+            }
+            timed.push((started.elapsed().as_secs_f64(), last.expect("at least one iter")));
+        }
+        let (off_s, off) = &timed[0];
+        let (on_s, on) = &timed[1];
+        assert_eq!(on.runtime_ns.to_bits(), off.runtime_ns.to_bits(), "runtimes diverged");
+        assert_eq!(on.agg_value.to_bits(), off.agg_value.to_bits(), "answers diverged");
+        assert_eq!(on.out_rows, off.out_rows, "cardinalities diverged");
+        println!(
+            "{mode:?}: rewrites off {off_s:.2}s vs on {on_s:.2}s ({:.2}x), \
+             peak intermediate rows {} vs {}, bit-identical",
+            off_s / on_s.max(1e-9),
+            off.peak_inter_rows,
+            on.peak_inter_rows,
+        );
+        for (rewrites, s, run) in [("off", off_s, off), ("on", on_s, on)] {
+            json_rows.push(format!(
+                "{{\"case\":\"dead_column_wide_join\",\"mode\":\"{mode:?}\",\
+                 \"rewrites\":\"{rewrites}\",\"seconds\":{s:.4},\"iters\":{iters},\
+                 \"plans_per_s\":{:.2},\"peak_inter_rows\":{}}}",
+                iters as f64 / s.max(1e-9),
+                run.peak_inter_rows,
+            ));
+        }
+    }
+}
+
 fn main() {
     let cfg = announce("pipeline_vs_materialized: engine-level executor shoot-out");
     let corpus = corpus_plans(&cfg);
@@ -136,6 +235,8 @@ fn main() {
             ));
         }
     }
+
+    dead_column_case(&cfg, &mut json_rows);
 
     let json = format!(
         "{{\"bench\":\"pipeline_vs_materialized\",\"seed\":{},\"data_scale\":{},\

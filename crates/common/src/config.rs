@@ -23,11 +23,12 @@
 //! | `GRACEFUL_TRACE`          | enable span tracing and write Chrome-trace JSON to this path on flush | off |
 //! | `GRACEFUL_FLIGHT`         | enable the query flight recorder and write per-query JSONL records to this path on flush | off |
 //! | `GRACEFUL_VERIFY`         | bytecode verification of every compiled UDF: `strict` or `off` (bench-only) | `strict` |
+//! | `GRACEFUL_PLAN_VERIFY`    | static plan verification before lowering: `strict` or `off` (bench-only) | `strict` |
 //!
 //! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`, `GRACEFUL_THREADS`,
 //! `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`, `GRACEFUL_GNN_EXEC`,
-//! `GRACEFUL_PROFILE`, `GRACEFUL_TRACE`, `GRACEFUL_FLIGHT` and
-//! `GRACEFUL_VERIFY` are validated
+//! `GRACEFUL_PROFILE`, `GRACEFUL_TRACE`, `GRACEFUL_FLIGHT`,
+//! `GRACEFUL_VERIFY` and `GRACEFUL_PLAN_VERIFY` are validated
 //! strictly: an unknown
 //! backend name, a non-positive/unparsable thread, batch or morsel count, an
 //! unrecognized boolean or an empty trace/flight path is
@@ -140,6 +141,53 @@ impl VerifyMode {
         match std::env::var("GRACEFUL_VERIFY") {
             Ok(v) => Self::parse(&v),
             Err(_) => Ok(VerifyMode::default()),
+        }
+    }
+}
+
+/// Whether logical plans are statically verified before lowering/execution.
+///
+/// Under [`PlanVerifyMode::Strict`] (the default) every plan handed to the
+/// executor runs through `graceful_plan::analysis::verify` — DAG structure
+/// (cycles, dangling children, operator arity, reachability), schema/type
+/// resolution against the catalog (tables, columns, join-key compatibility,
+/// UDF inputs, aggregate arity) and cardinality-annotation sanity — and a
+/// failing plan is rejected with a typed `GracefulError::PlanVerify` before
+/// anything executes it. [`PlanVerifyMode::Off`] skips the check and exists
+/// for plan-throughput benchmarking only: with verification off, a malformed
+/// plan reaches the engine unchecked and surfaces as a mid-execution error,
+/// so it must never be set in experiments or tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanVerifyMode {
+    /// Verify every plan before lowering; reject failures with a typed error.
+    #[default]
+    Strict,
+    /// Skip plan verification (bench-only escape hatch).
+    Off,
+}
+
+impl PlanVerifyMode {
+    /// Parse a plan-verification mode (`strict` | `off`, case insensitive).
+    /// Unknown names are an error listing the valid options.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "strict" | "on" => Ok(PlanVerifyMode::Strict),
+            "off" => Ok(PlanVerifyMode::Off),
+            other => Err(format!(
+                "invalid GRACEFUL_PLAN_VERIFY `{other}`: valid values are \
+                 `strict` (alias `on`; the default) and `off` (bench-only — \
+                 skips static plan verification)"
+            )),
+        }
+    }
+
+    /// Resolve from `GRACEFUL_PLAN_VERIFY`; unset means
+    /// [`PlanVerifyMode::Strict`], an unknown value is an error (see
+    /// [`PlanVerifyMode::parse`]).
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var("GRACEFUL_PLAN_VERIFY") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => Ok(PlanVerifyMode::default()),
         }
     }
 }
@@ -488,6 +536,19 @@ mod tests {
         for bad in ["", "lax", "1", "disabled"] {
             let err = VerifyMode::parse(bad).unwrap_err();
             assert!(err.contains("GRACEFUL_VERIFY"), "error names the knob: {err}");
+            assert!(err.contains("strict") && err.contains("off"), "lists options: {err}");
+        }
+    }
+
+    #[test]
+    fn plan_verify_knob_parses_modes_and_rejects_unknown() {
+        assert_eq!(PlanVerifyMode::parse("strict"), Ok(PlanVerifyMode::Strict));
+        assert_eq!(PlanVerifyMode::parse(" On "), Ok(PlanVerifyMode::Strict));
+        assert_eq!(PlanVerifyMode::parse("OFF"), Ok(PlanVerifyMode::Off));
+        assert_eq!(PlanVerifyMode::default(), PlanVerifyMode::Strict);
+        for bad in ["", "lax", "1", "disabled"] {
+            let err = PlanVerifyMode::parse(bad).unwrap_err();
+            assert!(err.contains("GRACEFUL_PLAN_VERIFY"), "error names the knob: {err}");
             assert!(err.contains("strict") && err.contains("off"), "lists options: {err}");
         }
     }

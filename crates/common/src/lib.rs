@@ -49,6 +49,15 @@ pub enum GracefulError {
     /// `Session`/`ExecOptions` validation instead of panicking, so embedding
     /// programs can report misconfiguration like any other error.
     Config(String),
+    /// A logical plan failed pre-execution static verification (cycle or
+    /// dangling child in the DAG, wrong operator arity, unknown table or
+    /// column, type-incompatible join keys, UDF input mismatch, an impossible
+    /// `est_out_rows` annotation, or a violated physical-lowering invariant).
+    /// Raised by `graceful_plan::analysis::verify` — under the default
+    /// `GRACEFUL_PLAN_VERIFY=strict` every plan is checked before lowering,
+    /// so a malformed plan surfaces here as a typed error naming the
+    /// offending operator instead of as an engine panic mid-execution.
+    PlanVerify(String),
     /// Compiled UDF bytecode failed static verification (out-of-bounds jump
     /// target or register, use of a possibly-uninitialized register, a path
     /// that falls off the end of the program, misplaced cost charges, ...).
@@ -74,6 +83,7 @@ impl fmt::Display for GracefulError {
             GracefulError::Model(m) => write!(f, "model error: {m}"),
             GracefulError::Benchmark(m) => write!(f, "benchmark error: {m}"),
             GracefulError::Config(m) => write!(f, "configuration error: {m}"),
+            GracefulError::PlanVerify(m) => write!(f, "plan verification failed: {m}"),
             GracefulError::Verify(m) => write!(f, "bytecode verification failed: {m}"),
         }
     }

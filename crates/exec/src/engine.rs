@@ -24,11 +24,12 @@
 
 use crate::profile::ExecProfile;
 use crate::udf_eval::{record_udf_metrics, UdfEvalSpec, UdfEvalStats};
-use graceful_common::config::{self, ExecMode, UdfBackend};
+use graceful_common::config::{self, ExecMode, PlanVerifyMode, UdfBackend};
 use graceful_common::{GracefulError, Result};
 use graceful_obs::registry::{counter, histogram, Counter, Histogram};
 use graceful_obs::trace;
-use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind};
+use graceful_plan::analysis::join_keep_lanes;
+use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind, PredFold, RewriteSet};
 use graceful_runtime::Pool;
 use graceful_storage::{Database, Table, Value};
 use graceful_udf::CostWeights;
@@ -106,6 +107,20 @@ pub struct ExecConfig {
     /// Attach a per-operator [`ExecProfile`] to every [`QueryRun`]. Pure
     /// observability: never changes any contracted result field.
     pub profile: bool,
+    /// Static plan verification before lowering; see [`PlanVerifyMode`].
+    /// Under the default `Strict`, every plan handed to [`Executor::run`]
+    /// goes through `graceful_plan::analysis::verify` and malformed plans
+    /// are rejected with a typed [`GracefulError::PlanVerify`] naming the
+    /// offending operator; the physical lowering additionally audits its
+    /// own invariants (pipeline shape, charge placement, lane strides).
+    pub plan_verify: PlanVerifyMode,
+    /// Apply the analysis-driven verified rewrites (constant-predicate
+    /// folding, dead UDF-parameter pruning, join-payload lane pruning).
+    /// Rewrites are execution hints proven to leave every contracted
+    /// `QueryRun` field bit-identical — this switch exists so the
+    /// differential suite can prove exactly that. Programmatic only (no
+    /// environment knob); defaults to on.
+    pub rewrites: bool,
 }
 
 impl ExecConfig {
@@ -123,13 +138,15 @@ impl ExecConfig {
             morsel_rows: config::DEFAULT_MORSEL_ROWS,
             mode: ExecMode::default(),
             profile: false,
+            plan_verify: PlanVerifyMode::default(),
+            rewrites: true,
         }
     }
 
     /// [`ExecConfig::base`] with the documented `GRACEFUL_*` environment
     /// defaults applied (`GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`,
     /// `GRACEFUL_THREADS`, `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`,
-    /// `GRACEFUL_PROFILE`). Invalid values are a typed
+    /// `GRACEFUL_PROFILE`, `GRACEFUL_PLAN_VERIFY`). Invalid values are a typed
     /// [`GracefulError::Config`], not a panic.
     ///
     /// `GRACEFUL_TRACE` and `GRACEFUL_FLIGHT` are also resolved here: a
@@ -152,6 +169,7 @@ impl ExecConfig {
             morsel_rows: config::try_morsel_from_env().map_err(cfg)?,
             mode: ExecMode::try_from_env().map_err(cfg)?,
             profile: config::try_profile_from_env().map_err(cfg)?,
+            plan_verify: PlanVerifyMode::try_from_env().map_err(cfg)?,
             ..ExecConfig::base()
         })
     }
@@ -284,6 +302,13 @@ impl<'a> Executor<'a> {
         });
         let _span = trace::span("exec", "query").arg("seed", seed).arg("ops", plan.ops.len());
         let started = Instant::now();
+        // The plan-verification gate: under the default strict mode, every
+        // plan is statically checked against the catalog before any lowering
+        // or execution, so malformed plans fail as one typed PlanVerify
+        // error naming the operator instead of as a mid-execution surprise.
+        if self.config.plan_verify == PlanVerifyMode::Strict {
+            graceful_plan::analysis::verify(plan, self.db)?;
+        }
         let run = match self.config.mode {
             ExecMode::Pipeline => self.run_pipelined(plan, seed),
             ExecMode::Materialize => self.run_materialized(plan, seed),
@@ -319,6 +344,14 @@ impl<'a> Executor<'a> {
         let mut agg_value = 0.0;
         let mut peak_inter_rows = 0usize;
         let mut results: Vec<Option<Inter>> = (0..plan.ops.len()).map(|_| None).collect();
+        // Rewrite hints (constant folds, dead params, live lanes), computed
+        // once per query. Conservative and infallible: when disabled (or
+        // unprovable) everything degrades to the unrewritten path.
+        let rewrites = if self.config.rewrites {
+            RewriteSet::analyze(plan, self.db)
+        } else {
+            RewriteSet::none(plan)
+        };
         for idx in 0..plan.ops.len() {
             let op = &plan.ops[idx];
             let op_started = profiling.then(Instant::now);
@@ -342,28 +375,35 @@ impl<'a> Executor<'a> {
                     }
                 }
                 PlanOpKind::Filter { preds } => {
-                    let child = results[op.children[0]].take().expect("child executed");
-                    self.exec_filter(preds, child, &mut op_work[idx])?
+                    let child = take_child(&mut results, op.children[0], idx)?;
+                    self.exec_filter(preds, &rewrites.pred_folds[idx], child, &mut op_work[idx])?
                 }
                 PlanOpKind::Join { left_col, right_col } => {
-                    let left = results[op.children[0]].take().expect("left executed");
-                    let right = results[op.children[1]].take().expect("right executed");
-                    self.exec_join(left_col, right_col, left, right, &mut op_work[idx])?
+                    let left = take_child(&mut results, op.children[0], idx)?;
+                    let right = take_child(&mut results, op.children[1], idx)?;
+                    self.exec_join(
+                        left_col,
+                        right_col,
+                        left,
+                        right,
+                        &rewrites.live_above[idx],
+                        &mut op_work[idx],
+                    )?
                 }
                 PlanOpKind::UdfFilter { udf, op: cmp, literal } => {
-                    let child = results[op.children[0]].take().expect("child executed");
+                    let child = take_child(&mut results, op.children[0], idx)?;
                     udf_input_rows = child.n_rows();
                     let stats = udf_stats[idx].insert(UdfEvalStats::default());
                     self.exec_udf_filter(udf, *cmp, *literal, child, &mut op_work[idx], stats)?
                 }
                 PlanOpKind::UdfProject { udf } => {
-                    let child = results[op.children[0]].take().expect("child executed");
+                    let child = take_child(&mut results, op.children[0], idx)?;
                     udf_input_rows = child.n_rows();
                     let stats = udf_stats[idx].insert(UdfEvalStats::default());
                     self.exec_udf_project(udf, child, &mut op_work[idx], stats)?
                 }
                 PlanOpKind::Agg { func, column } => {
-                    let child = results[op.children[0]].take().expect("child executed");
+                    let child = take_child(&mut results, op.children[0], idx)?;
                     let n = child.n_rows();
                     op_work[idx] += n as f64 * self.config.weights.agg_row;
                     agg_value = self.exec_agg(*func, column.as_ref(), &child)?;
@@ -441,19 +481,35 @@ impl<'a> Executor<'a> {
     fn exec_filter(
         &self,
         preds: &[graceful_plan::Pred],
+        folds: &[PredFold],
         child: Inter,
         work: &mut f64,
     ) -> Result<Inter> {
         let n = child.n_rows();
         let stride = child.tables.len();
+        // Work is charged closed-form over the full conjunction — folded
+        // predicates cost the same as evaluated ones, which is exactly what
+        // makes folding invisible to the accounting contract.
         *work += n as f64 * preds.len() as f64 * self.config.weights.filter_pred;
-        // Resolve predicate table positions once.
+        // A provably-false predicate empties the output without evaluation.
+        if folds.contains(&PredFold::AlwaysFalse) {
+            return Ok(Inter { tables: child.tables, rows: Vec::new(), computed: None });
+        }
+        // Resolve predicate table positions once, skipping provably-true
+        // predicates (statistics guarantee every row passes them).
         let mut resolved = Vec::with_capacity(preds.len());
-        for p in preds {
+        for (k, p) in preds.iter().enumerate() {
+            if folds.get(k) == Some(&PredFold::AlwaysTrue) {
+                continue;
+            }
             let pos = child.table_pos(&p.col.table).ok_or_else(|| {
                 GracefulError::InvalidPlan(format!("filter on unbound table {}", p.col.table))
             })?;
             resolved.push((p, pos, self.table(&p.col.table)?));
+        }
+        // Everything folded to true: the filter is the identity.
+        if resolved.is_empty() {
+            return Ok(Inter { tables: child.tables, rows: child.rows, computed: None });
         }
         // Evaluate predicates morsel-parallel; concatenating per-morsel
         // keep-lists in morsel order reproduces the sequential row order.
@@ -488,6 +544,7 @@ impl<'a> Executor<'a> {
         right_col: &ColRef,
         left: Inter,
         right: Inter,
+        live_above: &std::collections::BTreeSet<String>,
         work: &mut f64,
     ) -> Result<Inter> {
         let w = &self.config.weights;
@@ -503,28 +560,42 @@ impl<'a> Executor<'a> {
         let rcol = rtable.column(&right_col.column)?;
         let (ln, rn) = (left.n_rows(), right.n_rows());
         *work += rn as f64 * w.join_build_row + ln as f64 * w.join_probe_row;
+        // Payload pruning: output lanes whose tables nothing above the join
+        // reads are dropped. Key lanes are read here from the *inputs*
+        // (before the output is formed), so even they can be pruned. Row
+        // counts — and with them every work charge and the peak gauge, which
+        // count rows, not lanes — are untouched. With rewrites off (or when
+        // duplicate table names make positional pruning ambiguous) the keep
+        // sets cover every lane and the path below is the identity.
+        let lstride = left.tables.len();
+        let rstride = right.tables.len();
+        let (keep_l, keep_r) = if self.config.rewrites {
+            let lrefs: Vec<&str> = left.tables.iter().map(String::as_str).collect();
+            let rrefs: Vec<&str> = right.tables.iter().map(String::as_str).collect();
+            join_keep_lanes(live_above, &lrefs, &rrefs)
+                .unwrap_or(((0..lstride).collect(), (0..rstride).collect()))
+        } else {
+            ((0..lstride).collect(), (0..rstride).collect())
+        };
         // Build on the right side (the newly joined table).
         let mut build: HashMap<i64, Vec<u32>> = HashMap::with_capacity(rn);
-        let rstride = right.tables.len();
         for r in 0..rn {
             let rid = right.row_id(r, rpos) as usize;
             if let Some(k) = rcol.get_i64(rid) {
                 build.entry(k).or_default().push(r as u32);
             }
         }
-        let lstride = left.tables.len();
         let mut rows: Vec<u32> = Vec::new();
-        let out_stride = lstride + rstride;
         let mut n_out = 0usize;
         for l in 0..ln {
             let lid = left.row_id(l, lpos) as usize;
             let Some(k) = lcol.get_i64(lid) else { continue };
             if let Some(matches) = build.get(&k) {
                 for &r in matches {
-                    rows.extend_from_slice(&left.rows[l * lstride..(l + 1) * lstride]);
-                    rows.extend_from_slice(
-                        &right.rows[r as usize * rstride..(r as usize + 1) * rstride],
-                    );
+                    let lrow = &left.rows[l * lstride..(l + 1) * lstride];
+                    let rrow = &right.rows[r as usize * rstride..(r as usize + 1) * rstride];
+                    rows.extend(keep_l.iter().map(|&i| lrow[i]));
+                    rows.extend(keep_r.iter().map(|&i| rrow[i]));
                     n_out += 1;
                     if n_out > self.config.max_intermediate_rows {
                         return Err(GracefulError::InvalidPlan(
@@ -535,9 +606,9 @@ impl<'a> Executor<'a> {
             }
         }
         *work += n_out as f64 * w.join_out_row;
-        let mut tables = left.tables;
-        tables.extend(right.tables);
-        debug_assert_eq!(rows.len() % out_stride, 0);
+        let mut tables: Vec<String> = keep_l.iter().map(|&i| left.tables[i].clone()).collect();
+        tables.extend(keep_r.iter().map(|&i| right.tables[i].clone()));
+        debug_assert_eq!(rows.len() % tables.len(), 0);
         Ok(Inter { tables, rows, computed: None })
     }
 
@@ -585,6 +656,7 @@ impl<'a> Executor<'a> {
             self.config.udf_weights.clone(),
             self.config.udf_batch_size,
             per_row_overhead,
+            self.config.rewrites,
         )?;
         let morsel = self.config.morsel_rows.max(1);
         let parts = spec.eval_morsels(&self.pool(), n, morsel, |r| child.row_id(r, pos) as usize);
@@ -756,6 +828,20 @@ impl AggState {
             }
         }
     }
+}
+
+/// Take a child's materialized result, promoting the former "child executed"
+/// panic into a typed error. Reachable only with `GRACEFUL_PLAN_VERIFY=off`
+/// — the strict gate rejects dangling children and non-topological arenas
+/// before execution starts — and bounds-safe even for out-of-range indices.
+fn take_child(results: &mut [Option<Inter>], child: usize, parent: usize) -> Result<Inter> {
+    results.get_mut(child).and_then(Option::take).ok_or_else(|| {
+        GracefulError::PlanVerify(format!(
+            "op {parent} consumes child {child}, which has not produced a result \
+             (malformed DAG reached the engine; run with GRACEFUL_PLAN_VERIFY=strict \
+             to reject it before execution)"
+        ))
+    })
 }
 
 pub(crate) fn cmp_f64(op: graceful_udf::ast::CmpOp, a: f64, b: f64) -> bool {

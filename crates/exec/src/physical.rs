@@ -41,14 +41,32 @@
 //! aggregate) happens during lowering or operator construction, before rows
 //! flow; data-dependent errors (the `max_intermediate_rows` valve) surface
 //! mid-stream as typed [`GracefulError::InvalidPlan`] just like the
-//! materializing path.
+//! materializing path. Under [`PlanVerifyMode::Strict`] the lowered plan is
+//! additionally audited by [`verify_physical`] — pipeline shape, sink
+//! placement, build/probe ordering, stride bookkeeping and the
+//! plan-index/work-charge mapping — so a malformed `PhysicalPlan` is
+//! rejected as a typed [`GracefulError::PlanVerify`] instead of panicking
+//! or silently mis-charging work.
+//!
+//! # Verified rewrites
+//!
+//! [`lower_with`] accepts the same [`RewriteSet`] the materializing engine
+//! consumes and applies the identical execution hints: constant-foldable
+//! predicates are skipped (`AlwaysTrue`) or short-circuit the filter
+//! (`AlwaysFalse`), and join lanes that liveness proves dead above the join
+//! are dropped from build storage and probe output. Work charges are
+//! closed-form from the *logical* operator (a filter charges
+//! `n × preds.len()` regardless of folding), so the rewrites keep every
+//! `QueryRun` value bit-identical with the unrewritten run.
 
 use crate::engine::{cmp_f64, jitter_factor, AggState, ExecConfig, QueryRun};
 use crate::profile::ExecProfile;
 use crate::udf_eval::{record_udf_metrics, UdfEvalSpec, UdfEvalStats};
+use graceful_common::config::PlanVerifyMode;
 use graceful_common::{GracefulError, Result};
 use graceful_obs::trace;
-use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind, Pred};
+use graceful_plan::analysis::join_keep_lanes;
+use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind, Pred, PredFold, RewriteSet};
 use graceful_runtime::Pool;
 use graceful_storage::{Column, Database, Table, Value};
 use graceful_udf::ast::CmpOp;
@@ -95,8 +113,9 @@ pub enum PhysicalOpKind<'p> {
     /// Source: emits morsel-sized batches of consecutive row ids.
     Scan { table: &'p str },
     /// Conjunctive predicate filter; `positions[i]` locates `preds[i]`'s
-    /// table in the input tuple.
-    Filter { preds: &'p [Pred], positions: Vec<usize>, stride: usize },
+    /// table in the input tuple. `folds[i]` is the statically proven verdict
+    /// for `preds[i]` (all `Keep` when lowered without rewrites).
+    Filter { preds: &'p [Pred], positions: Vec<usize>, folds: Vec<PredFold>, stride: usize },
     /// Filter on a UDF's output: `udf(args...) cmp literal`.
     UdfFilter { udf: &'p GeneratedUdf, cmp: CmpOp, literal: f64, pos: usize, stride: usize },
     /// Compute the UDF per row as a projected column travelling with the
@@ -104,11 +123,16 @@ pub enum PhysicalOpKind<'p> {
     UdfProject { udf: &'p GeneratedUdf, pos: usize, stride: usize },
     /// Pipeline-breaking sink: materializes its input as a hash table keyed
     /// by `key`; the owning pipeline's result is consumed by the matching
-    /// `HashJoinProbe`.
-    HashJoinBuild { key: &'p ColRef, pos: usize, stride: usize },
+    /// `HashJoinProbe`. Only the input lanes listed in `keep` are stored —
+    /// liveness-pruned dead lanes never enter the build table (the key is
+    /// read from the *input* tuple at `pos`, so the key lane itself may be
+    /// pruned from storage).
+    HashJoinBuild { key: &'p ColRef, pos: usize, stride: usize, keep: Vec<usize> },
     /// Streaming probe against build pipeline `build` (an index into
-    /// [`PhysicalPlan::pipelines`]); emits `left ++ build` tuples.
-    HashJoinProbe { key: &'p ColRef, pos: usize, stride: usize, build: usize },
+    /// [`PhysicalPlan::pipelines`]); emits `left[keep] ++ build` tuples
+    /// (`keep` lists the surviving left lanes; the build side was already
+    /// pruned at build time).
+    HashJoinProbe { key: &'p ColRef, pos: usize, stride: usize, build: usize, keep: Vec<usize> },
     /// Final aggregate sink. `column` is `Some((col, pos))` for a base-table
     /// aggregate; `None` aggregates the UDF-projected column
     /// (`expects_computed` records whether the direct child is a
@@ -175,13 +199,20 @@ impl PhysicalPlan<'_> {
     }
 }
 
-/// Lower a logical plan into its physical-operator pipelines. Pure plan
-/// analysis: table-binding positions are resolved (with the same errors the
-/// materializing executor raises), but no data is touched.
+/// Lower a logical plan into its physical-operator pipelines with no
+/// rewrite hints (every predicate kept, every join lane stored).
 pub fn lower(plan: &Plan) -> Result<PhysicalPlan<'_>> {
+    lower_with(plan, None)
+}
+
+/// Lower a logical plan into its physical-operator pipelines, applying the
+/// verified rewrite hints when given. Pure plan analysis: table-binding
+/// positions are resolved (with the same errors the materializing executor
+/// raises), but no data is touched.
+pub fn lower_with<'p>(plan: &'p Plan, rewrites: Option<&RewriteSet>) -> Result<PhysicalPlan<'p>> {
     plan.validate()?;
     let mut pipelines = Vec::new();
-    let (mut ops, _tables) = lower_subtree(plan, plan.root, &mut pipelines)?;
+    let (mut ops, _tables) = lower_subtree(plan, plan.root, &mut pipelines, rewrites)?;
     if !matches!(ops.last().map(|o| &o.kind), Some(PhysicalOpKind::Agg { .. })) {
         ops.push(PhysicalOp { kind: PhysicalOpKind::Collect, plan_idx: None });
     }
@@ -196,6 +227,7 @@ fn lower_subtree<'p>(
     plan: &'p Plan,
     idx: usize,
     pipelines: &mut Vec<Pipeline<'p>>,
+    rewrites: Option<&RewriteSet>,
 ) -> Result<(Vec<PhysicalOp<'p>>, Vec<&'p str>)> {
     let op = &plan.ops[idx];
     match &op.kind {
@@ -204,7 +236,7 @@ fn lower_subtree<'p>(
             vec![table.as_str()],
         )),
         PlanOpKind::Filter { preds } => {
-            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines, rewrites)?;
             let positions = preds
                 .iter()
                 .map(|p| {
@@ -216,14 +248,18 @@ fn lower_subtree<'p>(
                     })
                 })
                 .collect::<Result<Vec<_>>>()?;
+            let folds = match rewrites {
+                Some(rw) => (0..preds.len()).map(|k| rw.fold_for(idx, k)).collect(),
+                None => vec![PredFold::Keep; preds.len()],
+            };
             ops.push(PhysicalOp {
-                kind: PhysicalOpKind::Filter { preds, positions, stride: tables.len() },
+                kind: PhysicalOpKind::Filter { preds, positions, folds, stride: tables.len() },
                 plan_idx: Some(idx),
             });
             Ok((ops, tables))
         }
         PlanOpKind::UdfFilter { udf, op: cmp, literal } => {
-            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines, rewrites)?;
             let pos = udf_pos(&tables, udf)?;
             ops.push(PhysicalOp {
                 kind: PhysicalOpKind::UdfFilter {
@@ -238,7 +274,7 @@ fn lower_subtree<'p>(
             Ok((ops, tables))
         }
         PlanOpKind::UdfProject { udf } => {
-            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let (mut ops, tables) = lower_subtree(plan, op.children[0], pipelines, rewrites)?;
             let pos = udf_pos(&tables, udf)?;
             ops.push(PhysicalOp {
                 kind: PhysicalOpKind::UdfProject { udf, pos, stride: tables.len() },
@@ -249,39 +285,56 @@ fn lower_subtree<'p>(
         PlanOpKind::Join { left_col, right_col } => {
             // Build on the right side (the newly joined table), then
             // continue the left side's pipeline through the probe.
-            let (mut rops, rtables) = lower_subtree(plan, op.children[1], pipelines)?;
+            let (mut rops, rtables) = lower_subtree(plan, op.children[1], pipelines, rewrites)?;
             let rpos = table_pos(&rtables, &right_col.table).ok_or_else(|| {
                 GracefulError::InvalidPlan(format!("join col {right_col} not on right side"))
             })?;
+            // The build's kept lanes depend on the left side's table list
+            // too (duplicate names across the sides veto pruning), which is
+            // only known after the left subtree lowers; push the build with
+            // all lanes kept and patch it below.
             rops.push(PhysicalOp {
                 kind: PhysicalOpKind::HashJoinBuild {
                     key: right_col,
                     pos: rpos,
                     stride: rtables.len(),
+                    keep: (0..rtables.len()).collect(),
                 },
                 plan_idx: None,
             });
             pipelines.push(Pipeline { ops: rops });
             let build = pipelines.len() - 1;
-            let (mut lops, mut ltables) = lower_subtree(plan, op.children[0], pipelines)?;
+            let (mut lops, ltables) = lower_subtree(plan, op.children[0], pipelines, rewrites)?;
             let lpos = table_pos(&ltables, &left_col.table).ok_or_else(|| {
                 GracefulError::InvalidPlan(format!("join col {left_col} not on left side"))
             })?;
+            let (keep_l, keep_r) = match rewrites {
+                Some(rw) => join_keep_lanes(&rw.live_above[idx], &ltables, &rtables)
+                    .unwrap_or_else(|| all_lanes(ltables.len(), rtables.len())),
+                None => all_lanes(ltables.len(), rtables.len()),
+            };
+            if let Some(PhysicalOp { kind: PhysicalOpKind::HashJoinBuild { keep, .. }, .. }) =
+                pipelines[build].ops.last_mut()
+            {
+                keep.clone_from(&keep_r);
+            }
+            let mut out_tables: Vec<&'p str> = keep_l.iter().map(|&i| ltables[i]).collect();
+            out_tables.extend(keep_r.iter().map(|&i| rtables[i]));
             lops.push(PhysicalOp {
                 kind: PhysicalOpKind::HashJoinProbe {
                     key: left_col,
                     pos: lpos,
                     stride: ltables.len(),
                     build,
+                    keep: keep_l,
                 },
                 plan_idx: Some(idx),
             });
-            ltables.extend(rtables);
-            Ok((lops, ltables))
+            Ok((lops, out_tables))
         }
         PlanOpKind::Agg { func, column } => {
             let child = op.children[0];
-            let (mut ops, tables) = lower_subtree(plan, child, pipelines)?;
+            let (mut ops, tables) = lower_subtree(plan, child, pipelines, rewrites)?;
             let column = match column {
                 Some(c) => {
                     let pos = table_pos(&tables, &c.table).ok_or_else(|| {
@@ -317,9 +370,304 @@ fn table_pos(tables: &[&str], table: &str) -> Option<usize> {
     tables.iter().position(|t| *t == table)
 }
 
+/// Keep-every-lane fallback for a join: all left lanes, all right lanes.
+fn all_lanes(l: usize, r: usize) -> (Vec<usize>, Vec<usize>) {
+    ((0..l).collect(), (0..r).collect())
+}
+
 fn udf_pos(tables: &[&str], udf: &GeneratedUdf) -> Result<usize> {
     table_pos(tables, &udf.table)
         .ok_or_else(|| GracefulError::InvalidPlan(format!("UDF table {} not bound", udf.table)))
+}
+
+// ---------------------------------------------------------------------------
+// Physical-plan audit
+
+/// Does a physical node implement this logical operator? (A join's logical
+/// op is carried by the probe; builds and collects are plan-less.)
+fn kinds_match(phys: &PhysicalOpKind<'_>, logical: &PlanOpKind) -> bool {
+    matches!(
+        (phys, logical),
+        (PhysicalOpKind::Scan { .. }, PlanOpKind::Scan { .. })
+            | (PhysicalOpKind::Filter { .. }, PlanOpKind::Filter { .. })
+            | (PhysicalOpKind::UdfFilter { .. }, PlanOpKind::UdfFilter { .. })
+            | (PhysicalOpKind::UdfProject { .. }, PlanOpKind::UdfProject { .. })
+            | (PhysicalOpKind::HashJoinProbe { .. }, PlanOpKind::Join { .. })
+            | (PhysicalOpKind::Agg { .. }, PlanOpKind::Agg { .. })
+    )
+}
+
+/// Audit a lowered [`PhysicalPlan`] against the logical plan it came from.
+/// Run under [`PlanVerifyMode::Strict`] before any rows flow, this promotes
+/// the executor's internal invariants to typed [`GracefulError::PlanVerify`]
+/// errors:
+///
+/// * every pipeline is non-empty, headed by a scan, and terminated by the
+///   right sink (hash build for non-final pipelines; aggregate or collect
+///   for the final one);
+/// * every probe references an *earlier* pipeline that ends in a build;
+/// * declared strides match the tuple width actually flowing at that point
+///   (including lane-pruned join outputs), and every resolved position and
+///   kept lane falls inside its input stride;
+/// * work-charge placement is sound — every physical node is bound to a
+///   logical operator of the corresponding kind (builds and collects are
+///   the plan-less exceptions), each logical operator is charged by exactly
+///   one physical node, and none is left uncharged.
+pub fn verify_physical(phys: &PhysicalPlan<'_>, plan: &Plan) -> Result<()> {
+    fn fail(pi: usize, k: usize, name: &str, msg: String) -> GracefulError {
+        GracefulError::PlanVerify(format!("pipeline {pi} op {k} ({name}): {msg}"))
+    }
+    fn check_stride(pi: usize, k: usize, name: &str, declared: usize, width: usize) -> Result<()> {
+        if declared != width {
+            return Err(fail(
+                pi,
+                k,
+                name,
+                format!("declares input stride {declared} but {width} lanes flow into it"),
+            ));
+        }
+        Ok(())
+    }
+    if phys.pipelines.is_empty() {
+        return Err(GracefulError::PlanVerify("physical plan has no pipelines".into()));
+    }
+    let n_pipes = phys.pipelines.len();
+    let mut seen = vec![false; plan.ops.len()];
+    // Post-pruning output widths of build-terminated pipelines.
+    let mut build_out: Vec<Option<usize>> = vec![None; n_pipes];
+    for (pi, pipe) in phys.pipelines.iter().enumerate() {
+        let final_pipe = pi == n_pipes - 1;
+        if pipe.ops.is_empty() {
+            return Err(GracefulError::PlanVerify(format!("pipeline {pi} has no operators")));
+        }
+        let mut width = 0usize;
+        for (k, op) in pipe.ops.iter().enumerate() {
+            let name = op.kind.name();
+            let sink = k == pipe.ops.len() - 1;
+            match op.plan_idx {
+                Some(i) => {
+                    let Some(lop) = plan.ops.get(i) else {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("bound to plan op {i}, out of range"),
+                        ));
+                    };
+                    if !kinds_match(&op.kind, &lop.kind) {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("bound to plan op {i} ({}), kinds disagree", lop.kind.name()),
+                        ));
+                    }
+                    if std::mem::replace(&mut seen[i], true) {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("plan op {i} is charged by two physical nodes"),
+                        ));
+                    }
+                }
+                None => {
+                    if !matches!(
+                        op.kind,
+                        PhysicalOpKind::HashJoinBuild { .. } | PhysicalOpKind::Collect
+                    ) {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            "not bound to a logical plan op; its work has nowhere to go".into(),
+                        ));
+                    }
+                }
+            }
+            if k == 0 && !matches!(op.kind, PhysicalOpKind::Scan { .. }) {
+                return Err(fail(pi, k, name, "pipeline must start with a scan".into()));
+            }
+            match &op.kind {
+                PhysicalOpKind::Scan { table } => {
+                    if k > 0 {
+                        return Err(fail(pi, k, name, "scan can only head a pipeline".into()));
+                    }
+                    if let Some(i) = op.plan_idx {
+                        if let PlanOpKind::Scan { table: lt } = &plan.ops[i].kind {
+                            if lt != table {
+                                return Err(fail(
+                                    pi,
+                                    k,
+                                    name,
+                                    format!("scans {table} but plan op {i} scans {lt}"),
+                                ));
+                            }
+                        }
+                    }
+                    width = 1;
+                }
+                PhysicalOpKind::Filter { preds, positions, folds, stride } => {
+                    check_stride(pi, k, name, *stride, width)?;
+                    if positions.len() != preds.len() || folds.len() != preds.len() {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!(
+                                "{} preds but {} positions / {} folds",
+                                preds.len(),
+                                positions.len(),
+                                folds.len()
+                            ),
+                        ));
+                    }
+                    if let Some(&bad) = positions.iter().find(|&&p| p >= width) {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("position {bad} outside input stride {width}"),
+                        ));
+                    }
+                }
+                PhysicalOpKind::UdfFilter { pos, stride, .. }
+                | PhysicalOpKind::UdfProject { pos, stride, .. } => {
+                    check_stride(pi, k, name, *stride, width)?;
+                    if *pos >= width {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("position {pos} outside input stride {width}"),
+                        ));
+                    }
+                }
+                PhysicalOpKind::HashJoinBuild { pos, stride, keep, .. } => {
+                    check_stride(pi, k, name, *stride, width)?;
+                    if *pos >= width {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("key position {pos} outside input stride {width}"),
+                        ));
+                    }
+                    if let Some(&bad) = keep.iter().find(|&&l| l >= width) {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("kept lane {bad} outside input stride {width}"),
+                        ));
+                    }
+                    if !sink || final_pipe {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            "hash build must be the sink of a non-final pipeline".into(),
+                        ));
+                    }
+                    build_out[pi] = Some(keep.len());
+                }
+                PhysicalOpKind::HashJoinProbe { pos, stride, build, keep, .. } => {
+                    check_stride(pi, k, name, *stride, width)?;
+                    if *pos >= width {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("key position {pos} outside input stride {width}"),
+                        ));
+                    }
+                    if let Some(&bad) = keep.iter().find(|&&l| l >= width) {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("kept lane {bad} outside input stride {width}"),
+                        ));
+                    }
+                    if *build >= pi {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!(
+                                "probes pipeline {build}, which does not precede pipeline {pi}"
+                            ),
+                        ));
+                    }
+                    let Some(bw) = build_out[*build] else {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            format!("probes pipeline {build}, which does not end in a hash build"),
+                        ));
+                    };
+                    width = keep.len() + bw;
+                }
+                PhysicalOpKind::Agg { column, stride, .. } => {
+                    check_stride(pi, k, name, *stride, width)?;
+                    if let Some((_, pos)) = column {
+                        if *pos >= width {
+                            return Err(fail(
+                                pi,
+                                k,
+                                name,
+                                format!("column position {pos} outside input stride {width}"),
+                            ));
+                        }
+                    }
+                    if !sink || !final_pipe {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            "aggregate must be the sink of the final pipeline".into(),
+                        ));
+                    }
+                }
+                PhysicalOpKind::Collect => {
+                    if !sink || !final_pipe {
+                        return Err(fail(
+                            pi,
+                            k,
+                            name,
+                            "collect must be the sink of the final pipeline".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        let tail = pipe.ops.last().expect("checked non-empty");
+        let tail_ok = if final_pipe {
+            matches!(tail.kind, PhysicalOpKind::Agg { .. } | PhysicalOpKind::Collect)
+        } else {
+            matches!(tail.kind, PhysicalOpKind::HashJoinBuild { .. })
+        };
+        if !tail_ok {
+            return Err(fail(
+                pi,
+                pipe.ops.len() - 1,
+                tail.kind.name(),
+                if final_pipe {
+                    "final pipeline must end in an aggregate or collect".into()
+                } else {
+                    "non-final pipeline must end in a hash build".into()
+                },
+            ));
+        }
+    }
+    if let Some(i) = seen.iter().position(|s| !s) {
+        return Err(GracefulError::PlanVerify(format!(
+            "plan op {i} ({}) has no physical node charging its work",
+            plan.ops[i].kind.name()
+        )));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -454,9 +802,19 @@ impl Rebatcher {
 }
 
 /// Conjunctive predicate filter (morsel-parallel).
+///
+/// `preds` holds only the predicates the rewrite analysis could *not* fold
+/// (`PredFold::Keep`); statically-true predicates are skipped and a
+/// statically-false predicate short-circuits the whole operator to an empty
+/// output. The work charge always uses the logical predicate count
+/// (`n_preds`), so folding never changes accounted work.
 struct FilterExec<'a> {
     plan_idx: usize,
     preds: Vec<(&'a Pred, usize, &'a Table)>,
+    /// Logical predicate count, before folding — the work-charge multiplier.
+    n_preds: usize,
+    /// A predicate folded to `AlwaysFalse`: emit nothing, evaluate nothing.
+    always_false: bool,
     buf: Rebatcher,
     stride: usize,
     rows_in: usize,
@@ -509,15 +867,30 @@ impl Operator for FilterExec<'_> {
     fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
         self.rows_in += batch.rows.len() / self.stride;
         self.batches += 1;
+        if self.always_false {
+            return Ok(()); // statically empty: never buffer, never emit
+        }
+        if self.preds.is_empty() {
+            // Every predicate folded to true: pass rows through unevaluated.
+            self.rows_out += batch.rows.len() / self.stride;
+            if self.rows_out > ctx.cap {
+                return Err(cap_error(self.rows_out));
+            }
+            return emit(Batch { rows: batch.rows, computed: None });
+        }
         self.buf.append(&batch);
         self.flush(false, ctx, emit)
     }
 
     fn finish(&mut self, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
-        self.flush(true, ctx, emit)?;
+        if !self.always_false && !self.preds.is_empty() {
+            self.flush(true, ctx, emit)?;
+        }
         // Same closed-form expression (and float rounding) as the
-        // materializing engine's single charge over the whole input.
-        self.work += self.rows_in as f64 * self.preds.len() as f64 * self.weight;
+        // materializing engine's single charge over the whole *logical*
+        // predicate list — folding is an execution shortcut, not a
+        // work-model change.
+        self.work += self.rows_in as f64 * self.n_preds as f64 * self.weight;
         Ok(())
     }
 
@@ -631,11 +1004,15 @@ impl Operator for UdfExec<'_> {
 }
 
 /// Hash-join build sink: materializes the pipeline's output as the probe's
-/// hash table. Work is accounted by the probe (the join's logical operator).
+/// hash table, storing only the `keep` lanes of each input tuple (the key
+/// is read from the full input tuple, so even the key lane can be pruned
+/// from storage). Work is accounted by the probe (the join's logical
+/// operator).
 struct BuildExec<'a> {
     key_col: &'a Column,
     pos: usize,
     stride: usize,
+    keep: &'a [usize],
     side: Option<BuildSide>,
 }
 
@@ -648,7 +1025,7 @@ impl Operator for BuildExec<'_> {
             if let Some(k) = self.key_col.get_i64(rid) {
                 side.map.entry(k).or_default().push(side.n_rows as u32);
             }
-            side.rows.extend_from_slice(tuple);
+            side.rows.extend(self.keep.iter().map(|&i| tuple[i]));
             side.n_rows += 1;
         }
         Ok(())
@@ -668,13 +1045,16 @@ impl Operator for BuildExec<'_> {
 }
 
 /// Streaming hash-join probe: looks up each left row's key, emits matched
-/// `left ++ build` tuples. Accounts the whole join's work at finish with the
-/// materializing engine's exact expressions.
+/// `left[keep] ++ build` tuples (the build side was lane-pruned at build
+/// time). Accounts the whole join's work at finish with the materializing
+/// engine's exact expressions — lane pruning never changes row counts, so
+/// the charges are rewrite-invariant.
 struct ProbeExec<'a> {
     plan_idx: usize,
     key_col: &'a Column,
     pos: usize,
     stride: usize,
+    keep: &'a [usize],
     build: usize,
     rows_in: usize,
     rows_out: usize,
@@ -690,7 +1070,7 @@ impl Operator for ProbeExec<'_> {
         self.batches += 1;
         let side = &ctx.builds[self.build];
         let lstride = self.stride;
-        let out_stride = lstride + side.stride;
+        let out_stride = self.keep.len() + side.stride;
         let mut rows: Vec<u32> = Vec::new();
         for tuple in batch.rows.chunks_exact(lstride) {
             self.rows_in += 1;
@@ -698,7 +1078,7 @@ impl Operator for ProbeExec<'_> {
             let Some(k) = self.key_col.get_i64(lid) else { continue };
             if let Some(matches) = side.map.get(&k) {
                 for &r in matches {
-                    rows.extend_from_slice(tuple);
+                    rows.extend(self.keep.iter().map(|&i| tuple[i]));
                     rows.extend_from_slice(
                         &side.rows[r as usize * side.stride..(r as usize + 1) * side.stride],
                     );
@@ -901,7 +1281,14 @@ impl ChainProf {
 pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Result<QueryRun> {
     let started = Instant::now();
     let profiling = config.profile;
-    let phys = lower(plan)?;
+    // Same rewrite hints as the materializing engine: fold verdicts and
+    // keep lanes come from the identical analysis, so both modes agree on
+    // output lane lists (the bit-identity contract depends on that).
+    let rewrites = config.rewrites.then(|| RewriteSet::analyze(plan, db));
+    let phys = lower_with(plan, rewrites.as_ref())?;
+    if config.plan_verify == PlanVerifyMode::Strict {
+        verify_physical(&phys, plan)?;
+    }
     let pool = Pool::new(config.threads);
     let n_ops = plan.ops.len();
     let mut out_rows = vec![0usize; n_ops];
@@ -929,12 +1316,22 @@ pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Re
             cap: config.max_intermediate_rows,
             flush_morsels: config.threads.max(1) * FLUSH_MORSELS_PER_WORKER,
         };
-        // Source: the scan at the head of the chain.
-        let (scan_table, scan_idx) = match &pipe.ops[0] {
-            PhysicalOp { kind: PhysicalOpKind::Scan { table }, plan_idx } => {
-                (*table, plan_idx.expect("scans map to a plan op"))
+        // Source: the scan at the head of the chain. Shape violations are
+        // typed errors, not panics — under GRACEFUL_PLAN_VERIFY=strict the
+        // `verify_physical` audit has already rejected them before rows flow.
+        let (scan_table, scan_idx) = match pipe.ops.first() {
+            Some(PhysicalOp { kind: PhysicalOpKind::Scan { table }, plan_idx: Some(idx) }) => {
+                (*table, *idx)
             }
-            other => panic!("pipeline must start with a scan, got {}", other.kind.name()),
+            Some(other) => {
+                return Err(GracefulError::PlanVerify(format!(
+                    "pipeline must start with a scan bound to a plan op, got {}",
+                    other.kind.name()
+                )))
+            }
+            None => {
+                return Err(GracefulError::PlanVerify("pipeline has no operators".into()));
+            }
         };
         let t = db.table(scan_table)?;
         let n = t.num_rows();
@@ -1046,6 +1443,19 @@ pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Re
     })
 }
 
+/// The logical plan op a physical node charges its work to; a missing
+/// binding on a node that needs one is a lowering invariant violation,
+/// reported as the typed verifier error rather than a panic.
+fn planned(op: &PhysicalOp<'_>) -> Result<usize> {
+    op.plan_idx.ok_or_else(|| {
+        GracefulError::PlanVerify(format!(
+            "physical {} is not bound to a logical plan op, so its work \
+             and cardinality have nowhere to be charged",
+            op.kind.name()
+        ))
+    })
+}
+
 /// Instantiate the execution state for one lowered node (resolving its
 /// storage columns, with the materializing executor's errors).
 fn instantiate<'a>(
@@ -1055,15 +1465,28 @@ fn instantiate<'a>(
 ) -> Result<Box<dyn Operator + 'a>> {
     let w = &config.weights;
     Ok(match &op.kind {
-        PhysicalOpKind::Scan { .. } => panic!("scan is the pipeline source, not an operator"),
-        PhysicalOpKind::Filter { preds, positions, stride } => {
+        PhysicalOpKind::Scan { .. } => {
+            return Err(GracefulError::PlanVerify(
+                "scan is the pipeline source, not a streaming operator".into(),
+            ))
+        }
+        PhysicalOpKind::Filter { preds, positions, folds, stride } => {
+            let always_false = folds.contains(&PredFold::AlwaysFalse);
             let mut resolved = Vec::with_capacity(preds.len());
-            for (p, &pos) in preds.iter().zip(positions.iter()) {
-                resolved.push((p, pos, db.table(&p.col.table)?));
+            if !always_false {
+                // Same short-circuit as the materializing engine: a
+                // statically-false filter never resolves its tables.
+                for ((p, &pos), fold) in preds.iter().zip(positions.iter()).zip(folds.iter()) {
+                    if *fold == PredFold::Keep {
+                        resolved.push((p, pos, db.table(&p.col.table)?));
+                    }
+                }
             }
             Box::new(FilterExec {
-                plan_idx: op.plan_idx.expect("filter maps to a plan op"),
+                plan_idx: planned(op)?,
                 preds: resolved,
+                n_preds: preds.len(),
+                always_false,
                 buf: Rebatcher::new(*stride),
                 stride: *stride,
                 rows_in: 0,
@@ -1074,7 +1497,7 @@ fn instantiate<'a>(
             })
         }
         PhysicalOpKind::UdfFilter { udf, cmp, literal, pos, stride } => Box::new(UdfExec {
-            plan_idx: op.plan_idx.expect("udf filter maps to a plan op"),
+            plan_idx: planned(op)?,
             spec: udf_spec(db, config, udf, w.udf_compare)?,
             filter: Some((*cmp, *literal)),
             pos: *pos,
@@ -1087,7 +1510,7 @@ fn instantiate<'a>(
             eval_stats: UdfEvalStats::default(),
         }),
         PhysicalOpKind::UdfProject { udf, pos, stride } => Box::new(UdfExec {
-            plan_idx: op.plan_idx.expect("udf project maps to a plan op"),
+            plan_idx: planned(op)?,
             spec: udf_spec(db, config, udf, w.project_row)?,
             filter: None,
             pos: *pos,
@@ -1099,22 +1522,24 @@ fn instantiate<'a>(
             work: 0.0,
             eval_stats: UdfEvalStats::default(),
         }),
-        PhysicalOpKind::HashJoinBuild { key, pos, stride } => Box::new(BuildExec {
+        PhysicalOpKind::HashJoinBuild { key, pos, stride, keep } => Box::new(BuildExec {
             key_col: db.table(&key.table)?.column(&key.column)?,
             pos: *pos,
             stride: *stride,
+            keep,
             side: Some(BuildSide {
                 map: HashMap::new(),
                 rows: Vec::new(),
-                stride: *stride,
+                stride: keep.len(),
                 n_rows: 0,
             }),
         }),
-        PhysicalOpKind::HashJoinProbe { key, pos, stride, build } => Box::new(ProbeExec {
-            plan_idx: op.plan_idx.expect("probe maps to a plan op"),
+        PhysicalOpKind::HashJoinProbe { key, pos, stride, build, keep } => Box::new(ProbeExec {
+            plan_idx: planned(op)?,
             key_col: db.table(&key.table)?.column(&key.column)?,
             pos: *pos,
             stride: *stride,
+            keep,
             build: *build,
             rows_in: 0,
             rows_out: 0,
@@ -1125,7 +1550,7 @@ fn instantiate<'a>(
             out_w: w.join_out_row,
         }),
         PhysicalOpKind::Agg { func, column, stride, .. } => Box::new(AggExec {
-            plan_idx: op.plan_idx.expect("agg maps to a plan op"),
+            plan_idx: planned(op)?,
             func: *func,
             column: *column,
             resolved: None,
@@ -1203,5 +1628,6 @@ fn udf_spec<'a>(
         config.udf_weights.clone(),
         config.udf_batch_size,
         overhead,
+        config.rewrites,
     )
 }

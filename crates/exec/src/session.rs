@@ -36,7 +36,7 @@
 //! ```
 
 use crate::engine::{ExecConfig, Executor, OperatorWeights, QueryRun};
-use graceful_common::config::{ExecMode, UdfBackend};
+use graceful_common::config::{ExecMode, PlanVerifyMode, UdfBackend};
 use graceful_common::Result;
 use graceful_plan::Plan;
 use graceful_runtime::Pool;
@@ -62,6 +62,8 @@ pub struct ExecOptions {
     udf_weights: Option<CostWeights>,
     mode: Option<ExecMode>,
     profile: Option<bool>,
+    plan_verify: Option<PlanVerifyMode>,
+    rewrites: Option<bool>,
 }
 
 impl ExecOptions {
@@ -133,6 +135,24 @@ impl ExecOptions {
         self
     }
 
+    /// Pre-execution plan verification
+    /// ([`graceful_plan::analysis::verify`] plus the physical-plan audit).
+    /// Strict by default; [`PlanVerifyMode::Off`] skips the check for
+    /// trusted plans.
+    pub fn plan_verify(mut self, mode: PlanVerifyMode) -> Self {
+        self.plan_verify = Some(mode);
+        self
+    }
+
+    /// Liveness/constant-fold rewrite hints
+    /// ([`graceful_plan::analysis::RewriteSet`]). On by default; turning
+    /// them off is bit-identical in every contracted `QueryRun` field (the
+    /// verified-rewrite guarantee) and exists for differential testing.
+    pub fn rewrites(mut self, on: bool) -> Self {
+        self.rewrites = Some(on);
+        self
+    }
+
     /// Apply the explicit options over `defaults`.
     fn over(self, defaults: ExecConfig) -> ExecConfig {
         ExecConfig {
@@ -148,6 +168,8 @@ impl ExecOptions {
             udf_weights: self.udf_weights.unwrap_or(defaults.udf_weights),
             mode: self.mode.unwrap_or(defaults.mode),
             profile: self.profile.unwrap_or(defaults.profile),
+            plan_verify: self.plan_verify.unwrap_or(defaults.plan_verify),
+            rewrites: self.rewrites.unwrap_or(defaults.rewrites),
         }
     }
 

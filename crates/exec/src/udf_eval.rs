@@ -125,6 +125,13 @@ pub struct UdfEvalSpec<'a> {
     shape: Option<SimdShape>,
     batch: usize,
     overhead: f64,
+    /// Per-parameter dead flags from liveness analysis: `dead[i]` means the
+    /// UDF body provably never reads parameter `i`, so its column is not
+    /// gathered (a typed placeholder is substituted instead). Restricted to
+    /// non-Text parameters — invocation cost counts Text argument
+    /// characters, and pruning must leave accounted work bit-identical.
+    /// All-false when rewrites are disabled.
+    dead: Vec<bool>,
 }
 
 impl<'a> UdfEvalSpec<'a> {
@@ -140,6 +147,15 @@ impl<'a> UdfEvalSpec<'a> {
     /// `overhead` is the operator's own per-row work (comparison against the
     /// filter literal, projection bookkeeping) charged alongside the UDF
     /// cost.
+    ///
+    /// `prune` enables dead-parameter pruning: parameters the UDF body
+    /// provably never reads (`UdfDef::param_read_set`) skip the per-row
+    /// column gather and receive a typed placeholder instead. Pruning never
+    /// changes values (the body cannot observe an unread parameter), never
+    /// changes accounted work (invocation cost depends on argument count and
+    /// Text lengths only, and Text parameters are never pruned), and never
+    /// changes backend selection (SIMD eligibility is decided from the full
+    /// column list before pruning).
     pub fn prepare(
         udf: &'a graceful_udf::GeneratedUdf,
         cols: Vec<&'a Column>,
@@ -147,18 +163,47 @@ impl<'a> UdfEvalSpec<'a> {
         weights: CostWeights,
         batch: usize,
         overhead: f64,
+        prune: bool,
     ) -> Result<Self> {
         let prog = match backend {
             UdfBackend::Vm | UdfBackend::Simd => Some(compile(&udf.def)?),
             UdfBackend::TreeWalk => None,
         };
+        // Eligibility is decided from the FULL column list: pruning must
+        // only skip gathers, never flip which backend path runs.
         let shape = if backend == UdfBackend::Simd {
             let typed = cols.iter().all(|c| c.data_type() != DataType::Text);
             prog.as_ref().map(|p| p.simd_shape()).filter(|s| s.has_fast_path && typed)
         } else {
             None
         };
-        Ok(UdfEvalSpec { udf, cols, weights, backend, prog, shape, batch: batch.max(1), overhead })
+        let dead = if prune && cols.len() == udf.def.params.len() {
+            let read = udf.def.param_read_set();
+            udf.def
+                .params
+                .iter()
+                .zip(cols.iter())
+                .map(|(p, c)| !read.contains(p) && c.data_type() != DataType::Text)
+                .collect()
+        } else {
+            vec![false; cols.len()]
+        };
+        Ok(UdfEvalSpec {
+            udf,
+            cols,
+            weights,
+            backend,
+            prog,
+            shape,
+            batch: batch.max(1),
+            overhead,
+            dead,
+        })
+    }
+
+    /// Which parameters this spec will prune (liveness-dead, non-Text).
+    pub fn dead_params(&self) -> &[bool] {
+        &self.dead
     }
 
     /// Evaluate rows `0..n` — mapped to storage row ids by `rid_of` — in
@@ -203,6 +248,7 @@ impl<'a> UdfEvalSpec<'a> {
                 args: Vec::with_capacity(self.cols.len()),
                 udf: &self.udf.def,
                 cols: &self.cols,
+                dead: &self.dead,
                 overhead: self.overhead,
             }),
             UdfBackend::Simd if self.shape.is_some() => {
@@ -223,6 +269,7 @@ impl<'a> UdfEvalSpec<'a> {
                         .collect(),
                     outs: Vec::with_capacity(self.batch),
                     cols: &self.cols,
+                    dead: &self.dead,
                     batch: self.batch,
                     overhead: self.overhead,
                 })
@@ -237,6 +284,7 @@ impl<'a> UdfEvalSpec<'a> {
                     col_bufs: self.cols.iter().map(|_| Vec::with_capacity(self.batch)).collect(),
                     outs: Vec::with_capacity(self.batch),
                     cols: &self.cols,
+                    dead: &self.dead,
                     batch: self.batch,
                     overhead: self.overhead,
                 })
@@ -253,6 +301,9 @@ struct TreewalkEval<'a> {
     args: Vec<Value>,
     udf: &'a graceful_udf::UdfDef,
     cols: &'a [&'a Column],
+    /// Liveness-dead parameters: gathered as `Value::Null` placeholders
+    /// instead of reading the column (the body never observes them).
+    dead: &'a [bool],
     overhead: f64,
 }
 
@@ -266,7 +317,13 @@ impl UdfEval for TreewalkEval<'_> {
     ) -> Result<()> {
         for &rid in rids {
             self.args.clear();
-            self.args.extend(self.cols.iter().map(|c| c.value(rid)));
+            self.args.extend(self.cols.iter().zip(self.dead.iter()).map(|(c, &d)| {
+                if d {
+                    Value::Null
+                } else {
+                    c.value(rid)
+                }
+            }));
             let out = self.interp.eval(self.udf, &self.args)?;
             *work += out.cost.total + self.overhead;
             values.push(out.value);
@@ -288,6 +345,9 @@ struct VmEval<'a> {
     /// Batch output buffer.
     outs: Vec<Value>,
     cols: &'a [&'a Column],
+    /// Liveness-dead parameters: their buffers are filled with `Null`
+    /// placeholders (the program contains no load for them).
+    dead: &'a [bool],
     batch: usize,
     overhead: f64,
 }
@@ -307,8 +367,10 @@ impl UdfEval for VmEval<'_> {
                 buf.clear();
             }
             for &rid in &rids[start..end] {
-                for (buf, col) in self.col_bufs.iter_mut().zip(self.cols.iter()) {
-                    buf.push(col.value(rid));
+                for ((buf, col), &d) in
+                    self.col_bufs.iter_mut().zip(self.cols.iter()).zip(self.dead.iter())
+                {
+                    buf.push(if d { Value::Null } else { col.value(rid) });
                 }
             }
             self.outs.clear();
@@ -338,6 +400,10 @@ struct SimdEval<'a> {
     /// Batch output buffer.
     outs: Vec<Value>,
     cols: &'a [&'a Column],
+    /// Liveness-dead parameters: their lanes are zero-filled with a clean
+    /// null mask instead of gathering (zero, not NULL, so the substitution
+    /// can never force a null-driven bail on a lane nothing reads).
+    dead: &'a [bool],
     batch: usize,
     overhead: f64,
 }
@@ -353,8 +419,14 @@ impl UdfEval for SimdEval<'_> {
         let mut start = 0;
         while start < rids.len() {
             let end = (start + self.batch).min(rids.len());
-            for (buf, col) in self.typed_bufs.iter_mut().zip(self.cols.iter()) {
-                buf.fill_from_column(col, rids[start..end].iter().copied())?;
+            for ((buf, col), &d) in
+                self.typed_bufs.iter_mut().zip(self.cols.iter()).zip(self.dead.iter())
+            {
+                if d {
+                    buf.fill_zero(end - start);
+                } else {
+                    buf.fill_from_column(col, rids[start..end].iter().copied())?;
+                }
             }
             self.outs.clear();
             let mut cost = CostCounter::new();

@@ -1,0 +1,123 @@
+//! Required-column and required-lane liveness.
+//!
+//! Intermediate tuples in both executors carry one row-id lane per bound
+//! base table, and operators read those lanes positionally (resolved by
+//! table name). Liveness asks, for each operator, what the operators
+//! *strictly above* it can still read: a lane whose table no ancestor reads
+//! can be dropped from a join's output, and a column no ancestor reads never
+//! constrains a rewrite.
+//!
+//! The plan is a tree (verified: every op has exactly one parent), so the
+//! live set below an operator is simply the parent's live set plus the
+//! parent's own reads — one top-down pass over the topologically ordered
+//! arena.
+
+use crate::logical::{ColRef, Plan, PlanOpKind};
+use std::collections::BTreeSet;
+
+/// Base tables operator `idx` reads from its **input** tuples.
+///
+/// Scans read nothing (they are sources); filters read their predicate
+/// columns' tables; joins read both key tables; UDF operators read the UDF's
+/// input table; aggregates read the aggregate column's table if any.
+pub fn op_tables_read(plan: &Plan, idx: usize) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    match &plan.ops[idx].kind {
+        PlanOpKind::Scan { .. } => {}
+        PlanOpKind::Filter { preds } => {
+            for p in preds {
+                out.insert(p.col.table.clone());
+            }
+        }
+        PlanOpKind::Join { left_col, right_col } => {
+            out.insert(left_col.table.clone());
+            out.insert(right_col.table.clone());
+        }
+        PlanOpKind::UdfFilter { udf, .. } | PlanOpKind::UdfProject { udf } => {
+            out.insert(udf.table.clone());
+        }
+        PlanOpKind::Agg { column, .. } => {
+            if let Some(c) = column {
+                out.insert(c.table.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Fully qualified columns operator `idx` reads from its input tuples.
+pub fn op_columns_read(plan: &Plan, idx: usize) -> BTreeSet<ColRef> {
+    let mut out = BTreeSet::new();
+    match &plan.ops[idx].kind {
+        PlanOpKind::Scan { .. } => {}
+        PlanOpKind::Filter { preds } => {
+            for p in preds {
+                out.insert(p.col.clone());
+            }
+        }
+        PlanOpKind::Join { left_col, right_col } => {
+            out.insert(left_col.clone());
+            out.insert(right_col.clone());
+        }
+        PlanOpKind::UdfFilter { udf, .. } | PlanOpKind::UdfProject { udf } => {
+            for c in &udf.input_columns {
+                out.insert(ColRef::new(&udf.table, c));
+            }
+        }
+        PlanOpKind::Agg { column, .. } => {
+            if let Some(c) = column {
+                out.insert(c.clone());
+            }
+        }
+    }
+    out
+}
+
+/// For every operator, the base tables read by its strict ancestors — the
+/// lanes its **output** must still carry (beyond what the operator's own
+/// parent consumes structurally).
+///
+/// `live[root]` is empty: nothing sits above the root. A join output lane
+/// whose table is absent from `live[join]` can be pruned — the join itself
+/// reads its key lanes from its *inputs*, before the output is formed.
+///
+/// Assumes a structurally valid plan (topological arena, single parents);
+/// callers go through [`verify`](crate::analysis::verify) or
+/// [`RewriteSet::analyze`](crate::analysis::RewriteSet::analyze), which do.
+pub fn live_tables_above(plan: &Plan) -> Vec<BTreeSet<String>> {
+    let n = plan.ops.len();
+    let mut live: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    // Parents have larger indices than children, so a reverse index walk
+    // visits every parent before its children.
+    for i in (0..n).rev() {
+        if plan.ops[i].children.is_empty() {
+            continue;
+        }
+        let mut below = live[i].clone();
+        below.extend(op_tables_read(plan, i));
+        for &c in &plan.ops[i].children {
+            live[c] = below.clone();
+        }
+    }
+    live
+}
+
+/// For every operator, the fully qualified columns read by its strict
+/// ancestors. The column-level analogue of [`live_tables_above`], used by
+/// the plan lint to cross-check lane pruning (every column on a pruned lane
+/// must be dead) and by rewrite diagnostics.
+pub fn columns_read_above(plan: &Plan) -> Vec<BTreeSet<ColRef>> {
+    let n = plan.ops.len();
+    let mut live: Vec<BTreeSet<ColRef>> = vec![BTreeSet::new(); n];
+    for i in (0..n).rev() {
+        if plan.ops[i].children.is_empty() {
+            continue;
+        }
+        let mut below = live[i].clone();
+        below.extend(op_columns_read(plan, i));
+        for &c in &plan.ops[i].children {
+            live[c] = below.clone();
+        }
+    }
+    live
+}

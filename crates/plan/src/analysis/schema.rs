@@ -1,0 +1,228 @@
+//! Schema and type inference over the plan DAG.
+//!
+//! A bottom-up dataflow pass that computes, for every operator, which base
+//! tables its output tuples bind (in lane order — the same order the
+//! executors' intermediate tuples use) and whether the output carries a
+//! UDF-projected value column. Along the way it resolves every name against
+//! the storage catalog and checks the type rules the engine's runtime
+//! comparisons rely on.
+
+use crate::logical::{AggFunc, Plan, PlanOpKind};
+use graceful_common::{GracefulError, Result};
+use graceful_storage::{DataType, Database, Value};
+
+/// What one operator's output looks like to the operators above it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSchema {
+    /// Base tables bound in the output tuples, in lane order.
+    pub tables: Vec<String>,
+    /// Whether the output carries a UDF-projected value column (true only
+    /// directly above a `UdfProject`; no other operator forwards it).
+    pub computed: bool,
+}
+
+fn err(i: usize, kind: &str, msg: String) -> GracefulError {
+    GracefulError::PlanVerify(format!("op {i} ({kind}): {msg}"))
+}
+
+/// Infer per-operator output schemas, verifying every catalog reference.
+///
+/// Checks performed, each reported as a typed `PlanVerify` error naming the
+/// operator index, kind and column:
+///
+/// * scans name a known table;
+/// * filter predicates reference a table bound below them and a column that
+///   exists, with a literal the column can ever compare to (no NULL
+///   literals; Text columns compare only to Text, non-Text only to
+///   non-Text — mirroring `Value::compare`);
+/// * join keys are bound on their respective sides, exist, are non-Text
+///   (the hash join keys on an integer view) and have identical types on
+///   both sides (Int-vs-Float would hash truncated floats against ints);
+/// * UDF operators name a bound table, existing input columns, and exactly
+///   as many input columns as the UDF has parameters;
+/// * aggregates over a column require it bound, existing and numeric, and
+///   `SUM`/`AVG`/`MIN`/`MAX` without a column require a `UdfProject`
+///   directly below (the engine aggregates the projected value column,
+///   which no other operator forwards).
+///
+/// Assumes nothing about the arena: [`verify_structure`] runs first so the
+/// bottom-up walk can index children freely.
+///
+/// [`verify_structure`]: crate::analysis::verify_structure
+pub fn infer_schemas(plan: &Plan, db: &Database) -> Result<Vec<OpSchema>> {
+    crate::analysis::verify_structure(plan)?;
+    let mut out: Vec<OpSchema> = Vec::with_capacity(plan.ops.len());
+    for (i, op) in plan.ops.iter().enumerate() {
+        let kind = op.kind.name();
+        let schema = match &op.kind {
+            PlanOpKind::Scan { table } => {
+                db.table(table).map_err(|_| err(i, kind, format!("unknown table {table}")))?;
+                OpSchema { tables: vec![table.clone()], computed: false }
+            }
+            PlanOpKind::Filter { preds } => {
+                let child = &out[op.children[0]];
+                for p in preds {
+                    if !child.tables.contains(&p.col.table) {
+                        return Err(err(
+                            i,
+                            kind,
+                            format!(
+                                "predicate column {} is not bound below (bound: {})",
+                                p.col,
+                                child.tables.join(", ")
+                            ),
+                        ));
+                    }
+                    let col = db
+                        .table(&p.col.table)
+                        .and_then(|t| t.column(&p.col.column))
+                        .map_err(|_| err(i, kind, format!("unknown column {}", p.col)))?;
+                    check_pred_literal(i, kind, &p.col.to_string(), col.data_type(), &p.value)?;
+                }
+                OpSchema { tables: child.tables.clone(), computed: false }
+            }
+            PlanOpKind::Join { left_col, right_col } => {
+                let (li, ri) = (op.children[0], op.children[1]);
+                let ldt = join_key_type(db, i, kind, &out[li], left_col, "left")?;
+                let rdt = join_key_type(db, i, kind, &out[ri], right_col, "right")?;
+                if ldt != rdt {
+                    return Err(err(
+                        i,
+                        kind,
+                        format!(
+                            "join keys {left_col} ({ldt:?}) and {right_col} ({rdt:?}) \
+                             have mismatched types"
+                        ),
+                    ));
+                }
+                let mut tables = out[li].tables.clone();
+                tables.extend(out[ri].tables.iter().cloned());
+                OpSchema { tables, computed: false }
+            }
+            PlanOpKind::UdfFilter { udf, .. } | PlanOpKind::UdfProject { udf } => {
+                let child = &out[op.children[0]];
+                if !child.tables.iter().any(|t| *t == udf.table) {
+                    return Err(err(
+                        i,
+                        kind,
+                        format!(
+                            "UDF {} input table {} is not bound below (bound: {})",
+                            udf.def.name,
+                            udf.table,
+                            child.tables.join(", ")
+                        ),
+                    ));
+                }
+                let t = db
+                    .table(&udf.table)
+                    .map_err(|_| err(i, kind, format!("unknown table {}", udf.table)))?;
+                if udf.input_columns.len() != udf.def.params.len() {
+                    return Err(err(
+                        i,
+                        kind,
+                        format!(
+                            "UDF {} arity mismatch: {} input columns for {} parameters",
+                            udf.def.name,
+                            udf.input_columns.len(),
+                            udf.def.params.len()
+                        ),
+                    ));
+                }
+                for c in &udf.input_columns {
+                    t.column(c)
+                        .map_err(|_| err(i, kind, format!("unknown column {}.{c}", udf.table)))?;
+                }
+                let computed = matches!(op.kind, PlanOpKind::UdfProject { .. });
+                OpSchema { tables: child.tables.clone(), computed }
+            }
+            PlanOpKind::Agg { func, column } => {
+                let child = &out[op.children[0]];
+                if let Some(c) = column {
+                    if !child.tables.contains(&c.table) {
+                        return Err(err(
+                            i,
+                            kind,
+                            format!(
+                                "aggregate column {c} is not bound below (bound: {})",
+                                child.tables.join(", ")
+                            ),
+                        ));
+                    }
+                    let col = db
+                        .table(&c.table)
+                        .and_then(|t| t.column(&c.column))
+                        .map_err(|_| err(i, kind, format!("unknown column {c}")))?;
+                    if col.data_type() == DataType::Text {
+                        return Err(err(
+                            i,
+                            kind,
+                            format!("aggregate column {c} has type Text (no numeric view)"),
+                        ));
+                    }
+                } else if *func != AggFunc::CountStar && !child.computed {
+                    return Err(err(
+                        i,
+                        kind,
+                        format!(
+                            "{} without a column requires a UDF_PROJECT directly below",
+                            func.name()
+                        ),
+                    ));
+                }
+                OpSchema { tables: child.tables.clone(), computed: false }
+            }
+        };
+        out.push(schema);
+    }
+    Ok(out)
+}
+
+/// A predicate literal the column can never compare to makes the predicate
+/// constantly false in a way that is almost always a query-construction bug,
+/// so the verifier rejects it. Mirrors `Value::compare`: NULL compares to
+/// nothing, Text only to Text, numerics/bools to each other via `as_f64`.
+fn check_pred_literal(i: usize, kind: &str, col: &str, dt: DataType, lit: &Value) -> Result<()> {
+    let comparable = match lit {
+        Value::Null => false,
+        Value::Text(_) => dt == DataType::Text,
+        Value::Int(_) | Value::Float(_) | Value::Bool(_) => dt != DataType::Text,
+    };
+    if comparable {
+        Ok(())
+    } else {
+        Err(err(i, kind, format!("predicate on {col} ({dt:?}) can never compare to literal {lit}")))
+    }
+}
+
+fn join_key_type(
+    db: &Database,
+    i: usize,
+    kind: &str,
+    side_schema: &OpSchema,
+    key: &crate::logical::ColRef,
+    side: &str,
+) -> Result<DataType> {
+    if !side_schema.tables.contains(&key.table) {
+        return Err(err(
+            i,
+            kind,
+            format!(
+                "join key {key} is not bound on the {side} side (bound: {})",
+                side_schema.tables.join(", ")
+            ),
+        ));
+    }
+    let col = db
+        .table(&key.table)
+        .and_then(|t| t.column(&key.column))
+        .map_err(|_| err(i, kind, format!("unknown column {key}")))?;
+    let dt = col.data_type();
+    if dt == DataType::Text {
+        return Err(err(
+            i,
+            kind,
+            format!("join key {key} has type Text (hash join keys need an integer view)"),
+        ));
+    }
+    Ok(dt)
+}

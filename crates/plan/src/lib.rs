@@ -11,13 +11,19 @@
 //!   column statistics, UDF placement, and selectivity-controlled UDF filter
 //!   literals (Table II's 0.0001–1.0 range),
 //! * [`variants`] — the pull-up / intermediate / push-down rewrites the
-//!   advisor of Section IV chooses between.
+//!   advisor of Section IV chooses between,
+//! * [`analysis`] — static analysis over the plan DAG: the pre-execution
+//!   verifier ([`analysis::verify`]), schema/type inference, liveness,
+//!   monotone cardinality bounds, and the verified rewrite hints
+//!   ([`analysis::RewriteSet`]) both executors consume.
 
+pub mod analysis;
 pub mod logical;
 pub mod predicate;
 pub mod querygen;
 pub mod variants;
 
+pub use analysis::{PredFold, RewriteSet};
 pub use logical::{AggFunc, ColRef, Plan, PlanOp, PlanOpKind};
 pub use predicate::Pred;
 pub use querygen::{QueryGenConfig, QueryGenerator, QuerySpec, UdfUsage};

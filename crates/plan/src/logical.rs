@@ -8,14 +8,14 @@
 //! message passing rely on.
 
 use crate::predicate::Pred;
-use graceful_common::{GracefulError, Result};
+use graceful_common::Result;
 use graceful_udf::ast::CmpOp;
 use graceful_udf::GeneratedUdf;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// A fully qualified column reference.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ColRef {
     pub table: String,
     pub column: String,
@@ -141,35 +141,17 @@ pub struct Plan {
 }
 
 impl Plan {
-    /// Validate arena invariants (children precede parents, root is last
-    /// reachable, every non-root op has exactly one parent).
+    /// Validate arena invariants. A thin wrapper over
+    /// [`crate::analysis::verify_structure`] — the single source of truth
+    /// for structural checks (child bounds, operator arity, genuine
+    /// cycle/unreachability detection, parent counts, topological order).
+    /// Violations surface as
+    /// [`GracefulError::PlanVerify`](graceful_common::GracefulError::PlanVerify).
+    /// Catalog-backed
+    /// checks (schema, types, estimate sanity) live in
+    /// [`crate::analysis::verify`].
     pub fn validate(&self) -> Result<()> {
-        let n = self.ops.len();
-        if self.root >= n {
-            return Err(GracefulError::InvalidPlan("root out of bounds".into()));
-        }
-        let mut parents = vec![0usize; n];
-        for (i, op) in self.ops.iter().enumerate() {
-            for &c in &op.children {
-                if c >= i {
-                    return Err(GracefulError::InvalidPlan(format!(
-                        "op {i} has child {c} >= itself (not topological)"
-                    )));
-                }
-                parents[c] += 1;
-            }
-        }
-        for (i, &p) in parents.iter().enumerate() {
-            if i == self.root && p != 0 {
-                return Err(GracefulError::InvalidPlan("root has a parent".into()));
-            }
-            if i != self.root && p != 1 {
-                return Err(GracefulError::InvalidPlan(format!(
-                    "op {i} has {p} parents (expected 1)"
-                )));
-            }
-        }
-        Ok(())
+        crate::analysis::verify_structure(self)
     }
 
     /// Index of the UDF operator, if the plan has one.

@@ -140,6 +140,33 @@ impl TypedCol {
         Ok(())
     }
 
+    /// Reset to `n` rows of the lane type's zero value with a clean (all
+    /// non-null) mask. Used to gather a parameter the UDF provably never
+    /// reads: the values are placeholders, and keeping the null mask clean
+    /// guarantees the substitution cannot flip a fast-path/bail decision.
+    pub fn fill_zero(&mut self, n: usize) {
+        match self {
+            TypedCol::Int { data, nulls } => {
+                data.clear();
+                data.resize(n, 0);
+                nulls.clear();
+                nulls.resize(n, false);
+            }
+            TypedCol::Float { data, nulls } => {
+                data.clear();
+                data.resize(n, 0.0);
+                nulls.clear();
+                nulls.resize(n, false);
+            }
+            TypedCol::Bool { data, nulls } => {
+                data.clear();
+                data.resize(n, false);
+                nulls.clear();
+                nulls.resize(n, false);
+            }
+        }
+    }
+
     /// Convert a uniformly-typed `Value` column (bench/test convenience).
     /// `None` when the column mixes non-null types or contains Text.
     pub fn from_values(vals: &[Value]) -> Option<TypedCol> {

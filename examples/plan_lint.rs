@@ -1,0 +1,171 @@
+//! Lint the generated query-plan corpus through the plan verifier and the
+//! static analyses behind the verified rewrites. Exits non-zero on the
+//! first diagnostic — CI runs this in both debug and `--release` alongside
+//! `udf_lint` to pin the generator/verifier contract at the plan layer.
+//!
+//! Checks per plan (every valid UDF placement of every generated query):
+//! - [`analysis::verify`] is clean (structure, schema/type inference,
+//!   cardinality-annotation sanity) on the raw plan *and* after cardinality
+//!   annotation;
+//! - annotated estimates respect the monotone upper bounds
+//!   ([`analysis::verify_bounds`]);
+//! - liveness is consistent (nothing is live above the root);
+//! - every constant-fold verdict is checked against the actual data: an
+//!   `AlwaysTrue` predicate must match every row of its table, an
+//!   `AlwaysFalse` predicate none.
+//!
+//! Dead-column and fold statistics are informational — generated UDFs
+//! legitimately ignore parameters, and whether a predicate folds depends on
+//! the drawn literal.
+//!
+//! ```sh
+//! cargo run --release --example plan_lint
+//! ```
+
+use graceful::plan::analysis::{self, RewriteSet};
+use graceful::plan::{Plan, PlanOpKind, PredFold};
+use graceful::prelude::*;
+use graceful::storage::Database;
+
+const SCHEMAS: [&str; 6] = ["tpc_h", "imdb", "ssb", "airline", "baseball", "movielens"];
+const SEEDS_PER_SCHEMA: u64 = 250;
+const MIN_PLANS: usize = 1000;
+
+struct Tally {
+    plans: usize,
+    folded_preds: usize,
+    dead_params: usize,
+    dead_join_lanes: usize,
+}
+
+fn lint(db: &Database, plan: &mut Plan, tally: &mut Tally) -> Vec<String> {
+    let mut diags = Vec::new();
+    if let Err(e) = analysis::verify(plan, db) {
+        diags.push(format!("raw plan rejected: {e}"));
+        return diags; // downstream analyses assume a verified plan
+    }
+    if let Err(e) = NaiveCard::new(db).annotate(plan) {
+        diags.push(format!("cardinality annotation failed: {e}"));
+        return diags;
+    }
+    if let Err(e) = analysis::verify(plan, db) {
+        diags.push(format!("annotated plan rejected: {e}"));
+    }
+    if let Err(e) = analysis::verify_bounds(plan, db) {
+        diags.push(format!("estimate exceeds monotone bound: {e}"));
+    }
+
+    let rw = RewriteSet::analyze(plan, db);
+    if !rw.live_above[plan.root].is_empty() {
+        diags
+            .push(format!("liveness claims tables above the root: {:?}", rw.live_above[plan.root]));
+    }
+    let schemas = match analysis::infer_schemas(plan, db) {
+        Ok(s) => s,
+        Err(e) => {
+            diags.push(format!("schema inference failed after verify passed: {e}"));
+            return diags;
+        }
+    };
+    for (i, op) in plan.ops.iter().enumerate() {
+        match &op.kind {
+            PlanOpKind::Filter { preds } => {
+                for (k, p) in preds.iter().enumerate() {
+                    let verdict = rw.fold_for(i, k);
+                    if verdict == PredFold::Keep {
+                        continue;
+                    }
+                    tally.folded_preds += 1;
+                    // Soundness against the actual rows: a fold that
+                    // disagrees with the data would silently change answers.
+                    let want = verdict == PredFold::AlwaysTrue;
+                    let t = match db.table(&p.col.table) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            diags.push(format!("op {i} pred {k}: folded on {e}"));
+                            continue;
+                        }
+                    };
+                    if let Some(row) = (0..t.num_rows()).find(|&r| p.matches(t, r) != want) {
+                        diags.push(format!(
+                            "op {i} pred {k} ({}): folded {verdict:?} but row {row} disagrees",
+                            p.display()
+                        ));
+                    }
+                }
+            }
+            PlanOpKind::UdfFilter { udf, .. } | PlanOpKind::UdfProject { udf } => {
+                tally.dead_params += analysis::dead_params(db, udf).iter().filter(|&&d| d).count();
+            }
+            PlanOpKind::Join { .. } => {
+                // Informational: output lanes whose table nothing above the
+                // join reads (the executors prune these from join output).
+                for c in &op.children {
+                    tally.dead_join_lanes += schemas[*c]
+                        .tables
+                        .iter()
+                        .filter(|t| !rw.live_above[i].contains(*t))
+                        .count();
+                }
+            }
+            _ => {}
+        }
+    }
+    diags
+}
+
+fn main() {
+    let qgen = QueryGenerator::default();
+    let mut tally = Tally { plans: 0, folded_preds: 0, dead_params: 0, dead_join_lanes: 0 };
+    let mut diagnostics = 0usize;
+    for name in SCHEMAS {
+        let mut db = generate(&schema(name), 0.02, 7);
+        for seed in 0..SEEDS_PER_SCHEMA {
+            let mut rng = Rng::seed(seed);
+            let spec = match qgen.generate(&db, seed, &mut rng) {
+                Ok(s) => s,
+                Err(_) => continue, // rejected draw, not a corpus plan
+            };
+            if let Some(u) = &spec.udf {
+                if graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).is_err() {
+                    continue;
+                }
+            }
+            for placement in graceful::plan::valid_placements(&spec) {
+                let mut plan = match build_plan(&spec, placement) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!(
+                            "plan_lint: {name}/{seed}/{}: build failed: {e}",
+                            placement.label()
+                        );
+                        diagnostics += 1;
+                        continue;
+                    }
+                };
+                tally.plans += 1;
+                for d in lint(&db, &mut plan, &mut tally) {
+                    eprintln!("plan_lint: {name}/{seed}/{}: {d}", placement.label());
+                    diagnostics += 1;
+                }
+            }
+        }
+    }
+    if tally.plans < MIN_PLANS {
+        eprintln!("plan_lint: corpus shrank to {} plans (< {MIN_PLANS})", tally.plans);
+        diagnostics += 1;
+    }
+    if diagnostics > 0 {
+        eprintln!("plan_lint: {diagnostics} diagnostics over {} plans", tally.plans);
+        std::process::exit(1);
+    }
+    println!(
+        "plan_lint: {} plans verified clean ({} schemas; {} folded preds, \
+         {} dead UDF params, {} dead join lanes — informational)",
+        tally.plans,
+        SCHEMAS.len(),
+        tally.folded_preds,
+        tally.dead_params,
+        tally.dead_join_lanes
+    );
+}

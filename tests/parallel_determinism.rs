@@ -33,6 +33,23 @@ fn session_profiled(backend: UdfBackend, threads: usize, mode: ExecMode, profile
         .expect("valid options")
 }
 
+fn session_rewrites(
+    backend: UdfBackend,
+    threads: usize,
+    mode: ExecMode,
+    rewrites: bool,
+) -> Session {
+    ExecOptions::new()
+        .udf_backend(backend)
+        .udf_batch_size(37)
+        .threads(threads)
+        .morsel_rows(64)
+        .mode(mode)
+        .rewrites(rewrites)
+        .build()
+        .expect("valid options")
+}
+
 fn assert_runs_bit_identical(a: &QueryRun, b: &QueryRun, what: &str) {
     assert_eq!(
         a.runtime_ns.to_bits(),
@@ -100,6 +117,150 @@ proptest! {
             assert_runs_bit_identical(&references[1], &references[2], "vm vs simd");
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// The verified rewrites (dead-column pruning, constant-predicate
+    /// folding) are invisible in results: with rewrites disabled, every
+    /// contracted `QueryRun` field is bit-identical to the default
+    /// (rewrites on) run — over generated queries in every valid UDF
+    /// placement, all three UDF backends, both executor modes and threads
+    /// {1, 2, 4}.
+    #[test]
+    fn rewrites_change_no_contracted_bit(seed in 0u64..5_000) {
+        let mut db = generate(&schema("imdb"), 0.02, 7);
+        let g = QueryGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let spec = match g.generate(&db, seed, &mut rng) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        if let Some(u) = &spec.udf {
+            prop_assume!(apply_adaptations(&mut db, &u.adaptations).is_ok());
+        }
+        for placement in graceful::plan::valid_placements(&spec) {
+            let plan = match build_plan(&spec, placement) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
+                for threads in [1usize, 2, 4] {
+                    for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+                        let on = session_rewrites(backend, threads, mode, true)
+                            .run(&db, &plan, seed)
+                            .expect("rewritten run succeeds");
+                        let off = session_rewrites(backend, threads, mode, false)
+                            .run(&db, &plan, seed)
+                            .expect("unrewritten run succeeds");
+                        assert_runs_bit_identical(
+                            &on,
+                            &off,
+                            &format!("rewrites on vs off: {backend:?} x {threads} x {mode:?}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Targeted rewrite triggers over a hand-built plan: predicates that fold
+/// both ways (`AlwaysTrue` and `AlwaysFalse`), a UDF that reads only one of
+/// its three parameters (the two dead `Int` lanes are pruned from the
+/// gather), and a join whose payload lanes liveness proves dead above the
+/// aggregate. Each trigger is asserted to actually fire in the
+/// [`RewriteSet`](graceful::plan::RewriteSet), and rewritten vs unrewritten
+/// runs stay bit-identical across all backends, modes and thread counts.
+#[test]
+fn fold_and_dead_param_rewrites_fire_and_stay_bit_identical() {
+    use graceful::plan::{AggFunc, ColRef, Plan, PlanOp, PlanOpKind, Pred, PredFold, RewriteSet};
+    use graceful::udf::ast::CmpOp;
+    use std::sync::Arc;
+
+    let db = generate(&schema("tpc_h"), 0.03, 5);
+    let def = parse_udf("def f(x0, x1, x2):\n    return x2 * 2\n").unwrap();
+    let udf = Arc::new(graceful::udf::GeneratedUdf {
+        source: print_udf(&def),
+        def,
+        table: "orders_t".into(),
+        input_columns: vec!["id".into(), "cust_id".into(), "totalprice".into()],
+        adaptations: vec![],
+    });
+
+    // customer_t.id is a null-free serial Int column, so predicates far
+    // outside its range fold statically; mktsegment stays data-dependent.
+    let plan_with = |extra_pred: Pred| Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "customer_t".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Filter {
+                    preds: vec![
+                        Pred::new("customer_t", "id", CmpOp::Ge, Value::Int(-1_000_000)),
+                        Pred::new("customer_t", "mktsegment", CmpOp::Ge, Value::Int(2)),
+                        extra_pred,
+                    ],
+                },
+                vec![0],
+            ),
+            PlanOp::new(PlanOpKind::Scan { table: "orders_t".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Join {
+                    left_col: ColRef::new("orders_t", "cust_id"),
+                    right_col: ColRef::new("customer_t", "id"),
+                },
+                vec![2, 1],
+            ),
+            PlanOp::new(PlanOpKind::UdfProject { udf: udf.clone() }, vec![3]),
+            PlanOp::new(PlanOpKind::Agg { func: AggFunc::Sum, column: None }, vec![4]),
+        ],
+        root: 5,
+    };
+    let live = plan_with(Pred::new("customer_t", "id", CmpOp::Lt, Value::Int(1_000_000_000)));
+    let empty = plan_with(Pred::new("customer_t", "id", CmpOp::Lt, Value::Int(-1_000_000)));
+
+    // The triggers must actually fire, or this test proves nothing.
+    let rw = RewriteSet::analyze(&live, &db);
+    assert_eq!(rw.fold_for(1, 0), PredFold::AlwaysTrue, "id >= -1M folds true");
+    assert_eq!(rw.fold_for(1, 2), PredFold::AlwaysTrue, "id < 1B folds true");
+    assert_eq!(rw.dead_params[4], vec![true, true, false], "x0/x1 are dead Int params");
+    assert!(
+        !rw.live_above[3].contains("customer_t"),
+        "customer_t is dead above the join, so its payload lane prunes"
+    );
+    let rw = RewriteSet::analyze(&empty, &db);
+    assert_eq!(rw.fold_for(1, 2), PredFold::AlwaysFalse, "id < -1M folds false");
+
+    for (what, plan) in [("always-true", &live), ("always-false", &empty)] {
+        let mut agg_values = Vec::new();
+        for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
+            for threads in [1usize, 2, 4] {
+                for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+                    let on = session_rewrites(backend, threads, mode, true)
+                        .run(&db, plan, 42)
+                        .expect("rewritten run succeeds");
+                    let off = session_rewrites(backend, threads, mode, false)
+                        .run(&db, plan, 42)
+                        .expect("unrewritten run succeeds");
+                    assert_runs_bit_identical(
+                        &on,
+                        &off,
+                        &format!("{what}: {backend:?} x {threads} x {mode:?}"),
+                    );
+                    agg_values.push(on.agg_value);
+                }
+            }
+        }
+        assert!(
+            agg_values.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+            "{what}: all combinations agree on the answer"
+        );
+    }
+    // The statically-empty filter really empties the query.
+    let run = Session::new().run(&db, &empty, 42).unwrap();
+    assert_eq!(run.out_rows[1], 0, "always-false filter emits nothing");
+    assert_eq!(run.agg_value, 0.0);
 }
 
 /// Observability is outside the bit-identity contract and must stay there:

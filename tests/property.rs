@@ -383,6 +383,130 @@ proptest! {
     }
 }
 
+/// The mutated plan must be rejected twice over: by the standalone plan
+/// verifier, and by the executor under its default strict gate — both with
+/// the typed [`GracefulError::PlanVerify`](graceful_common::GracefulError),
+/// never a panic, never a silent accept.
+fn assert_plan_rejected(db: &Database, bad: &graceful::plan::Plan, seed: u64, what: &str) {
+    use graceful_common::GracefulError;
+    match graceful::plan::analysis::verify(bad, db) {
+        Err(GracefulError::PlanVerify(_)) => {}
+        other => panic!("verifier accepted a plan with {what}: {other:?}"),
+    }
+    for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+        let session = ExecOptions::new().mode(mode).build().unwrap();
+        match session.run(db, bad, seed) {
+            Err(GracefulError::PlanVerify(_)) => {}
+            Err(other) => panic!("{mode:?} executor mis-typed {what}: {other:?}"),
+            Ok(run) => panic!("{mode:?} executor ran a plan with {what}: {}", run.agg_value),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every plan the workload generator emits — across all valid UDF
+    /// placements — passes the plan verifier, and after cardinality
+    /// annotation the estimates stay within the monotone upper bounds.
+    #[test]
+    fn plan_verifier_accepts_generated_corpus(seed in 0u64..5_000) {
+        let mut db = generate(&schema("tpc_h"), 0.02, 13);
+        let qgen = QueryGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let spec = qgen.generate(&db, seed, &mut rng).unwrap();
+        if let Some(u) = &spec.udf {
+            graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+        }
+        for placement in graceful::plan::valid_placements(&spec) {
+            let mut plan = build_plan(&spec, placement).unwrap();
+            graceful::plan::analysis::verify(&plan, &db).expect("generated plan verifies");
+            NaiveCard::new(&db).annotate(&mut plan).unwrap();
+            graceful::plan::analysis::verify(&plan, &db).expect("annotated plan verifies");
+            graceful::plan::analysis::verify_bounds(&plan, &db)
+                .expect("estimates respect monotone bounds");
+        }
+    }
+
+    /// Mutated plans — the corruptions a buggy rewriter or a stale plan
+    /// cache could produce — are rejected with typed `PlanVerify` errors by
+    /// the verifier and by both executors' strict gates: dangling children,
+    /// cycles, unknown columns, wrong aggregate arity, mismatched join-key
+    /// types and corrupted cardinality estimates all surface as errors,
+    /// never as panics.
+    #[test]
+    fn mutated_plans_rejected_with_typed_errors(seed in 0u64..2_000) {
+        use graceful::plan::{PlanOpKind, Pred};
+        use graceful::udf::ast::CmpOp;
+        let mut db = generate(&schema("movielens"), 0.02, 14);
+        let qgen = QueryGenerator::default();
+        let mut rng = Rng::seed(seed);
+        let spec = qgen.generate(&db, seed, &mut rng).unwrap();
+        if let Some(u) = &spec.udf {
+            graceful::udf::generator::apply_adaptations(&mut db, &u.adaptations).unwrap();
+        }
+        let placement = graceful::plan::valid_placements(&spec)[0];
+        let plan = build_plan(&spec, placement).unwrap();
+        graceful::plan::analysis::verify(&plan, &db).expect("baseline plan verifies");
+        let root = plan.root;
+
+        // Dangling child index, far out of the arena.
+        if !plan.ops[root].children.is_empty() {
+            let mut bad = plan.clone();
+            bad.ops[root].children[0] = bad.ops.len() + 40;
+            assert_plan_rejected(&db, &bad, seed, "a dangling child");
+
+            // Self-loop: the root consumes itself.
+            let mut bad = plan.clone();
+            bad.ops[root].children[0] = root;
+            assert_plan_rejected(&db, &bad, seed, "a cycle");
+
+            // Wrong arity: a second child on a unary operator.
+            let mut bad = plan.clone();
+            bad.ops[root].children.push(0);
+            assert_plan_rejected(&db, &bad, seed, "wrong arity");
+        }
+
+        // Unknown column in a filter predicate.
+        let filter = plan.ops.iter().position(|op| matches!(op.kind, PlanOpKind::Filter { .. }));
+        if let Some(i) = filter {
+            let mut bad = plan.clone();
+            if let PlanOpKind::Filter { preds } = &mut bad.ops[i].kind {
+                let t = preds[0].col.table.clone();
+                preds[0] = Pred::new(&t, "no_such_column", CmpOp::Lt, Value::Int(0));
+            }
+            assert_plan_rejected(&db, &bad, seed, "an unknown column");
+        }
+
+        // Join keys of mismatched types (when the right table has a column
+        // of a different type to retarget the key at).
+        let join = plan.ops.iter().position(|op| matches!(op.kind, PlanOpKind::Join { .. }));
+        if let Some(i) = join {
+            let mut bad = plan.clone();
+            let mut mutated = false;
+            if let PlanOpKind::Join { left_col, right_col } = &mut bad.ops[i].kind {
+                let lt = db.table(&left_col.table).unwrap()
+                    .column_type(&left_col.column).unwrap();
+                let rt = db.table(&right_col.table).unwrap();
+                if let Some(alt) = rt.columns().iter().find(|c| c.data_type() != lt) {
+                    right_col.column = alt.name.clone();
+                    mutated = true;
+                }
+            }
+            if mutated {
+                assert_plan_rejected(&db, &bad, seed, "mismatched join-key types");
+            }
+        }
+
+        // Corrupted cardinality annotations.
+        for est in [f64::NAN, f64::INFINITY, -5.0] {
+            let mut bad = plan.clone();
+            bad.ops[root].est_out_rows = est;
+            assert_plan_rejected(&db, &bad, seed, "a corrupt est_out_rows");
+        }
+    }
+}
+
 /// Neutralising a definedness guard (`CheckDef` → plain `Cost(Stmt)`) on a
 /// branch-only assignment turns a guarded read into a use-before-def, and the
 /// verifier must say so — with the variable named in the diagnostic.
