@@ -1,95 +1,219 @@
-//! Thread-scaling of the corpus-labelling loop — the paper's 142-hour
-//! bottleneck, and the first perf-trajectory measurement of the morsel
-//! runtime.
+//! Thread-scaling of the parallel data plane — scans, partitioned hash
+//! joins and parallel aggregation at real data volume.
 //!
-//! Labels all 20 databases on pools of 1, 2, 4, … workers (capped at the
-//! machine), verifies every label is bit-identical to the single-threaded
-//! run, prints the speedups, and writes the machine-readable record of the
-//! run (overwriting any previous one) to `BENCH_scaling.json` at the repo
-//! root. Acceptance bar: ≥ 2.5× end-to-end at 4 threads.
+//! Generates `tpc_h` at scale ≥ 100 (≈ 3M lineitem rows, 1M orders), runs a
+//! join-heavy and an agg-heavy plan per operator class on pools of 1, 2 and
+//! 4 workers, verifies every run label (`runtime_ns`, `agg_value`,
+//! `out_rows`) is bit-identical to the single-threaded run, prints rows/sec
+//! per class, and writes the machine-readable record of the run
+//! (overwriting any previous one) to `BENCH_scaling.json` at the repo root.
+//! The record also captures the storage footprint: bytes/row of the
+//! encoded (dict/RLE) columns vs. their plain decoding.
 //!
-//! Scale knobs apply as everywhere (`GRACEFUL_SCALE`,
-//! `GRACEFUL_QUERIES_PER_DB`, …); thread counts are pinned per run, so
-//! `GRACEFUL_THREADS` is deliberately ignored here.
+//! Acceptance bar: > 1.5× end-to-end at 4 threads on machines with ≥ 4
+//! hardware threads. On smaller boxes the bar is waived — the record still
+//! carries `hardware_threads` plus per-thread wall times, and the
+//! bit-identity assertion always runs.
+//!
+//! Scale knobs apply as everywhere (`GRACEFUL_SCALE` is floored at 100
+//! here, `GRACEFUL_SEED`, …); thread counts are pinned per run, so
+//! `GRACEFUL_THREADS` is deliberately ignored.
 
 use graceful_bench::announce;
 use graceful_common::config::default_threads;
-use graceful_common::metrics::par;
-use graceful_core::corpus::{build_all_corpora_on, DatasetCorpus};
-use graceful_runtime::Pool;
+use graceful_exec::{ExecOptions, Session};
+use graceful_plan::{AggFunc, ColRef, Plan, PlanOp, PlanOpKind, Pred};
+use graceful_storage::datagen::{generate, schema};
+use graceful_storage::{Database, Value};
+use graceful_udf::ast::CmpOp;
 use std::time::Instant;
 
-fn label_fingerprint(corpora: &[DatasetCorpus]) -> Vec<u64> {
-    corpora.iter().flat_map(|c| c.queries.iter().map(|q| q.runtime_ns.to_bits())).collect()
+/// Repetitions per (class, thread count): keeps per-cell noise down without
+/// stretching the bench.
+const REPS: usize = 3;
+
+struct PlanClass {
+    name: &'static str,
+    plan: Plan,
+    /// Rows entering the class's defining operator — the rows/sec basis.
+    input_rows: usize,
+}
+
+/// The three operator classes the data plane parallelizes: a pruned
+/// filter-scan, a partitioned hash join, and a column aggregation.
+fn classes(db: &Database) -> Vec<PlanClass> {
+    let rows = |t: &str| db.table(t).expect("tpc_h table").num_rows();
+    let scan = Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "lineitem_t".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Filter {
+                    preds: vec![Pred::new("lineitem_t", "quantity", CmpOp::Lt, Value::Int(11))],
+                },
+                vec![0],
+            ),
+            PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![1]),
+        ],
+        root: 2,
+    };
+    let join = Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "orders_t".into() }, vec![]),
+            PlanOp::new(PlanOpKind::Scan { table: "customer_t".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Join {
+                    left_col: ColRef::new("orders_t", "cust_id"),
+                    right_col: ColRef::new("customer_t", "id"),
+                },
+                vec![0, 1],
+            ),
+            PlanOp::new(PlanOpKind::Agg { func: AggFunc::CountStar, column: None }, vec![2]),
+        ],
+        root: 3,
+    };
+    let agg = Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "lineitem_t".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Agg {
+                    func: AggFunc::Sum,
+                    column: Some(ColRef::new("lineitem_t", "price")),
+                },
+                vec![0],
+            ),
+        ],
+        root: 1,
+    };
+    vec![
+        PlanClass { name: "scan", plan: scan, input_rows: rows("lineitem_t") },
+        PlanClass { name: "join", plan: join, input_rows: rows("orders_t") + rows("customer_t") },
+        PlanClass { name: "agg", plan: agg, input_rows: rows("lineitem_t") },
+    ]
+}
+
+/// Bit-level label of one run: everything inside the determinism contract.
+fn label(run: &graceful_exec::QueryRun) -> Vec<u64> {
+    let mut l = vec![run.runtime_ns.to_bits(), run.agg_value.to_bits()];
+    l.extend(run.out_rows.iter().map(|&r| r as u64));
+    l
+}
+
+/// Storage footprint of the whole database: (encoded, plain) heap bytes.
+fn footprint(db: &Database) -> (usize, usize, usize) {
+    let mut encoded = 0usize;
+    let mut plain = 0usize;
+    let mut rows = 0usize;
+    for t in db.tables() {
+        rows += t.num_rows();
+        for c in t.columns() {
+            encoded += c.data.heap_bytes();
+            plain += c.data.plain_bytes();
+        }
+    }
+    (encoded, plain, rows)
 }
 
 fn main() {
-    let cfg = announce("scaling_threads: corpus labelling, 1..N worker threads");
+    let cfg = announce("scaling_threads: parallel scan/join/agg, 1/2/4 worker threads");
     let hw = default_threads();
-    if hw < 4 {
-        println!(
-            "note: this machine reports {hw} hardware thread(s); speedups above {hw} \
-             workers measure scheduling overhead, not scaling\n"
-        );
-    }
-    let max = hw.clamp(4, 8);
-    let mut counts = vec![1usize];
-    let mut t = 2;
-    while t <= max {
-        counts.push(t);
-        t *= 2;
-    }
+    let scale = cfg.data_scale.max(100.0);
+    println!("generating tpc_h at scale {scale} (seed {})...", cfg.seed);
+    let db = generate(&schema("tpc_h"), scale, cfg.seed);
+    let (encoded, plain, total_rows) = footprint(&db);
+    let bpr = |bytes: usize| bytes as f64 / total_rows.max(1) as f64;
+    println!(
+        "storage: {total_rows} rows, {:.1} bytes/row encoded vs {:.1} plain ({:.2}x smaller)\n",
+        bpr(encoded),
+        bpr(plain),
+        plain as f64 / encoded.max(1) as f64,
+    );
+    let classes = classes(&db);
 
     let mut baseline_s = 0.0f64;
     let mut baseline_labels: Vec<u64> = Vec::new();
-    let mut rows = Vec::new();
-    for &threads in &counts {
-        let pool = Pool::new(threads);
-        let before = par::snapshot();
-        let started = Instant::now();
-        let corpora = build_all_corpora_on(&pool, &cfg);
-        let seconds = started.elapsed().as_secs_f64();
-        let after = par::snapshot();
-        let labels = label_fingerprint(&corpora);
-        let n_queries: usize = corpora.iter().map(|c| c.queries.len()).sum();
+    let mut rows_out = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let session: Session = ExecOptions::new().threads(threads).build().expect("valid options");
+        let mut labels: Vec<u64> = Vec::new();
+        let mut class_cells = Vec::new();
+        let mut total_s = 0.0f64;
+        for class in &classes {
+            let started = Instant::now();
+            let mut run = None;
+            for rep in 0..REPS {
+                run = Some(
+                    session.run(&db, &class.plan, rep as u64).expect("data-plane plan executes"),
+                );
+            }
+            let seconds = started.elapsed().as_secs_f64() / REPS as f64;
+            labels.extend(label(run.as_ref().expect("at least one rep")));
+            let rps = class.input_rows as f64 / seconds.max(1e-9);
+            println!(
+                "threads {threads}: {name:<4} {seconds:>8.4}s/run  {rps:>14.0} rows/sec",
+                name = class.name,
+            );
+            class_cells.push((class.name, seconds, rps));
+            total_s += seconds;
+        }
         if threads == 1 {
-            baseline_s = seconds;
+            baseline_s = total_s;
             baseline_labels = labels;
         } else {
             assert_eq!(labels, baseline_labels, "labels changed at {threads} threads");
         }
-        let speedup = baseline_s / seconds.max(1e-9);
-        println!(
-            "threads {threads:>2}: {seconds:>7.2}s for {n_queries} labelled queries \
-             ({speedup:.2}x vs 1 thread; +{} pool regions, +{} worker launches)",
-            after.regions - before.regions,
-            after.worker_launches - before.worker_launches,
-        );
-        rows.push((threads, seconds, speedup));
+        let speedup = baseline_s / total_s.max(1e-9);
+        println!("threads {threads}: total {total_s:.4}s ({speedup:.2}x vs 1 thread)\n");
+        rows_out.push((threads, total_s, speedup, class_cells));
     }
 
-    let json_rows: Vec<String> = rows
+    let json_rows: Vec<String> = rows_out
         .iter()
-        .map(|(threads, seconds, speedup)| {
-            format!("{{\"threads\":{threads},\"seconds\":{seconds:.4},\"speedup\":{speedup:.4}}}")
+        .map(|(threads, total_s, speedup, cells)| {
+            let classes_json: Vec<String> = cells
+                .iter()
+                .map(|(name, seconds, rps)| {
+                    format!(
+                        "{{\"class\":\"{name}\",\"seconds\":{seconds:.4},\
+                         \"rows_per_sec\":{rps:.0}}}"
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"threads\":{threads},\"seconds\":{total_s:.4},\"speedup\":{speedup:.4},\
+                 \"classes\":[{}]}}",
+                classes_json.join(",")
+            )
         })
         .collect();
     let json = format!(
-        "{{\"bench\":\"scaling_threads\",\"seed\":{},\"data_scale\":{},\"queries_per_db\":{},\
-         \"hardware_threads\":{},\"results\":[{}]}}\n",
+        "{{\"bench\":\"scaling_threads\",\"seed\":{},\"data_scale\":{},\
+         \"hardware_threads\":{},\"total_rows\":{},\
+         \"bytes_per_row\":{{\"encoded\":{:.2},\"plain\":{:.2}}},\
+         \"results\":[{}]}}\n",
         cfg.seed,
-        cfg.data_scale,
-        cfg.queries_per_db,
+        scale,
         hw,
+        total_rows,
+        bpr(encoded),
+        bpr(plain),
         json_rows.join(",")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
     match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 
-    if let Some(&(threads, _, speedup)) = rows.iter().find(|(t, _, _)| *t == 4) {
-        println!("speedup at {threads} threads: {speedup:.2}x (bar: 2.5x)");
+    assert!(bpr(encoded) < bpr(plain), "encoded columns must be measurably smaller than plain");
+    if let Some((_, _, speedup, _)) = rows_out.iter().find(|(t, ..)| *t == 4) {
+        if hw >= 4 {
+            println!("speedup at 4 threads: {speedup:.2}x (bar: 1.5x)");
+            assert!(*speedup > 1.5, "expected >1.5x at 4 threads, got {speedup:.2}x");
+        } else {
+            println!(
+                "speedup at 4 threads: {speedup:.2}x — bar waived, machine reports \
+                 {hw} hardware thread(s); bit-identity asserted instead"
+            );
+        }
     }
 }

@@ -25,12 +25,13 @@
 //! | `GRACEFUL_VERIFY`         | bytecode verification of every compiled UDF: `strict` or `off` (bench-only) | `strict` |
 //! | `GRACEFUL_PLAN_VERIFY`    | static plan verification before lowering: `strict` or `off` (bench-only) | `strict` |
 //!
-//! `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`, `GRACEFUL_THREADS`,
-//! `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`, `GRACEFUL_GNN_EXEC`,
-//! `GRACEFUL_PROFILE`, `GRACEFUL_TRACE`, `GRACEFUL_FLIGHT`,
-//! `GRACEFUL_VERIFY` and `GRACEFUL_PLAN_VERIFY` are validated
-//! strictly: an unknown
-//! backend name, a non-positive/unparsable thread, batch or morsel count, an
+//! `GRACEFUL_SCALE`, `GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`,
+//! `GRACEFUL_THREADS`, `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`,
+//! `GRACEFUL_GNN_EXEC`, `GRACEFUL_PROFILE`, `GRACEFUL_TRACE`,
+//! `GRACEFUL_FLIGHT`, `GRACEFUL_VERIFY` and `GRACEFUL_PLAN_VERIFY` are
+//! validated strictly: an unknown
+//! backend name, a non-positive/unparsable thread, batch or morsel count, a
+//! non-finite or non-positive data scale, an
 //! unrecognized boolean or an empty trace/flight path is
 //! a hard error (listing the valid options), not a silent fallback — a typo
 //! in an experiment environment must not silently re-run the wrong
@@ -387,6 +388,36 @@ pub fn try_flight_from_env() -> Result<Option<String>, String> {
     }
 }
 
+/// Parse a `GRACEFUL_SCALE` value: a finite float > 0 multiplying every
+/// dataset's base-table row counts. NaN, infinities, non-positive values
+/// and garbage are hard errors — a typo'd scale must not silently re-run
+/// the experiment at 1× (or, worse, at `max(0.01)` of garbage).
+pub fn parse_scale(value: &str) -> Result<f64, String> {
+    match value.trim().parse::<f64>() {
+        Ok(s) if s.is_finite() && s > 0.0 => Ok(s),
+        _ => Err(format!(
+            "invalid GRACEFUL_SCALE `{}`: expected a finite float > 0 \
+             (base-row multiplier; unset means 1.0)",
+            value.trim()
+        )),
+    }
+}
+
+/// Resolve the data scale from `GRACEFUL_SCALE` (default `1.0`); an invalid
+/// value is an error.
+pub fn try_scale_from_env() -> Result<f64, String> {
+    match std::env::var("GRACEFUL_SCALE") {
+        Ok(v) => parse_scale(&v),
+        Err(_) => Ok(1.0),
+    }
+}
+
+/// [`try_scale_from_env`], panicking on invalid values — a misconfigured
+/// experiment must fail loudly at startup.
+pub fn scale_from_env() -> f64 {
+    try_scale_from_env().unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Raw `GRACEFUL_GNN_EXEC` value (unset → `None`). This crate cannot depend
 /// on `graceful-nn`, so the value is parsed (and strictly validated) by
 /// `graceful_nn::GnnExecMode::parse` at the train-options layer — this
@@ -431,17 +462,26 @@ fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
 
 impl ScaleConfig {
     /// Resolve the configuration from `GRACEFUL_*` environment variables,
-    /// falling back to the defaults above.
+    /// falling back to the defaults above. `GRACEFUL_SCALE` is validated
+    /// strictly ([`parse_scale`]) and panics on invalid values, like every
+    /// other execution knob; use [`ScaleConfig::try_from_env`] for a typed
+    /// error instead.
     pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ScaleConfig::from_env`] with the strict `GRACEFUL_SCALE` validation
+    /// surfaced as an error.
+    pub fn try_from_env() -> Result<Self, String> {
         let d = ScaleConfig::default();
-        ScaleConfig {
-            data_scale: env_parse("GRACEFUL_SCALE").unwrap_or(d.data_scale).max(0.01),
+        Ok(ScaleConfig {
+            data_scale: try_scale_from_env()?,
             queries_per_db: env_parse("GRACEFUL_QUERIES_PER_DB").unwrap_or(d.queries_per_db).max(4),
             folds: env_parse::<usize>("GRACEFUL_FOLDS").unwrap_or(d.folds).clamp(1, 20),
             epochs: env_parse("GRACEFUL_EPOCHS").unwrap_or(d.epochs).max(1),
             hidden: env_parse("GRACEFUL_HIDDEN").unwrap_or(d.hidden).clamp(4, 512),
             seed: env_parse("GRACEFUL_SEED").unwrap_or(d.seed),
-        }
+        })
     }
 
     /// Scale a base row count by `data_scale`, keeping at least 16 rows.
@@ -498,6 +538,16 @@ mod tests {
             assert!(parse_udf_batch(bad).is_err(), "batch accepted {bad:?}");
         }
         assert!(parse_udf_batch("0").unwrap_err().contains("GRACEFUL_UDF_BATCH"));
+    }
+
+    #[test]
+    fn scale_knob_rejects_nonpositive_nan_and_garbage() {
+        assert_eq!(parse_scale("100"), Ok(100.0));
+        assert_eq!(parse_scale(" 0.25 "), Ok(0.25));
+        for bad in ["0", "-1", "", "NaN", "inf", "-inf", "big", "1e999"] {
+            let err = parse_scale(bad).unwrap_err();
+            assert!(err.contains("GRACEFUL_SCALE"), "error names the knob: {err}");
+        }
     }
 
     #[test]

@@ -11,13 +11,17 @@
 //!
 //! # Parallelism
 //!
-//! Filter and the UDF operators run on the morsel-driven pool of
+//! Every data-plane operator runs on the morsel-driven pool of
 //! `graceful-runtime`: rows are split into `morsel_rows`-row morsels
 //! (`GRACEFUL_MORSEL`), workers pull morsels from a shared queue, and
-//! per-morsel results — kept rows, projected values, accounted work — merge
-//! in morsel-index order. Work totals are grouped *per morsel* regardless of
-//! the thread count, so every `QueryRun` field is **bit-identical for any
-//! `GRACEFUL_THREADS` value** (enforced by `tests/parallel_determinism.rs`).
+//! per-morsel results — scanned row ids, kept rows, projected values, join
+//! output chunks, aggregate partials, accounted work — merge in
+//! morsel-index order. Hash joins build and probe the radix-partitioned
+//! index of `crate::join`; filters over identity scans skip whole morsels
+//! via the zone maps of `crate::prune`. Work totals are grouped *per
+//! morsel* regardless of the thread count, so every `QueryRun` field is
+//! **bit-identical for any `GRACEFUL_THREADS` value** (enforced by
+//! `tests/parallel_determinism.rs`).
 //! Each worker owns its UDF evaluation state through the [`crate::udf_eval`]
 //! layer: one tree-walking interpreter, or one batch VM whose register file
 //! is preallocated once and reused across all morsels the worker pulls.
@@ -33,7 +37,6 @@ use graceful_plan::{AggFunc, ColRef, Plan, PlanOpKind, PredFold, RewriteSet};
 use graceful_runtime::Pool;
 use graceful_storage::{Database, Table, Value};
 use graceful_udf::CostWeights;
-use std::collections::HashMap;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -121,6 +124,18 @@ pub struct ExecConfig {
     /// differential suite can prove exactly that. Programmatic only (no
     /// environment knob); defaults to on.
     pub rewrites: bool,
+    /// Skip whole filter morsels whose storage zone maps prove no row can
+    /// match (see `crate::prune`). Like `rewrites`, pruning is an
+    /// execution shortcut proven to leave every contracted `QueryRun` field
+    /// bit-identical — the switch exists so the differential suite can prove
+    /// exactly that. Programmatic only (no environment knob); defaults to
+    /// on.
+    pub pruning: bool,
+    /// Base-row multiplier for generated databases (`GRACEFUL_SCALE`).
+    /// Execution itself never reads it — it rides on the session config so
+    /// benches and experiment drivers size their `datagen::generate` calls
+    /// from the same validated knob surface as every other setting.
+    pub data_scale: f64,
 }
 
 impl ExecConfig {
@@ -140,14 +155,16 @@ impl ExecConfig {
             profile: false,
             plan_verify: PlanVerifyMode::default(),
             rewrites: true,
+            pruning: true,
+            data_scale: 1.0,
         }
     }
 
     /// [`ExecConfig::base`] with the documented `GRACEFUL_*` environment
     /// defaults applied (`GRACEFUL_UDF_BACKEND`, `GRACEFUL_UDF_BATCH`,
     /// `GRACEFUL_THREADS`, `GRACEFUL_MORSEL`, `GRACEFUL_EXEC`,
-    /// `GRACEFUL_PROFILE`, `GRACEFUL_PLAN_VERIFY`). Invalid values are a typed
-    /// [`GracefulError::Config`], not a panic.
+    /// `GRACEFUL_PROFILE`, `GRACEFUL_PLAN_VERIFY`, `GRACEFUL_SCALE`).
+    /// Invalid values are a typed [`GracefulError::Config`], not a panic.
     ///
     /// `GRACEFUL_TRACE` and `GRACEFUL_FLIGHT` are also resolved here: a
     /// valid path arms the global span-trace collector / query flight
@@ -170,6 +187,7 @@ impl ExecConfig {
             mode: ExecMode::try_from_env().map_err(cfg)?,
             profile: config::try_profile_from_env().map_err(cfg)?,
             plan_verify: PlanVerifyMode::try_from_env().map_err(cfg)?,
+            data_scale: config::try_scale_from_env().map_err(cfg)?,
             ..ExecConfig::base()
         })
     }
@@ -193,6 +211,9 @@ impl ExecConfig {
         }
         if !self.jitter.is_finite() || !(0.0..=1.0).contains(&self.jitter) {
             return bad(format!("jitter must be a finite fraction in [0, 1], got {}", self.jitter));
+        }
+        if !self.data_scale.is_finite() || self.data_scale <= 0.0 {
+            return bad(format!("data_scale must be a finite float > 0, got {}", self.data_scale));
         }
         Ok(self)
     }
@@ -246,6 +267,13 @@ struct Inter {
     rows: Vec<u32>,
     /// UDF-projected output column, if a UdfProject ran.
     computed: Option<Vec<Value>>,
+    /// True while `rows` is still the scan's identity fill (`rows[r] == r`
+    /// over one base table): set by Scan, preserved by row-preserving
+    /// operators (identity filters, UDF projections), cleared by anything
+    /// that selects or recombines rows. Zone pruning is only sound on
+    /// identity row ids, where morsel `m` covers the contiguous base-table
+    /// range the zone maps summarize.
+    identity: bool,
 }
 
 impl Inter {
@@ -364,15 +392,24 @@ impl<'a> Executor<'a> {
                     let t = self.db.table(table)?;
                     let n = t.num_rows();
                     op_work[idx] += n as f64 * self.config.weights.scan_row;
-                    // The scan's row-id materialization is an identity fill —
-                    // memory-bound, nothing to compute — so it stays
-                    // sequential; morsel parallelism starts at the first
-                    // operator that consumes these rows (filter/UDF below).
-                    Inter {
-                        tables: vec![table.clone()],
-                        rows: (0..n as u32).collect(),
-                        computed: None,
-                    }
+                    // Morsel-parallel identity fill: each morsel writes its
+                    // own contiguous row-id range and the per-morsel chunks
+                    // concatenate in morsel-index order, reproducing the
+                    // sequential 0..n fill exactly.
+                    let morsel = self.config.morsel_rows.max(1);
+                    let rows = self.pool().ordered_reduce(
+                        Pool::morsel_count(n, morsel),
+                        || (),
+                        |_, m| {
+                            Pool::morsel_range(m, n, morsel).map(|r| r as u32).collect::<Vec<_>>()
+                        },
+                        Vec::with_capacity(n),
+                        |mut acc: Vec<u32>, chunk| {
+                            acc.extend_from_slice(&chunk);
+                            acc
+                        },
+                    );
+                    Inter { tables: vec![table.clone()], rows, computed: None, identity: true }
                 }
                 PlanOpKind::Filter { preds } => {
                     let child = take_child(&mut results, op.children[0], idx)?;
@@ -407,7 +444,12 @@ impl<'a> Executor<'a> {
                     let n = child.n_rows();
                     op_work[idx] += n as f64 * self.config.weights.agg_row;
                     agg_value = self.exec_agg(*func, column.as_ref(), &child)?;
-                    Inter { tables: child.tables, rows: Vec::new(), computed: None }
+                    Inter {
+                        tables: child.tables,
+                        rows: Vec::new(),
+                        computed: None,
+                        identity: false,
+                    }
                 }
             };
             out_rows[idx] =
@@ -493,7 +535,12 @@ impl<'a> Executor<'a> {
         *work += n as f64 * preds.len() as f64 * self.config.weights.filter_pred;
         // A provably-false predicate empties the output without evaluation.
         if folds.contains(&PredFold::AlwaysFalse) {
-            return Ok(Inter { tables: child.tables, rows: Vec::new(), computed: None });
+            return Ok(Inter {
+                tables: child.tables,
+                rows: Vec::new(),
+                computed: None,
+                identity: false,
+            });
         }
         // Resolve predicate table positions once, skipping provably-true
         // predicates (statistics guarantee every row passes them).
@@ -509,8 +556,20 @@ impl<'a> Executor<'a> {
         }
         // Everything folded to true: the filter is the identity.
         if resolved.is_empty() {
-            return Ok(Inter { tables: child.tables, rows: child.rows, computed: None });
+            return Ok(Inter {
+                tables: child.tables,
+                rows: child.rows,
+                computed: None,
+                identity: child.identity,
+            });
         }
+        // Over identity row ids, morsel `m` covers the contiguous base-table
+        // range the storage zone maps summarize, so a conjunct that provably
+        // fails on every covering zone empties the morsel without touching a
+        // row. The filter's work was already charged closed-form above, so
+        // pruning shortcuts execution without moving a single contracted bit
+        // (the differential suite proves it against `pruning: false`).
+        let prune_scan = self.config.pruning && child.identity;
         // Evaluate predicates morsel-parallel; concatenating per-morsel
         // keep-lists in morsel order reproduces the sequential row order.
         let morsel = self.config.morsel_rows.max(1);
@@ -518,8 +577,17 @@ impl<'a> Executor<'a> {
             Pool::morsel_count(n, morsel),
             || (),
             |_, m| {
+                let range = Pool::morsel_range(m, n, morsel);
+                if prune_scan
+                    && resolved
+                        .iter()
+                        .any(|(p, _, t)| crate::prune::pred_prunes_range(t, p, range.clone()))
+                {
+                    crate::prune::pruned_morsels_counter().incr();
+                    return Vec::new();
+                }
                 let mut kept = Vec::new();
-                for r in Pool::morsel_range(m, n, morsel) {
+                for r in range {
                     let keep = resolved
                         .iter()
                         .all(|(p, pos, t)| p.matches(t, child.row_id(r, *pos) as usize));
@@ -535,7 +603,7 @@ impl<'a> Executor<'a> {
                 acc
             },
         );
-        Ok(Inter { tables: child.tables, rows, computed: None })
+        Ok(Inter { tables: child.tables, rows, computed: None, identity: false })
     }
 
     fn exec_join(
@@ -577,39 +645,68 @@ impl<'a> Executor<'a> {
         } else {
             ((0..lstride).collect(), (0..rstride).collect())
         };
-        // Build on the right side (the newly joined table).
-        let mut build: HashMap<i64, Vec<u32>> = HashMap::with_capacity(rn);
-        for r in 0..rn {
-            let rid = right.row_id(r, rpos) as usize;
-            if let Some(k) = rcol.get_i64(rid) {
-                build.entry(k).or_default().push(r as u32);
-            }
-        }
-        let mut rows: Vec<u32> = Vec::new();
-        let mut n_out = 0usize;
-        for l in 0..ln {
-            let lid = left.row_id(l, lpos) as usize;
-            let Some(k) = lcol.get_i64(lid) else { continue };
-            if let Some(matches) = build.get(&k) {
-                for &r in matches {
-                    let lrow = &left.rows[l * lstride..(l + 1) * lstride];
-                    let rrow = &right.rows[r as usize * rstride..(r as usize + 1) * rstride];
-                    rows.extend(keep_l.iter().map(|&i| lrow[i]));
-                    rows.extend(keep_r.iter().map(|&i| rrow[i]));
-                    n_out += 1;
-                    if n_out > self.config.max_intermediate_rows {
-                        return Err(GracefulError::InvalidPlan(
-                            "join output exceeds intermediate cap".into(),
-                        ));
+        // Build on the right side (the newly joined table): a radix-
+        // partitioned index whose per-key match lists are exactly the
+        // row-ascending lists the old sequential HashMap build produced
+        // (see `crate::join`), built morsel-parallel.
+        let morsel = self.config.morsel_rows.max(1);
+        let pool = self.pool();
+        let build = crate::join::PartitionedIndex::build(&pool, rn, morsel, |r| {
+            rcol.get_i64(right.row_id(r, rpos) as usize)
+        });
+        // Probe morsel-parallel over the left side. Each morsel emits its
+        // own output chunk; merging chunks in morsel-index order reproduces
+        // the sequential probe's output row order exactly. The intermediate
+        // cap is enforced per morsel (bounding memory mid-probe) and again
+        // cumulatively on merge — a query errors iff its total output
+        // exceeds the cap, the same outcome the sequential row-by-row check
+        // produced.
+        let cap = self.config.max_intermediate_rows;
+        let parts = pool.map_init(
+            Pool::morsel_count(ln, morsel),
+            || (),
+            |_, m| -> Result<(Vec<u32>, usize)> {
+                let mut chunk: Vec<u32> = Vec::new();
+                let mut emitted = 0usize;
+                for l in Pool::morsel_range(m, ln, morsel) {
+                    let lid = left.row_id(l, lpos) as usize;
+                    let Some(k) = lcol.get_i64(lid) else { continue };
+                    if let Some(matches) = build.get(k) {
+                        for &r in matches {
+                            let lrow = &left.rows[l * lstride..(l + 1) * lstride];
+                            let rrow =
+                                &right.rows[r as usize * rstride..(r as usize + 1) * rstride];
+                            chunk.extend(keep_l.iter().map(|&i| lrow[i]));
+                            chunk.extend(keep_r.iter().map(|&i| rrow[i]));
+                            emitted += 1;
+                            if emitted > cap {
+                                return Err(GracefulError::InvalidPlan(
+                                    "join output exceeds intermediate cap".into(),
+                                ));
+                            }
+                        }
                     }
                 }
+                Ok((chunk, emitted))
+            },
+        );
+        let mut rows: Vec<u32> = Vec::new();
+        let mut n_out = 0usize;
+        for part in parts {
+            let (chunk, emitted) = part?;
+            n_out += emitted;
+            if n_out > cap {
+                return Err(GracefulError::InvalidPlan(
+                    "join output exceeds intermediate cap".into(),
+                ));
             }
+            rows.extend_from_slice(&chunk);
         }
         *work += n_out as f64 * w.join_out_row;
         let mut tables: Vec<String> = keep_l.iter().map(|&i| left.tables[i].clone()).collect();
         tables.extend(keep_r.iter().map(|&i| right.tables[i].clone()));
         debug_assert_eq!(rows.len() % tables.len(), 0);
-        Ok(Inter { tables, rows, computed: None })
+        Ok(Inter { tables, rows, computed: None, identity: false })
     }
 
     fn udf_args(
@@ -702,7 +799,7 @@ impl<'a> Executor<'a> {
                 }
             },
         )?;
-        Ok(Inter { tables: child.tables, rows, computed: None })
+        Ok(Inter { tables: child.tables, rows, computed: None, identity: false })
     }
 
     fn exec_udf_project(
@@ -722,7 +819,12 @@ impl<'a> Executor<'a> {
             self.config.weights.project_row,
             |_, value| computed.push(value),
         )?;
-        Ok(Inter { tables: child.tables, rows: child.rows, computed: Some(computed) })
+        Ok(Inter {
+            tables: child.tables,
+            rows: child.rows,
+            computed: Some(computed),
+            identity: child.identity,
+        })
     }
 
     fn exec_agg(&self, func: AggFunc, column: Option<&ColRef>, child: &Inter) -> Result<f64> {
@@ -730,16 +832,38 @@ impl<'a> Executor<'a> {
         if func == AggFunc::CountStar {
             return Ok(n as f64);
         }
-        let mut state = AggState::new(func);
-        match column {
+        // Fold each morsel into its own partial AggState, then merge
+        // partials in morsel-index order (see `AggState::merge`). The float
+        // grouping is fixed by the morsel size alone, so the result is
+        // bit-identical at any thread count — and matches the pipeline
+        // executor, which rebatches its agg input to the same morsel
+        // boundaries.
+        let morsel = self.config.morsel_rows.max(1);
+        let fold = |observe_of: &(dyn Fn(usize) -> Option<f64> + Sync)| {
+            self.pool().ordered_reduce(
+                Pool::morsel_count(n, morsel),
+                || (),
+                |_, m| {
+                    let mut part = AggState::new(func);
+                    for r in Pool::morsel_range(m, n, morsel) {
+                        part.observe(observe_of(r));
+                    }
+                    part
+                },
+                AggState::new(func),
+                |mut acc: AggState, part| {
+                    acc.merge(&part);
+                    acc
+                },
+            )
+        };
+        let state = match column {
             Some(c) => {
                 let pos = child.table_pos(&c.table).ok_or_else(|| {
                     GracefulError::InvalidPlan(format!("agg on unbound table {}", c.table))
                 })?;
                 let col = self.table(&c.table)?.column(&c.column)?;
-                for r in 0..n {
-                    state.observe(col.get_f64(child.row_id(r, pos) as usize));
-                }
+                fold(&|r| col.get_f64(child.row_id(r, pos) as usize))
             }
             None => {
                 // Aggregate the UDF-projected column.
@@ -748,19 +872,21 @@ impl<'a> Executor<'a> {
                         "agg over UDF output requires a UdfProject below".into(),
                     )
                 })?;
-                for v in computed {
-                    state.observe(v.as_f64());
-                }
+                fold(&|r| computed[r].as_f64())
             }
-        }
+        };
         Ok(state.finish())
     }
 }
 
 /// Streaming aggregate accumulator shared by both executor modes, so their
 /// float fold order is identical by construction. Values are observed **in
-/// row order**; `Sum`/`Avg` left-fold `sum += v`, `Min`/`Max` left-fold
-/// through `f64::min`/`f64::max` (NaN inputs are absorbed per IEEE min/max).
+/// row order** within a morsel-sized partial; `Sum`/`Avg` left-fold
+/// `sum += v`, `Min`/`Max` left-fold through `f64::min`/`f64::max` (NaN
+/// inputs are absorbed per IEEE min/max). Partials combine via
+/// [`AggState::merge`] in morsel-index order, so the full fold shape is a
+/// function of the morsel size alone — identical for any thread count and
+/// in both executors.
 ///
 /// Empty-input semantics are pinned: `COUNT(*)` of zero rows is 0, and
 /// `SUM`/`AVG`/`MIN`/`MAX` over zero observed values are 0.0 (the engine's
@@ -806,6 +932,32 @@ impl AggState {
                 self.count += 1;
             }
         }
+    }
+
+    /// Fold another accumulator's state into this one. Partials are built
+    /// per morsel and merged **in morsel-index order**, so the float chain
+    /// is `((m0 ⊕ m1) ⊕ m2) …` — fixed by the morsel boundaries, never by
+    /// thread count. `Sum`/`Avg` merge by `sum += o.sum`; `Min`/`Max`
+    /// replay the same `f64::min`/`f64::max` left-fold the observes use
+    /// (IEEE min/max ignore NaN, which keeps the fold associative across
+    /// morsel splits).
+    pub(crate) fn merge(&mut self, o: &AggState) {
+        debug_assert_eq!(self.func, o.func);
+        self.rows += o.rows;
+        if o.count == 0 {
+            return;
+        }
+        match self.func {
+            AggFunc::CountStar => {}
+            AggFunc::Sum | AggFunc::Avg => self.sum += o.sum,
+            AggFunc::Min => {
+                self.extreme = if self.count == 0 { o.extreme } else { self.extreme.min(o.extreme) }
+            }
+            AggFunc::Max => {
+                self.extreme = if self.count == 0 { o.extreme } else { self.extreme.max(o.extreme) }
+            }
+        }
+        self.count += o.count;
     }
 
     pub(crate) fn finish(&self) -> f64 {

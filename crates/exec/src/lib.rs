@@ -33,20 +33,24 @@
 //!   registry histograms, the `graceful-obs` flight recorder, and the
 //!   `explain analyze` record built by [`analyze::flight_record`]).
 //!
-//! Filter and the UDF operators run morsel-parallel on the
-//! `graceful-runtime` pool; scans (an identity row-id fill), hash-join
-//! build/probe and aggregates stay sequential. Work accounting is grouped
-//! per morsel and merged in morsel-index order, so results and accounted
-//! runtimes are **bit-identical for any thread count, UDF backend, batch
-//! size and executor mode** — the paper's effects (UDF cost ∝ rows × code
-//! path, join cost ∝ input sizes, pull-up crossovers) and the experiment
-//! labels never depend on the machine's parallelism or the engine's
-//! execution strategy.
+//! Every data-plane operator runs morsel-parallel on the
+//! `graceful-runtime` pool: scans fill row ids per morsel, filters prune
+//! whole morsels against storage zone maps (`prune`) before
+//! evaluating predicates, hash joins build and probe a radix-partitioned
+//! index (`join`), and aggregates fold per-morsel partial states.
+//! Work accounting is grouped per morsel and merged in morsel-index order,
+//! so results and accounted runtimes are **bit-identical for any thread
+//! count, UDF backend, batch size and executor mode** — the paper's effects
+//! (UDF cost ∝ rows × code path, join cost ∝ input sizes, pull-up
+//! crossovers) and the experiment labels never depend on the machine's
+//! parallelism or the engine's execution strategy.
 
 pub mod analyze;
 pub mod engine;
+mod join;
 pub mod physical;
 pub mod profile;
+mod prune;
 pub mod session;
 pub mod udf_eval;
 

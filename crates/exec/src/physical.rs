@@ -72,7 +72,6 @@ use graceful_storage::{Column, Database, Table, Value};
 use graceful_udf::ast::CmpOp;
 use graceful_udf::GeneratedUdf;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -682,6 +681,13 @@ pub fn verify_physical(phys: &PhysicalPlan<'_>, plan: &Plan) -> Result<()> {
 pub struct Batch {
     pub rows: Vec<u32>,
     pub computed: Option<Vec<Value>>,
+    /// True while this batch still carries the scan's identity row ids
+    /// (stride 1, `rows` a contiguous ascending rid range, batches emitted
+    /// in stream order): set by the scan source, preserved by
+    /// row-preserving operators, cleared by anything that selects or
+    /// recombines rows. Filters use it to zone-prune whole morsels (see
+    /// `crate::prune`).
+    pub identity: bool,
 }
 
 /// Full morsels a parallel operator queues *per worker* before flushing
@@ -745,11 +751,12 @@ pub trait Operator {
     }
 }
 
-/// A materialized hash-join build side: the key → build-row-index map plus
-/// the build rows' id tuples (indexed by insertion order, which equals the
-/// build input's row order).
+/// A materialized hash-join build side: the radix-partitioned key →
+/// build-row-index index (see `crate::join`) plus the build rows' id
+/// tuples (indexed by insertion order, which equals the build input's row
+/// order).
 pub struct BuildSide {
-    map: HashMap<i64, Vec<u32>>,
+    index: crate::join::PartitionedIndex,
     rows: Vec<u32>,
     stride: usize,
     n_rows: usize,
@@ -765,16 +772,21 @@ struct Rebatcher {
     rows: Vec<u32>,
     stride: usize,
     peak: usize,
+    /// True while every appended batch was an identity batch — the buffered
+    /// rows are then one contiguous ascending rid run (batches of an
+    /// identity stream arrive in stream order).
+    identity: bool,
 }
 
 impl Rebatcher {
     fn new(stride: usize) -> Self {
-        Rebatcher { rows: Vec::new(), stride, peak: 0 }
+        Rebatcher { rows: Vec::new(), stride, peak: 0, identity: true }
     }
 
     fn append(&mut self, batch: &Batch) {
         self.rows.extend_from_slice(&batch.rows);
         self.peak = self.peak.max(self.rows.len() / self.stride);
+        self.identity &= batch.identity;
     }
 
     fn buffered_rows(&self) -> usize {
@@ -815,6 +827,9 @@ struct FilterExec<'a> {
     n_preds: usize,
     /// A predicate folded to `AlwaysFalse`: emit nothing, evaluate nothing.
     always_false: bool,
+    /// Zone-map pruning enabled ([`ExecConfig::pruning`]); only effective
+    /// over an identity input stream.
+    pruning: bool,
     buf: Rebatcher,
     stride: usize,
     rows_in: usize,
@@ -833,12 +848,29 @@ impl FilterExec<'_> {
         let stride = self.stride;
         let preds = &self.preds;
         let pending = &self.buf.rows[..take * stride];
+        // Over an identity stream the buffered rows are one contiguous
+        // ascending rid run, so each morsel covers the base-table range its
+        // first/last ids delimit — exactly what the zone maps summarize.
+        // Pruning a morsel emits the same zero rows evaluation would, and
+        // work is charged closed-form at finish: nothing contracted moves.
+        let prune_scan = self.pruning && self.buf.identity && stride == 1;
         let parts: Vec<Vec<u32>> = ctx.pool.map_init(
             Pool::morsel_count(take, ctx.morsel),
             || (),
             |_, m| {
+                let range = Pool::morsel_range(m, take, ctx.morsel);
+                if prune_scan {
+                    let rids = pending[range.start] as usize..pending[range.end - 1] as usize + 1;
+                    if preds
+                        .iter()
+                        .any(|(p, _, t)| crate::prune::pred_prunes_range(t, p, rids.clone()))
+                    {
+                        crate::prune::pruned_morsels_counter().incr();
+                        return Vec::new();
+                    }
+                }
                 let mut kept = Vec::new();
-                for r in Pool::morsel_range(m, take, ctx.morsel) {
+                for r in range {
                     let keep = preds
                         .iter()
                         .all(|(p, pos, t)| p.matches(t, pending[r * stride + pos] as usize));
@@ -855,7 +887,7 @@ impl FilterExec<'_> {
                 return Err(cap_error(self.rows_out));
             }
             if !kept.is_empty() {
-                emit(Batch { rows: kept, computed: None })?;
+                emit(Batch { rows: kept, computed: None, identity: false })?;
             }
         }
         self.buf.drain(take);
@@ -876,7 +908,8 @@ impl Operator for FilterExec<'_> {
             if self.rows_out > ctx.cap {
                 return Err(cap_error(self.rows_out));
             }
-            return emit(Batch { rows: batch.rows, computed: None });
+            let identity = batch.identity;
+            return emit(Batch { rows: batch.rows, computed: None, identity });
         }
         self.buf.append(&batch);
         self.flush(false, ctx, emit)
@@ -959,7 +992,7 @@ impl UdfExec<'_> {
                         return Err(cap_error(self.rows_out));
                     }
                     if !kept.is_empty() {
-                        emit(Batch { rows: kept, computed: None })?;
+                        emit(Batch { rows: kept, computed: None, identity: false })?;
                     }
                 }
                 None => {
@@ -968,7 +1001,10 @@ impl UdfExec<'_> {
                     if self.rows_out > ctx.cap {
                         return Err(cap_error(self.rows_out));
                     }
-                    emit(Batch { rows, computed: Some(values) })?;
+                    // A projection emits its input rows unchanged, in stream
+                    // order: identity survives.
+                    let identity = self.buf.identity;
+                    emit(Batch { rows, computed: Some(values), identity })?;
                 }
             }
         }
@@ -1006,32 +1042,42 @@ impl Operator for UdfExec<'_> {
 /// Hash-join build sink: materializes the pipeline's output as the probe's
 /// hash table, storing only the `keep` lanes of each input tuple (the key
 /// is read from the full input tuple, so even the key lane can be pruned
-/// from storage). Work is accounted by the probe (the join's logical
-/// operator).
+/// from storage). Keys are gathered while rows stream in; the partitioned
+/// index itself is built in parallel at `finish` (see
+/// [`crate::join::PartitionedIndex`]) with per-key match lists identical to
+/// a sequential insertion-order build. Work is accounted by the probe (the
+/// join's logical operator).
 struct BuildExec<'a> {
     key_col: &'a Column,
     pos: usize,
     stride: usize,
     keep: &'a [usize],
+    /// Kept lanes of every input tuple, insertion order.
+    rows: Vec<u32>,
+    /// Per input row, its join key (`None` = NULL, never matches).
+    keys: Vec<Option<i64>>,
     side: Option<BuildSide>,
 }
 
 impl Operator for BuildExec<'_> {
     fn push(&mut self, batch: Batch, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
-        let side = self.side.as_mut().expect("build side present until taken");
-        let stride = self.stride;
-        for tuple in batch.rows.chunks_exact(stride) {
-            let rid = tuple[self.pos] as usize;
-            if let Some(k) = self.key_col.get_i64(rid) {
-                side.map.entry(k).or_default().push(side.n_rows as u32);
-            }
-            side.rows.extend(self.keep.iter().map(|&i| tuple[i]));
-            side.n_rows += 1;
+        for tuple in batch.rows.chunks_exact(self.stride) {
+            self.keys.push(self.key_col.get_i64(tuple[self.pos] as usize));
+            self.rows.extend(self.keep.iter().map(|&i| tuple[i]));
         }
         Ok(())
     }
 
-    fn finish(&mut self, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+    fn finish(&mut self, ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        let keys = std::mem::take(&mut self.keys);
+        let index =
+            crate::join::PartitionedIndex::build(ctx.pool, keys.len(), ctx.morsel, |r| keys[r]);
+        self.side = Some(BuildSide {
+            index,
+            rows: std::mem::take(&mut self.rows),
+            stride: self.keep.len(),
+            n_rows: keys.len(),
+        });
         Ok(())
     }
 
@@ -1044,11 +1090,14 @@ impl Operator for BuildExec<'_> {
     }
 }
 
-/// Streaming hash-join probe: looks up each left row's key, emits matched
-/// `left[keep] ++ build` tuples (the build side was lane-pruned at build
-/// time). Accounts the whole join's work at finish with the materializing
-/// engine's exact expressions — lane pruning never changes row counts, so
-/// the charges are rewrite-invariant.
+/// Hash-join probe (morsel-parallel): looks up each left row's key in the
+/// partitioned build index, emits matched `left[keep] ++ build` tuples (the
+/// build side was lane-pruned at build time). Input rows rebatch to morsel
+/// boundaries; per-morsel output chunks merge in morsel-index order, which
+/// reproduces the sequential probe's output row order exactly. Accounts the
+/// whole join's work at finish with the materializing engine's exact
+/// expressions — lane pruning never changes row counts, so the charges are
+/// rewrite-invariant.
 struct ProbeExec<'a> {
     plan_idx: usize,
     key_col: &'a Column,
@@ -1056,6 +1105,7 @@ struct ProbeExec<'a> {
     stride: usize,
     keep: &'a [usize],
     build: usize,
+    buf: Rebatcher,
     rows_in: usize,
     rows_out: usize,
     batches: u64,
@@ -1065,46 +1115,78 @@ struct ProbeExec<'a> {
     out_w: f64,
 }
 
+impl ProbeExec<'_> {
+    fn flush(&mut self, all: bool, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        let take = self.buf.take_rows(all, ctx);
+        if take == 0 {
+            return Ok(());
+        }
+        let side = &ctx.builds[self.build];
+        let lstride = self.stride;
+        let keep = self.keep;
+        let pos = self.pos;
+        let key_col = self.key_col;
+        let cap = ctx.cap;
+        let pending = &self.buf.rows[..take * lstride];
+        // The intermediate cap is enforced per morsel (bounding memory
+        // mid-probe) and again cumulatively on merge — a query errors iff
+        // its total output exceeds the cap, the same outcome the sequential
+        // row-by-row check produced.
+        let parts = ctx.pool.map_init(
+            Pool::morsel_count(take, ctx.morsel),
+            || (),
+            |_, m| -> Result<(Vec<u32>, usize)> {
+                let mut chunk: Vec<u32> = Vec::new();
+                let mut emitted = 0usize;
+                for l in Pool::morsel_range(m, take, ctx.morsel) {
+                    let tuple = &pending[l * lstride..(l + 1) * lstride];
+                    let Some(k) = key_col.get_i64(tuple[pos] as usize) else { continue };
+                    if let Some(matches) = side.index.get(k) {
+                        for &r in matches {
+                            chunk.extend(keep.iter().map(|&i| tuple[i]));
+                            chunk.extend_from_slice(
+                                &side.rows
+                                    [r as usize * side.stride..(r as usize + 1) * side.stride],
+                            );
+                            emitted += 1;
+                            if emitted > cap {
+                                return Err(GracefulError::InvalidPlan(
+                                    "join output exceeds intermediate cap".into(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Ok((chunk, emitted))
+            },
+        );
+        for part in parts {
+            let (chunk, emitted) = part?;
+            self.rows_out += emitted;
+            if self.rows_out > cap {
+                return Err(GracefulError::InvalidPlan(
+                    "join output exceeds intermediate cap".into(),
+                ));
+            }
+            if !chunk.is_empty() {
+                emit(Batch { rows: chunk, computed: None, identity: false })?;
+            }
+        }
+        self.rows_in += take;
+        self.buf.drain(take);
+        Ok(())
+    }
+}
+
 impl Operator for ProbeExec<'_> {
     fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
         self.batches += 1;
-        let side = &ctx.builds[self.build];
-        let lstride = self.stride;
-        let out_stride = self.keep.len() + side.stride;
-        let mut rows: Vec<u32> = Vec::new();
-        for tuple in batch.rows.chunks_exact(lstride) {
-            self.rows_in += 1;
-            let lid = tuple[self.pos] as usize;
-            let Some(k) = self.key_col.get_i64(lid) else { continue };
-            if let Some(matches) = side.map.get(&k) {
-                for &r in matches {
-                    rows.extend(self.keep.iter().map(|&i| tuple[i]));
-                    rows.extend_from_slice(
-                        &side.rows[r as usize * side.stride..(r as usize + 1) * side.stride],
-                    );
-                    self.rows_out += 1;
-                    if self.rows_out > ctx.cap {
-                        return Err(GracefulError::InvalidPlan(
-                            "join output exceeds intermediate cap".into(),
-                        ));
-                    }
-                    // Bound output batches to one morsel so a high-fan-out
-                    // probe never materializes its whole burst; batch
-                    // boundaries carry no accounting meaning downstream
-                    // (rebatching is stream-cumulative).
-                    if rows.len() / out_stride >= ctx.morsel {
-                        emit(Batch { rows: std::mem::take(&mut rows), computed: None })?;
-                    }
-                }
-            }
-        }
-        if !rows.is_empty() {
-            emit(Batch { rows, computed: None })?;
-        }
-        Ok(())
+        self.buf.append(&batch);
+        self.flush(false, ctx, emit)
     }
 
-    fn finish(&mut self, ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+    fn finish(&mut self, ctx: &ExecCtx<'_>, emit: &mut Emit<'_>) -> Result<()> {
+        self.flush(true, ctx, emit)?;
         // The materializing engine's two charges, same expressions, same
         // order: (build + probe) first, then the output term.
         let rn = ctx.builds[self.build].n_rows;
@@ -1119,12 +1201,18 @@ impl Operator for ProbeExec<'_> {
             work: self.work,
             out_rows: Some(self.rows_out),
             batches: self.batches,
+            peak_resident: self.buf.peak,
             ..OpStats::default()
         }
     }
 }
 
-/// Aggregate sink: streams rows through the shared [`AggState`] fold.
+/// Aggregate sink (morsel-parallel): rebatches its input to morsel
+/// boundaries, folds each morsel into its own [`AggState`] partial on the
+/// pool, and merges partials in morsel-index order — the exact fold shape
+/// of the materializing engine's `exec_agg`, so both modes stay
+/// bit-identical at any thread count. `COUNT(*)` never touches a float and
+/// streams unbuffered.
 struct AggExec<'a> {
     plan_idx: usize,
     func: AggFunc,
@@ -1135,6 +1223,10 @@ struct AggExec<'a> {
     stride: usize,
     db: &'a Database,
     state: AggState,
+    buf: Rebatcher,
+    /// UDF-projected values travelling with the buffered rows (column-less
+    /// aggregates only), row-aligned with `buf`.
+    computed_buf: Vec<Value>,
     rows_in: usize,
     batches: u64,
     work: f64,
@@ -1149,10 +1241,58 @@ impl<'a> AggExec<'a> {
         }
         Ok((self.resolved.expect("just resolved"), pos))
     }
+
+    fn flush(&mut self, all: bool, ctx: &ExecCtx<'_>) -> Result<()> {
+        let take = self.buf.take_rows(all, ctx);
+        if take == 0 {
+            return Ok(());
+        }
+        let stride = self.stride;
+        let func = self.func;
+        // Flushes drain whole morsels mid-stream, so partial boundaries sit
+        // at the same input-stream offsets as `Pool::morsel_range` over the
+        // whole input — the materializing fold's exact grouping.
+        let partials: Vec<AggState> = if self.column.is_some() {
+            let (col, pos) = self.column()?;
+            let pending = &self.buf.rows[..take * stride];
+            ctx.pool.map_init(
+                Pool::morsel_count(take, ctx.morsel),
+                || (),
+                |_, m| {
+                    let mut part = AggState::new(func);
+                    for r in Pool::morsel_range(m, take, ctx.morsel) {
+                        part.observe(col.get_f64(pending[r * stride + pos] as usize));
+                    }
+                    part
+                },
+            )
+        } else {
+            let pending = &self.computed_buf[..take];
+            ctx.pool.map_init(
+                Pool::morsel_count(take, ctx.morsel),
+                || (),
+                |_, m| {
+                    let mut part = AggState::new(func);
+                    for r in Pool::morsel_range(m, take, ctx.morsel) {
+                        part.observe(pending[r].as_f64());
+                    }
+                    part
+                },
+            )
+        };
+        for part in &partials {
+            self.state.merge(part);
+        }
+        self.buf.drain(take);
+        if self.column.is_none() {
+            self.computed_buf.drain(..take);
+        }
+        Ok(())
+    }
 }
 
 impl Operator for AggExec<'_> {
-    fn push(&mut self, batch: Batch, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+    fn push(&mut self, batch: Batch, ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
         let n = batch.rows.len() / self.stride;
         self.rows_in += n;
         self.batches += 1;
@@ -1160,27 +1300,25 @@ impl Operator for AggExec<'_> {
             self.state.count_rows(n);
             return Ok(());
         }
-        if self.column.is_some() {
-            let (col, pos) = self.column()?;
-            for tuple in batch.rows.chunks_exact(self.stride) {
-                self.state.observe(col.get_f64(tuple[pos] as usize));
-            }
-        } else {
+        let mut batch = batch;
+        if self.column.is_none() {
             // Aggregate the UDF-projected column (presence is structural:
             // guaranteed by `expects_computed`, which lowering verified).
-            let computed = batch.computed.as_ref().ok_or_else(|| {
+            let computed = batch.computed.take().ok_or_else(|| {
                 GracefulError::InvalidPlan("agg over UDF output requires a UdfProject below".into())
             })?;
-            for v in computed {
-                self.state.observe(v.as_f64());
-            }
+            self.computed_buf.extend(computed);
         }
-        Ok(())
+        self.buf.append(&batch);
+        self.flush(false, ctx)
     }
 
-    fn finish(&mut self, _ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
-        if self.func != AggFunc::CountStar && self.column.is_some() {
-            self.column()?; // structural resolution even over empty inputs
+    fn finish(&mut self, ctx: &ExecCtx<'_>, _emit: &mut Emit<'_>) -> Result<()> {
+        if self.func != AggFunc::CountStar {
+            self.flush(true, ctx)?;
+            if self.column.is_some() {
+                self.column()?; // structural resolution even over empty inputs
+            }
         }
         self.work += self.rows_in as f64 * self.weight;
         Ok(())
@@ -1350,7 +1488,8 @@ pub fn execute(db: &Database, plan: &Plan, config: &ExecConfig, seed: u64) -> Re
                 p.enter(0);
             }
             let range = Pool::morsel_range(m, n, morsel);
-            let batch = Batch { rows: range.map(|r| r as u32).collect(), computed: None };
+            let batch =
+                Batch { rows: range.map(|r| r as u32).collect(), computed: None, identity: true };
             let fed = feed(&mut ops, &ctx, batch, prof.as_ref(), 1);
             if let Some(p) = &prof {
                 p.exit();
@@ -1487,6 +1626,7 @@ fn instantiate<'a>(
                 preds: resolved,
                 n_preds: preds.len(),
                 always_false,
+                pruning: config.pruning,
                 buf: Rebatcher::new(*stride),
                 stride: *stride,
                 rows_in: 0,
@@ -1527,12 +1667,9 @@ fn instantiate<'a>(
             pos: *pos,
             stride: *stride,
             keep,
-            side: Some(BuildSide {
-                map: HashMap::new(),
-                rows: Vec::new(),
-                stride: keep.len(),
-                n_rows: 0,
-            }),
+            rows: Vec::new(),
+            keys: Vec::new(),
+            side: None,
         }),
         PhysicalOpKind::HashJoinProbe { key, pos, stride, build, keep } => Box::new(ProbeExec {
             plan_idx: planned(op)?,
@@ -1541,6 +1678,7 @@ fn instantiate<'a>(
             stride: *stride,
             keep,
             build: *build,
+            buf: Rebatcher::new(*stride),
             rows_in: 0,
             rows_out: 0,
             batches: 0,
@@ -1557,6 +1695,8 @@ fn instantiate<'a>(
             stride: *stride,
             db,
             state: AggState::new(*func),
+            buf: Rebatcher::new(*stride),
+            computed_buf: Vec::new(),
             rows_in: 0,
             batches: 0,
             work: 0.0,

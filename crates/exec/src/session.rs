@@ -64,6 +64,8 @@ pub struct ExecOptions {
     profile: Option<bool>,
     plan_verify: Option<PlanVerifyMode>,
     rewrites: Option<bool>,
+    pruning: Option<bool>,
+    data_scale: Option<f64>,
 }
 
 impl ExecOptions {
@@ -153,6 +155,24 @@ impl ExecOptions {
         self
     }
 
+    /// Zone-map scan pruning (see `crate::prune`). On by default; turning
+    /// it off is bit-identical in every contracted `QueryRun` field (it
+    /// only skips provably-empty filter morsels) and exists for
+    /// differential testing.
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.pruning = Some(on);
+        self
+    }
+
+    /// Base-row multiplier for generated databases (`GRACEFUL_SCALE`).
+    /// Carried on the session so experiment drivers size their
+    /// `datagen::generate` calls from the validated knob surface; must be a
+    /// finite float > 0.
+    pub fn data_scale(mut self, scale: f64) -> Self {
+        self.data_scale = Some(scale);
+        self
+    }
+
     /// Apply the explicit options over `defaults`.
     fn over(self, defaults: ExecConfig) -> ExecConfig {
         ExecConfig {
@@ -170,6 +190,8 @@ impl ExecOptions {
             profile: self.profile.unwrap_or(defaults.profile),
             plan_verify: self.plan_verify.unwrap_or(defaults.plan_verify),
             rewrites: self.rewrites.unwrap_or(defaults.rewrites),
+            pruning: self.pruning.unwrap_or(defaults.pruning),
+            data_scale: self.data_scale.unwrap_or(defaults.data_scale),
         }
     }
 
@@ -314,6 +336,24 @@ mod tests {
             Err(GracefulError::Config(_))
         ));
         assert!(matches!(ExecOptions::new().jitter(2.0).build(), Err(GracefulError::Config(_))));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match ExecOptions::new().data_scale(bad).build() {
+                Err(GracefulError::Config(m)) => {
+                    assert!(m.contains("data_scale"), "message {m:?} names data_scale")
+                }
+                other => panic!("data_scale={bad} produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn data_plane_knobs_default_on_and_override() {
+        let s = Session::new();
+        assert!(s.config().pruning);
+        assert_eq!(s.config().data_scale, 1.0);
+        let s = ExecOptions::new().pruning(false).data_scale(50.0).build().unwrap();
+        assert!(!s.config().pruning);
+        assert_eq!(s.config().data_scale, 50.0);
     }
 
     #[test]

@@ -1,20 +1,109 @@
-//! Null-aware typed columns.
+//! Null-aware typed columns with optional compressed encodings.
 //!
 //! Columns store their data in dense typed vectors plus a separate null
 //! bitmap (a `Vec<bool>`; simplicity over bit-packing at this scale). The
 //! executor and the UDF interpreter access values through the cheap typed
 //! accessors (`get_f64`, `get_str`, ...) so the hot row-by-row UDF loop never
 //! allocates.
+//!
+//! # Encodings
+//!
+//! Two compressed representations live behind the same accessors:
+//!
+//! * **Dictionary** ([`ColumnData::DictInt`]/[`ColumnData::DictText`]) for
+//!   low-cardinality columns: per-row `u32` codes into a distinct-value
+//!   dictionary ordered by first occurrence, so a 3-million-row
+//!   `mktsegment` column stores 4 bytes per row instead of a `String`.
+//! * **Run-length** ([`ColumnData::RleInt`]) for sorted/clustered integer
+//!   runs: `(start_row, value)` pairs with binary-searched random access.
+//!
+//! [`ColumnData::encoded`] picks the smallest representation (with a safety
+//! margin — it never encodes unless the footprint drops below 75% of plain)
+//! and [`ColumnData::to_plain`] decodes back; the round trip is bit-exact,
+//! including values stored under NULL positions. Encoding is a *physical*
+//! choice: `value()`, `get_f64`, `get_i64`, `get_str` and `DataType` behave
+//! identically on every representation, so predicates, join keys and the
+//! tree-walking/VM UDF backends never notice. The columnar SIMD gather path
+//! decodes straight into its unboxed morsel lanes
+//! (`graceful_udf::TypedCol::fill_from_column`) without `Value` boxing.
+//!
+//! # Zone maps
+//!
+//! [`Column::compute_zones`] attaches per-block min/max summaries
+//! ([`Zone`], [`ZONE_ROWS`] rows per block) that the executor uses to skip
+//! whole morsels whose rows provably cannot satisfy a predicate. Zone
+//! min/max are widened to `f64` exactly as `Value::compare` widens both
+//! sides, and are computed over *matchable* rows only (non-NULL, non-NaN —
+//! rows that can never satisfy a comparison are irrelevant to pruning), so
+//! a prune decision is conservative by construction. Mutation invalidates
+//! derived state: [`Column::replace_nulls`] recomputes zones itself and
+//! `Database::update_table` recomputes them after arbitrary edits.
 
 use crate::types::{DataType, Value};
 
-/// Typed backing storage of a column.
+/// Rows per zone-map block. A storage property, deliberately independent of
+/// the executor's configurable morsel size: a morsel is prunable when every
+/// zone overlapping it is.
+pub const ZONE_ROWS: usize = 1024;
+
+/// Largest dictionary [`ColumnData::encoded`] will build; columns with more
+/// distinct values stay plain (or RLE).
+pub const MAX_DICT: usize = 1 << 16;
+
+/// Per-block min/max summary used for scan pruning.
+///
+/// `min`/`max` cover the block's *matchable* rows — non-NULL and non-NaN —
+/// widened to `f64` with the same conversion `Value::compare` applies to
+/// both comparison sides (`i64 as f64` is monotone, so the min/max of the
+/// widened values are the widened min/max). NULL and NaN rows never satisfy
+/// any predicate, so they cannot make pruning unsound; they only matter
+/// through `any_matchable`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zone {
+    /// Minimum over matchable rows (meaningless when `!any_matchable`).
+    pub min: f64,
+    /// Maximum over matchable rows (meaningless when `!any_matchable`).
+    pub max: f64,
+    /// Whether any row in the block is NULL.
+    pub null_any: bool,
+    /// Whether the block holds at least one non-NULL, non-NaN row. When
+    /// `false` the whole block is unmatchable for every predicate.
+    pub any_matchable: bool,
+}
+
+/// Typed backing storage of a column: a plain dense vector per type, plus
+/// the compressed representations (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     Text(Vec<String>),
     Bool(Vec<bool>),
+    /// Dictionary-encoded integers: row `r` holds `dict[codes[r]]`.
+    DictInt {
+        codes: Vec<u32>,
+        dict: Vec<i64>,
+    },
+    /// Dictionary-encoded strings: row `r` holds `dict[codes[r]]`.
+    DictText {
+        codes: Vec<u32>,
+        dict: Vec<String>,
+    },
+    /// Run-length-encoded integers: run `i` covers rows
+    /// `starts[i]..starts[i+1]` (the last run ends at `len`) and every row
+    /// in it holds `values[i]`. `starts` is strictly increasing and begins
+    /// at 0; random access is a binary search.
+    RleInt {
+        starts: Vec<u32>,
+        values: Vec<i64>,
+        len: usize,
+    },
+}
+
+/// Index of the RLE run containing `row`.
+#[inline]
+fn rle_run(starts: &[u32], row: usize) -> usize {
+    starts.partition_point(|&s| s as usize <= row) - 1
 }
 
 impl ColumnData {
@@ -24,6 +113,9 @@ impl ColumnData {
             ColumnData::Float(v) => v.len(),
             ColumnData::Text(v) => v.len(),
             ColumnData::Bool(v) => v.len(),
+            ColumnData::DictInt { codes, .. } => codes.len(),
+            ColumnData::DictText { codes, .. } => codes.len(),
+            ColumnData::RleInt { len, .. } => *len,
         }
     }
 
@@ -33,28 +125,212 @@ impl ColumnData {
 
     pub fn data_type(&self) -> DataType {
         match self {
-            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Int(_) | ColumnData::DictInt { .. } | ColumnData::RleInt { .. } => {
+                DataType::Int
+            }
             ColumnData::Float(_) => DataType::Float,
-            ColumnData::Text(_) => DataType::Text,
+            ColumnData::Text(_) | ColumnData::DictText { .. } => DataType::Text,
             ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// True for the compressed representations.
+    pub fn is_encoded(&self) -> bool {
+        matches!(
+            self,
+            ColumnData::DictInt { .. } | ColumnData::DictText { .. } | ColumnData::RleInt { .. }
+        )
+    }
+
+    /// `i64` at `row` for integer-typed representations (plain, dict, RLE);
+    /// `None` for other types. Ignores nulls — callers check the bitmap.
+    #[inline]
+    pub fn int_at(&self, row: usize) -> Option<i64> {
+        match self {
+            ColumnData::Int(v) => Some(v[row]),
+            ColumnData::DictInt { codes, dict } => Some(dict[codes[row] as usize]),
+            ColumnData::RleInt { starts, values, .. } => Some(values[rle_run(starts, row)]),
+            _ => None,
+        }
+    }
+
+    /// `&str` at `row` for text-typed representations; `None` otherwise.
+    /// Ignores nulls — callers check the bitmap.
+    #[inline]
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match self {
+            ColumnData::Text(v) => Some(&v[row]),
+            ColumnData::DictText { codes, dict } => Some(&dict[codes[row] as usize]),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes of this representation (data
+    /// vectors and string heads/bytes; excludes the null bitmap, which is
+    /// identical across representations).
+    pub fn heap_bytes(&self) -> usize {
+        const STRING_HEAD: usize = std::mem::size_of::<String>();
+        match self {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Text(v) => v.iter().map(|s| STRING_HEAD + s.len()).sum(),
+            ColumnData::DictInt { codes, dict } => codes.len() * 4 + dict.len() * 8,
+            ColumnData::DictText { codes, dict } => {
+                codes.len() * 4 + dict.iter().map(|s| STRING_HEAD + s.len()).sum::<usize>()
+            }
+            ColumnData::RleInt { starts, values, .. } => starts.len() * 4 + values.len() * 8,
+        }
+    }
+
+    /// Heap footprint the *plain* representation of the same values would
+    /// take — the baseline `heap_bytes` is compared against.
+    pub fn plain_bytes(&self) -> usize {
+        const STRING_HEAD: usize = std::mem::size_of::<String>();
+        match self {
+            ColumnData::DictInt { codes, .. } => codes.len() * 8,
+            ColumnData::DictText { codes, dict } => {
+                codes.iter().map(|&c| STRING_HEAD + dict[c as usize].len()).sum()
+            }
+            ColumnData::RleInt { len, .. } => len * 8,
+            plain => plain.heap_bytes(),
+        }
+    }
+
+    /// Decode to the plain dense representation (identity for plain data).
+    /// The round trip through [`ColumnData::encoded`] is bit-exact,
+    /// including values stored under NULL positions.
+    pub fn to_plain(&self) -> ColumnData {
+        match self {
+            ColumnData::DictInt { codes, dict } => {
+                ColumnData::Int(codes.iter().map(|&c| dict[c as usize]).collect())
+            }
+            ColumnData::DictText { codes, dict } => {
+                ColumnData::Text(codes.iter().map(|&c| dict[c as usize].clone()).collect())
+            }
+            ColumnData::RleInt { starts, values, len } => {
+                let mut out = Vec::with_capacity(*len);
+                for (i, &v) in values.iter().enumerate() {
+                    let end = starts.get(i + 1).map(|&s| s as usize).unwrap_or(*len);
+                    out.resize(end, v);
+                }
+                ColumnData::Int(out)
+            }
+            plain => plain.clone(),
+        }
+    }
+
+    /// Pick the smallest representation for these values: RLE when the data
+    /// is sorted/clustered into few runs, a dictionary when the distinct
+    /// count is low (at most [`MAX_DICT`]), plain otherwise. Encoding only
+    /// happens when it saves at least 25% of the plain footprint — a
+    /// near-breakeven dictionary is not worth the indirection. Values are
+    /// preserved bit-exactly (see [`ColumnData::to_plain`]).
+    pub fn encoded(&self) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => {
+                if v.is_empty() {
+                    return self.clone();
+                }
+                let plain = v.len() * 8;
+                // One pass: run boundaries and (capped) distinct values in
+                // first-occurrence order.
+                let mut starts: Vec<u32> = vec![0];
+                let mut run_values: Vec<i64> = vec![v[0]];
+                for (i, w) in v.windows(2).enumerate() {
+                    if w[1] != w[0] {
+                        starts.push((i + 1) as u32);
+                        run_values.push(w[1]);
+                    }
+                }
+                let rle_bytes = starts.len() * 4 + run_values.len() * 8;
+                let mut dict: Vec<i64> = Vec::new();
+                let mut index = std::collections::HashMap::new();
+                for &x in v {
+                    if index.len() > MAX_DICT {
+                        break;
+                    }
+                    index.entry(x).or_insert_with(|| {
+                        dict.push(x);
+                        (dict.len() - 1) as u32
+                    });
+                }
+                let dict_bytes =
+                    if dict.len() <= MAX_DICT { Some(v.len() * 4 + dict.len() * 8) } else { None };
+                let budget = plain - plain / 4;
+                let rle_wins =
+                    rle_bytes <= budget && dict_bytes.map(|d| rle_bytes <= d).unwrap_or(true);
+                if rle_wins {
+                    ColumnData::RleInt { starts, values: run_values, len: v.len() }
+                } else if dict_bytes.map(|d| d <= budget).unwrap_or(false) {
+                    let codes = v.iter().map(|x| index[x]).collect();
+                    ColumnData::DictInt { codes, dict }
+                } else {
+                    self.clone()
+                }
+            }
+            ColumnData::Text(v) => {
+                if v.is_empty() {
+                    return self.clone();
+                }
+                const STRING_HEAD: usize = std::mem::size_of::<String>();
+                let plain: usize = v.iter().map(|s| STRING_HEAD + s.len()).sum();
+                let mut dict: Vec<String> = Vec::new();
+                let mut index: std::collections::HashMap<&str, u32> =
+                    std::collections::HashMap::new();
+                for s in v {
+                    if index.len() > MAX_DICT {
+                        return self.clone();
+                    }
+                    index.entry(s.as_str()).or_insert_with(|| {
+                        dict.push(s.clone());
+                        (dict.len() - 1) as u32
+                    });
+                }
+                let dict_bytes =
+                    v.len() * 4 + dict.iter().map(|s| STRING_HEAD + s.len()).sum::<usize>();
+                if dict_bytes <= plain - plain / 4 {
+                    let codes = v.iter().map(|s| index[s.as_str()]).collect();
+                    ColumnData::DictText { codes, dict }
+                } else {
+                    self.clone()
+                }
+            }
+            // Floats and bools stay plain; already-encoded data keeps its
+            // representation.
+            other => other.clone(),
         }
     }
 }
 
 /// A named, nullable, typed column.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Column {
     pub name: String,
     pub data: ColumnData,
     /// `true` marks a NULL at that row. Always the same length as `data`.
     pub nulls: Vec<bool>,
+    /// Per-block min/max summaries for scan pruning; `None` when not
+    /// computed (or not computable — text columns have no zones). Derived
+    /// state, excluded from equality; recomputed by the sanctioned mutation
+    /// paths (`replace_nulls`, `Database::update_table`).
+    zones: Option<Vec<Zone>>,
+}
+
+/// Equality over logical identity (name, representation, nulls) — the
+/// derived zone maps are excluded so computing them never makes a column
+/// "different".
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.data == other.data && self.nulls == other.nulls
+    }
 }
 
 impl Column {
     /// Build a column without NULLs.
     pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
         let nulls = vec![false; data.len()];
-        Column { name: name.into(), data, nulls }
+        Column { name: name.into(), data, nulls, zones: None }
     }
 
     /// Build a column with an explicit null bitmap.
@@ -63,7 +339,7 @@ impl Column {
     /// Panics if the bitmap length differs from the data length.
     pub fn with_nulls(name: impl Into<String>, data: ColumnData, nulls: Vec<bool>) -> Self {
         assert_eq!(data.len(), nulls.len(), "null bitmap length mismatch");
-        Column { name: name.into(), data, nulls }
+        Column { name: name.into(), data, nulls, zones: None }
     }
 
     pub fn len(&self) -> usize {
@@ -89,10 +365,15 @@ impl Column {
             return Value::Null;
         }
         match &self.data {
-            ColumnData::Int(v) => Value::Int(v[row]),
             ColumnData::Float(v) => Value::Float(v[row]),
-            ColumnData::Text(v) => Value::Text(v[row].clone()),
             ColumnData::Bool(v) => Value::Bool(v[row]),
+            data => match data.data_type() {
+                DataType::Int => Value::Int(data.int_at(row).expect("int representation")),
+                DataType::Text => {
+                    Value::Text(data.str_at(row).expect("text representation").to_string())
+                }
+                _ => unreachable!("plain variants handled above"),
+            },
         }
     }
 
@@ -102,10 +383,9 @@ impl Column {
             return None;
         }
         match &self.data {
-            ColumnData::Int(v) => Some(v[row] as f64),
             ColumnData::Float(v) => Some(v[row]),
             ColumnData::Bool(v) => Some(v[row] as u8 as f64),
-            ColumnData::Text(_) => None,
+            data => data.int_at(row).map(|x| x as f64),
         }
     }
 
@@ -115,10 +395,9 @@ impl Column {
             return None;
         }
         match &self.data {
-            ColumnData::Int(v) => Some(v[row]),
             ColumnData::Float(v) => Some(v[row] as i64),
             ColumnData::Bool(v) => Some(v[row] as i64),
-            ColumnData::Text(_) => None,
+            data => data.int_at(row),
         }
     }
 
@@ -127,16 +406,14 @@ impl Column {
         if self.nulls[row] {
             return None;
         }
-        match &self.data {
-            ColumnData::Text(v) => Some(&v[row]),
-            _ => None,
-        }
+        self.data.str_at(row)
     }
 
-    /// Dense `i64` data slice for Int columns, `None` otherwise. Together
-    /// with the [`Column::nulls`] bitmap this is the unboxed view the
-    /// columnar UDF fast path gathers batches from — no per-row `Value`
-    /// boxing.
+    /// Dense `i64` data slice for *plain* Int columns, `None` otherwise
+    /// (including the encoded int representations — the columnar gather
+    /// path decodes those per row instead). Together with the
+    /// [`Column::nulls`] bitmap this is the unboxed view the columnar UDF
+    /// fast path gathers batches from — no per-row `Value` boxing.
     pub fn int_data(&self) -> Option<&[i64]> {
         match &self.data {
             ColumnData::Int(v) => Some(v),
@@ -168,10 +445,80 @@ impl Column {
         self.nulls.iter().filter(|&&n| n).count() as f64 / self.nulls.len() as f64
     }
 
+    /// The zone maps, when computed ([`ZONE_ROWS`] rows per block).
+    pub fn zones(&self) -> Option<&[Zone]> {
+        self.zones.as_deref()
+    }
+
+    /// Compute (or recompute) per-block zone maps. Numeric columns (Int,
+    /// Float, Bool, and their encodings) get zones; Text columns get none —
+    /// lexicographic predicates are never zone-pruned.
+    pub fn compute_zones(&mut self) {
+        if self.data_type() == DataType::Text || self.is_empty() {
+            self.zones = None;
+            return;
+        }
+        let n = self.len();
+        let n_zones = n.div_ceil(ZONE_ROWS);
+        let mut zones = Vec::with_capacity(n_zones);
+        for z in 0..n_zones {
+            let (start, end) = (z * ZONE_ROWS, ((z + 1) * ZONE_ROWS).min(n));
+            let mut zone =
+                Zone { min: f64::NAN, max: f64::NAN, null_any: false, any_matchable: false };
+            for row in start..end {
+                if self.nulls[row] {
+                    zone.null_any = true;
+                    continue;
+                }
+                // Same widening as `Value::compare` applies to both sides.
+                let v = match &self.data {
+                    ColumnData::Float(v) => v[row],
+                    ColumnData::Bool(v) => v[row] as u8 as f64,
+                    data => data.int_at(row).expect("numeric representation") as f64,
+                };
+                if v.is_nan() {
+                    continue;
+                }
+                if zone.any_matchable {
+                    zone.min = zone.min.min(v);
+                    zone.max = zone.max.max(v);
+                } else {
+                    zone.min = v;
+                    zone.max = v;
+                    zone.any_matchable = true;
+                }
+            }
+            zones.push(zone);
+        }
+        self.zones = Some(zones);
+    }
+
+    /// Drop the zone maps (e.g. before mutating data in place outside the
+    /// sanctioned paths). A column without zones is simply never pruned.
+    pub fn clear_zones(&mut self) {
+        self.zones = None;
+    }
+
+    /// Re-encode this column's data into its smallest representation (see
+    /// [`ColumnData::encoded`]). Values are preserved bit-exactly.
+    pub fn encode(&mut self) {
+        self.data = self.data.encoded();
+    }
+
+    /// Decode this column to the plain dense representation.
+    pub fn decode(&mut self) {
+        self.data = self.data.to_plain();
+    }
+
     /// Replace every NULL with `default`, mutating in place. This is the
     /// "data adaptation" primitive from Section V of the paper (align data
-    /// with generated UDFs instead of constraining the UDFs).
+    /// with generated UDFs instead of constraining the UDFs). Encoded
+    /// columns are decoded first (point mutation defeats run/dictionary
+    /// sharing); zone maps, when present, are recomputed afterwards.
     pub fn replace_nulls(&mut self, default: &Value) {
+        if self.data.is_encoded() {
+            self.data = self.data.to_plain();
+        }
         for row in 0..self.len() {
             if !self.nulls[row] {
                 continue;
@@ -202,6 +549,9 @@ impl Column {
             if ok {
                 self.nulls[row] = false;
             }
+        }
+        if self.zones.is_some() {
+            self.compute_zones();
         }
     }
 }
@@ -251,5 +601,140 @@ mod tests {
     #[should_panic(expected = "null bitmap length mismatch")]
     fn bitmap_length_checked() {
         Column::with_nulls("x", ColumnData::Int(vec![1]), vec![false, true]);
+    }
+
+    #[test]
+    fn dict_int_round_trips_and_shrinks() {
+        let v: Vec<i64> = (0..4096).map(|i| (i * 2654435761u64 as usize % 5) as i64).collect();
+        let plain = ColumnData::Int(v.clone());
+        let enc = plain.encoded();
+        assert!(matches!(enc, ColumnData::DictInt { .. }), "low-NDV unsorted ints pick dict");
+        assert!(enc.heap_bytes() < plain.heap_bytes());
+        assert_eq!(enc.plain_bytes(), plain.heap_bytes());
+        assert_eq!(enc.to_plain(), plain);
+        assert_eq!(enc.data_type(), DataType::Int);
+        assert_eq!(enc.len(), 4096);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(enc.int_at(i), Some(x));
+        }
+    }
+
+    #[test]
+    fn rle_round_trips_and_shrinks() {
+        let mut v: Vec<i64> = Vec::new();
+        for run in 0..40 {
+            v.extend(std::iter::repeat_n(run * 7 - 3, 100));
+        }
+        let plain = ColumnData::Int(v.clone());
+        let enc = plain.encoded();
+        assert!(matches!(enc, ColumnData::RleInt { .. }), "clustered runs pick RLE");
+        assert!(enc.heap_bytes() < plain.heap_bytes() / 10);
+        assert_eq!(enc.to_plain(), plain);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(enc.int_at(i), Some(x), "row {i}");
+        }
+    }
+
+    #[test]
+    fn dict_text_round_trips_and_shrinks() {
+        let words = ["alpha", "beta", "gamma"];
+        let v: Vec<String> = (0..2048).map(|i| words[i % 3].to_string()).collect();
+        let plain = ColumnData::Text(v.clone());
+        let enc = plain.encoded();
+        assert!(matches!(enc, ColumnData::DictText { .. }));
+        assert!(enc.heap_bytes() < plain.heap_bytes());
+        assert_eq!(enc.to_plain(), plain);
+        assert_eq!(enc.str_at(4), Some("beta"));
+    }
+
+    #[test]
+    fn high_cardinality_stays_plain() {
+        let serial = ColumnData::Int((0..4096).collect());
+        assert_eq!(serial.encoded(), serial, "serial PKs gain nothing from dict or RLE");
+        let text = ColumnData::Text((0..64).map(|i| format!("unique-{i}")).collect());
+        assert_eq!(text.encoded(), text);
+        let floats = ColumnData::Float(vec![1.5; 100]);
+        assert_eq!(floats.encoded(), floats, "floats always stay plain");
+    }
+
+    #[test]
+    fn encoded_column_accessors_match_plain() {
+        let data: Vec<i64> = (0..3000).map(|i| (i / 100) as i64).collect();
+        let nulls: Vec<bool> = (0..3000).map(|i| i % 7 == 0).collect();
+        let plain = Column::with_nulls("x", ColumnData::Int(data.clone()), nulls.clone());
+        let mut enc = plain.clone();
+        enc.encode();
+        assert!(enc.data.is_encoded());
+        assert!(enc.int_data().is_none(), "encoded data has no dense slice");
+        for row in 0..3000 {
+            assert_eq!(enc.value(row), plain.value(row));
+            assert_eq!(enc.get_f64(row), plain.get_f64(row));
+            assert_eq!(enc.get_i64(row), plain.get_i64(row));
+        }
+        assert_eq!(enc.data.to_plain(), plain.data, "decode round-trips bit-exactly");
+    }
+
+    #[test]
+    fn zones_cover_blocks_with_null_and_nan_accounting() {
+        let n = ZONE_ROWS * 2 + 100;
+        let mut vals = vec![0.0f64; n];
+        let mut nulls = vec![false; n];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = (i as f64).sin() * 100.0;
+        }
+        vals[3] = f64::NAN;
+        nulls[ZONE_ROWS + 1] = true;
+        // Last (ragged) block: all rows NULL.
+        for flag in nulls.iter_mut().skip(ZONE_ROWS * 2) {
+            *flag = true;
+        }
+        let mut c = Column::with_nulls("f", ColumnData::Float(vals.clone()), nulls.clone());
+        assert!(c.zones().is_none());
+        c.compute_zones();
+        let zones = c.zones().unwrap();
+        assert_eq!(zones.len(), 3);
+        assert!(!zones[0].null_any && zones[0].any_matchable);
+        assert!(zones[1].null_any && zones[1].any_matchable);
+        assert!(zones[2].null_any && !zones[2].any_matchable, "all-null block is unmatchable");
+        for (z, zone) in zones.iter().enumerate().take(2) {
+            let (s, e) = (z * ZONE_ROWS, ((z + 1) * ZONE_ROWS).min(n));
+            for row in s..e {
+                if !nulls[row] && !vals[row].is_nan() {
+                    assert!(zone.min <= vals[row] && vals[row] <= zone.max);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_columns_have_no_zones() {
+        let mut c = Column::new("s", ColumnData::Text(vec!["a".into(), "b".into()]));
+        c.compute_zones();
+        assert!(c.zones().is_none());
+    }
+
+    #[test]
+    fn zone_extremes_handle_i64_limits() {
+        let mut c = Column::new("x", ColumnData::Int(vec![i64::MIN, 0, i64::MAX]));
+        c.compute_zones();
+        let z = c.zones().unwrap()[0];
+        assert_eq!(z.min, i64::MIN as f64);
+        assert_eq!(z.max, i64::MAX as f64);
+    }
+
+    #[test]
+    fn replace_nulls_decodes_and_refreshes_zones() {
+        let data: Vec<i64> = std::iter::repeat_n(5i64, 2000).collect();
+        let nulls: Vec<bool> = (0..2000).map(|i| i == 1999).collect();
+        let mut c = Column::with_nulls("x", ColumnData::Int(data), nulls);
+        c.encode();
+        c.compute_zones();
+        assert!(c.data.is_encoded());
+        c.replace_nulls(&Value::Int(-100));
+        assert!(!c.data.is_encoded(), "point mutation decodes first");
+        assert_eq!(c.value(1999), Value::Int(-100));
+        let zones = c.zones().unwrap();
+        assert_eq!(zones[1].min, -100.0, "zones recomputed after mutation");
+        assert!(!zones[1].null_any);
     }
 }

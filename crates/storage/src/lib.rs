@@ -22,7 +22,7 @@ pub mod stats;
 pub mod table;
 pub mod types;
 
-pub use column::{Column, ColumnData};
+pub use column::{Column, ColumnData, Zone, MAX_DICT, ZONE_ROWS};
 pub use database::Database;
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::{ForeignKey, Table};

@@ -129,10 +129,6 @@ impl ColumnStats {
                 continue;
             }
             match &column.data {
-                ColumnData::Int(v) => {
-                    numeric.push(v[row] as f64);
-                    counts.entry(v[row].to_string()).or_insert((Value::Int(v[row]), 0)).1 += 1;
-                }
                 ColumnData::Float(v) => {
                     numeric.push(v[row]);
                     // Bucket floats by bit pattern for NDV purposes.
@@ -141,17 +137,26 @@ impl ColumnStats {
                         .or_insert((Value::Float(v[row]), 0))
                         .1 += 1;
                 }
-                ColumnData::Text(v) => {
-                    text_len_sum += v[row].len() as f64;
-                    text_count += 1;
-                    counts
-                        .entry(v[row].clone())
-                        .or_insert_with(|| (Value::Text(v[row].clone()), 0))
-                        .1 += 1;
-                }
                 ColumnData::Bool(v) => {
                     numeric.push(v[row] as u8 as f64);
                     counts.entry(v[row].to_string()).or_insert((Value::Bool(v[row]), 0)).1 += 1;
+                }
+                // Int/Text in any representation (plain, dictionary, RLE):
+                // the per-row accessors decode, so ANALYZE over an encoded
+                // column produces byte-identical statistics.
+                data => {
+                    if let Some(s) = data.str_at(row) {
+                        text_len_sum += s.len() as f64;
+                        text_count += 1;
+                        counts
+                            .entry(s.to_string())
+                            .or_insert_with(|| (Value::Text(s.to_string()), 0))
+                            .1 += 1;
+                    } else {
+                        let x = data.int_at(row).expect("int representation");
+                        numeric.push(x as f64);
+                        counts.entry(x.to_string()).or_insert((Value::Int(x), 0)).1 += 1;
+                    }
                 }
             }
         }

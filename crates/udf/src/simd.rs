@@ -49,7 +49,7 @@ use crate::libfns::LibFn;
 use crate::ops::{f64_to_i64, np_clip, np_sign, sanitize};
 use crate::vm::Vm;
 use graceful_common::{GracefulError, Result};
-use graceful_storage::{Column, DataType, Value};
+use graceful_storage::{Column, ColumnData, DataType, Value};
 
 /// Rows per internal chunk: bounds lane-buffer memory and keeps the working
 /// set cache-resident. The execution engine's `GRACEFUL_UDF_BATCH` default
@@ -101,6 +101,11 @@ impl TypedCol {
     /// Refill from a storage column via its typed-slice accessors, gathering
     /// the given row ids. The column's type must match `self`'s lane type
     /// (callers fix the type once per operator via [`TypedCol::for_type`]).
+    ///
+    /// Encoded integer columns (dictionary, RLE) decode straight into the
+    /// lanes here — a per-row dictionary lookup or run binary-search, never
+    /// a boxed [`graceful_storage::Value`] — so the columnar fast path runs
+    /// unchanged over compressed storage.
     pub fn fill_from_column(
         &mut self,
         col: &Column,
@@ -110,12 +115,28 @@ impl TypedCol {
             || GracefulError::Eval(format!("column {} does not match its typed buffer", col.name));
         match self {
             TypedCol::Int { data, nulls } => {
-                let src = col.int_data().ok_or_else(mismatch)?;
                 data.clear();
                 nulls.clear();
-                for rid in rids {
-                    data.push(src[rid]);
-                    nulls.push(col.nulls[rid]);
+                match &col.data {
+                    ColumnData::Int(src) => {
+                        for rid in rids {
+                            data.push(src[rid]);
+                            nulls.push(col.nulls[rid]);
+                        }
+                    }
+                    ColumnData::DictInt { codes, dict } => {
+                        for rid in rids {
+                            data.push(dict[codes[rid] as usize]);
+                            nulls.push(col.nulls[rid]);
+                        }
+                    }
+                    ColumnData::RleInt { .. } => {
+                        for rid in rids {
+                            data.push(col.data.int_at(rid).expect("rle is int"));
+                            nulls.push(col.nulls[rid]);
+                        }
+                    }
+                    _ => return Err(mismatch()),
                 }
             }
             TypedCol::Float { data, nulls } => {

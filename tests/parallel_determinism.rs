@@ -263,6 +263,127 @@ fn fold_and_dead_param_rewrites_fire_and_stay_bit_identical() {
     assert_eq!(run.agg_value, 0.0);
 }
 
+/// The partitioned hash join and parallel aggregation are bit-identical
+/// (values AND `op_work`) across threads {1, 2, 4} × all three UDF backends
+/// × both executor modes × data scale {1, 50}. A custom mini star schema
+/// keeps scale 50 at ≈ 50k fact rows, so the `GRACEFUL_SCALE`-style
+/// multiplier is exercised for real (multi-zone tables, thousands of
+/// morsels, all 16 join partitions populated) without stretching the
+/// debug-mode suite.
+#[test]
+fn partitioned_join_and_parallel_agg_bit_identical_across_scales() {
+    use graceful::plan::{AggFunc, ColRef, Plan, PlanOp, PlanOpKind, Pred};
+    use graceful::storage::datagen::{ColGen, ColumnSpec, SchemaSpec, TableSpec};
+    use graceful::udf::ast::CmpOp;
+    use std::sync::Arc;
+
+    let col = ColumnSpec::new;
+    let spec = SchemaSpec {
+        name: "mini_star".into(),
+        tables: vec![
+            TableSpec {
+                name: "dim".into(),
+                base_rows: 60,
+                columns: vec![
+                    col("id", ColGen::Serial),
+                    col("grp", ColGen::IntZipf { domain: 8, skew: 0.7 }),
+                ],
+            },
+            TableSpec {
+                name: "fact".into(),
+                base_rows: 1000,
+                columns: vec![
+                    col("id", ColGen::Serial),
+                    col("dim_id", ColGen::Fk { table: "dim".into(), skew: 0.8 }).nulls(0.05),
+                    col("amount", ColGen::FloatUniform { lo: -50.0, hi: 950.0 }).nulls(0.02),
+                    col("qty", ColGen::IntUniform { lo: 1, hi: 40 }),
+                ],
+            },
+        ],
+    };
+    let def = parse_udf("def f(x0):\n    return x0 * 0.5 + 1.0\n").unwrap();
+    let udf = Arc::new(graceful::udf::GeneratedUdf {
+        source: print_udf(&def),
+        def,
+        table: "fact".into(),
+        input_columns: vec!["amount".into()],
+        adaptations: vec![],
+    });
+    // Filtered fact ⋈ dim, UDF-projected, summed: every parallel operator
+    // class in one chain (pruned scan, partitioned join, parallel agg).
+    let join_udf_sum = Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "fact".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Filter {
+                    preds: vec![Pred::new("fact", "qty", CmpOp::Lt, Value::Int(30))],
+                },
+                vec![0],
+            ),
+            PlanOp::new(PlanOpKind::Scan { table: "dim".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Join {
+                    left_col: ColRef::new("fact", "dim_id"),
+                    right_col: ColRef::new("dim", "id"),
+                },
+                vec![1, 2],
+            ),
+            PlanOp::new(PlanOpKind::UdfProject { udf }, vec![3]),
+            PlanOp::new(PlanOpKind::Agg { func: AggFunc::Sum, column: None }, vec![4]),
+        ],
+        root: 5,
+    };
+    // Column-path MIN over the raw join: the merge order of per-morsel
+    // partial states is what is under test.
+    let join_min = Plan {
+        ops: vec![
+            PlanOp::new(PlanOpKind::Scan { table: "fact".into() }, vec![]),
+            PlanOp::new(PlanOpKind::Scan { table: "dim".into() }, vec![]),
+            PlanOp::new(
+                PlanOpKind::Join {
+                    left_col: ColRef::new("fact", "dim_id"),
+                    right_col: ColRef::new("dim", "id"),
+                },
+                vec![0, 1],
+            ),
+            PlanOp::new(
+                PlanOpKind::Agg { func: AggFunc::Min, column: Some(ColRef::new("fact", "amount")) },
+                vec![2],
+            ),
+        ],
+        root: 3,
+    };
+
+    for scale in [1.0f64, 50.0] {
+        let db = generate(&spec, scale, 21);
+        for (what, plan) in [("join+udf+sum", &join_udf_sum), ("join+min", &join_min)] {
+            for backend in [UdfBackend::TreeWalk, UdfBackend::Vm, UdfBackend::Simd] {
+                let reference = session(backend, 1, ExecMode::Pipeline)
+                    .run(&db, plan, 21)
+                    .expect("single-thread run succeeds");
+                let join_idx =
+                    plan.ops.iter().position(|o| matches!(o.kind, PlanOpKind::Join { .. }));
+                assert!(
+                    reference.out_rows[join_idx.unwrap()] > 0,
+                    "{what}: join must produce rows"
+                );
+                for threads in [1usize, 2, 4] {
+                    for mode in [ExecMode::Pipeline, ExecMode::Materialize] {
+                        let run = session(backend, threads, mode)
+                            .run(&db, plan, 21)
+                            .expect("run succeeds");
+                        assert_runs_bit_identical(
+                            &run,
+                            &reference,
+                            &format!("{what} x {backend:?} x {threads} x {mode:?} x scale {scale}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Observability is outside the bit-identity contract and must stay there:
 /// with per-operator profiling, span tracing *and* the flight recorder
 /// enabled, every contracted `QueryRun` field is bit-identical to the
